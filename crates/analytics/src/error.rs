@@ -1,0 +1,97 @@
+//! Error types for the analytics engines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the dynamic-graph analytics engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalyticsError {
+    /// The per-vertex signal does not match the snapshot.
+    SignalShape {
+        /// Vertices in the snapshot.
+        vertices: usize,
+        /// Rows in the provided signal.
+        rows: usize,
+    },
+    /// The snapshot's vertex count changed (this reproduction models a fixed
+    /// vertex set).
+    SnapshotMismatch {
+        /// Expected vertex count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// An underlying kernel failed.
+    Sparse(idgnn_sparse::SparseError),
+    /// A model-kernel operation failed.
+    Model(idgnn_model::ModelError),
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::SignalShape { vertices, rows } => {
+                write!(f, "signal has {rows} rows but the graph has {vertices} vertices")
+            }
+            AnalyticsError::SnapshotMismatch { expected, got } => {
+                write!(f, "snapshot has {got} vertices, engine tracks {expected}")
+            }
+            AnalyticsError::EmptyGraph => f.write_str("graph has no vertices"),
+            AnalyticsError::Sparse(e) => write!(f, "kernel failure: {e}"),
+            AnalyticsError::Model(e) => write!(f, "one-pass kernel failure: {e}"),
+        }
+    }
+}
+
+impl Error for AnalyticsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalyticsError::Sparse(e) => Some(e),
+            AnalyticsError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<idgnn_sparse::SparseError> for AnalyticsError {
+    fn from(e: idgnn_sparse::SparseError) -> Self {
+        AnalyticsError::Sparse(e)
+    }
+}
+
+impl From<idgnn_model::ModelError> for AnalyticsError {
+    fn from(e: idgnn_model::ModelError) -> Self {
+        AnalyticsError::Model(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AnalyticsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AnalyticsError::SignalShape { vertices: 4, rows: 3 }
+            .to_string()
+            .contains("3 rows"));
+        assert!(AnalyticsError::SnapshotMismatch { expected: 5, got: 6 }
+            .to_string()
+            .contains("6 vertices"));
+        assert_eq!(AnalyticsError::EmptyGraph.to_string(), "graph has no vertices");
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: AnalyticsError = idgnn_sparse::SparseError::NotSquare { shape: (1, 2) }.into();
+        assert!(e.source().is_some());
+        let e: AnalyticsError = idgnn_model::ModelError::EmptyModel.into();
+        assert!(e.source().is_some());
+        assert!(AnalyticsError::EmptyGraph.source().is_none());
+    }
+}

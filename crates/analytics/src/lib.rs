@@ -1,0 +1,47 @@
+//! # idgnn-analytics
+//!
+//! Dynamic graph *processing* (not learning) built on the I-DGNN one-pass
+//! kernel — the extension the paper's §VII sketches: "the proposed one-pass
+//! computation method can be efficiently applied to dynamic graph processing
+//! through a slight modification. It still can eliminate the repeated
+//! read/write memory access and computations."
+//!
+//! * [`KhopEngine`] — maintains `S = Â^L·x` (weighted k-hop neighborhood
+//!   analytics) incrementally via the fused dissimilarity matrix `ΔA_C`,
+//!   with exact op accounting against the recompute baseline;
+//! * [`pagerank`] / [`incremental_pagerank`] — PageRank over snapshot
+//!   streams with warm-started power iteration.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use idgnn_analytics::KhopEngine;
+//! use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
+//! use idgnn_graph::Normalization;
+//!
+//! let dg = generate_dynamic_graph(
+//!     &GraphConfig::power_law(50, 150, 2),
+//!     &StreamConfig { deltas: 1, dissimilarity: 0.02, ..Default::default() },
+//!     7,
+//! )?;
+//! let snaps = dg.materialize()?;
+//! let (mut engine, init) = KhopEngine::unit(&snaps[0], 2, Normalization::SelfLoops)?;
+//! let step = engine.update(&snaps[1])?;
+//! assert!(step.ops.total() < init.ops.total()); // delta path is cheaper
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod khop;
+mod pagerank;
+
+pub use error::{AnalyticsError, Result};
+pub use khop::{AnalyticsCost, KhopEngine};
+pub use pagerank::{
+    incremental_pagerank, pagerank, top_k, unit_signal, PageRankConfig, PageRankResult,
+};

@@ -1,0 +1,94 @@
+//! Property-based tests for the dynamic-graph analytics engines.
+
+use idgnn_analytics::{incremental_pagerank, pagerank, KhopEngine, PageRankConfig};
+use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
+use idgnn_graph::Normalization;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn khop_incremental_tracks_recompute_on_random_streams(
+        v in 20usize..80,
+        e_mult in 2usize..5,
+        dissim in 0.0f64..0.15,
+        hops in 1u32..4,
+        seed in 0u64..300,
+    ) {
+        let snaps = generate_dynamic_graph(
+            &GraphConfig::power_law(v, v * e_mult, 2),
+            &StreamConfig {
+                deltas: 2,
+                dissimilarity: dissim,
+                addition_fraction: 0.6,
+                feature_update_fraction: 0.0,
+            },
+            seed,
+        )
+        .unwrap()
+        .materialize()
+        .unwrap();
+        let (mut engine, _) =
+            KhopEngine::unit(&snaps[0], hops, Normalization::SelfLoops).unwrap();
+        for next in &snaps[1..] {
+            engine.update(next).unwrap();
+            let (fresh, _) =
+                KhopEngine::unit(next, hops, Normalization::SelfLoops).unwrap();
+            prop_assert!(
+                engine.value().approx_eq(fresh.value(), 1e-1),
+                "drift {}",
+                engine.value().max_abs_diff(fresh.value()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_fixed_point_is_start_independent(
+        v in 15usize..60,
+        e_mult in 2usize..5,
+        seed in 0u64..300,
+    ) {
+        let snaps = generate_dynamic_graph(
+            &GraphConfig::power_law(v, v * e_mult, 2),
+            &StreamConfig { deltas: 1, dissimilarity: 0.1, ..Default::default() },
+            seed,
+        )
+        .unwrap()
+        .materialize()
+        .unwrap();
+        let cfg = PageRankConfig { tolerance: 1e-10, ..Default::default() };
+        let cold0 = pagerank(&snaps[0], &cfg).unwrap();
+        let cold1 = pagerank(&snaps[1], &cfg).unwrap();
+        let warm1 = incremental_pagerank(&snaps[1], &cold0.ranks, &cfg).unwrap();
+        let l1: f64 = warm1
+            .ranks
+            .iter()
+            .zip(&cold1.ranks)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prop_assert!(l1 < 1e-6, "L1 divergence {l1}");
+        let sum: f64 = warm1.ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pagerank_mass_conserved_on_any_graph(
+        v in 5usize..50,
+        e_mult in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let snaps = generate_dynamic_graph(
+            &GraphConfig::uniform(v, v * e_mult, 2),
+            &StreamConfig { deltas: 0, ..Default::default() },
+            seed,
+        )
+        .unwrap()
+        .materialize()
+        .unwrap();
+        let r = pagerank(&snaps[0], &PageRankConfig::default()).unwrap();
+        let sum: f64 = r.ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "mass {sum}");
+        prop_assert!(r.ranks.iter().all(|&x| x >= 0.0));
+    }
+}

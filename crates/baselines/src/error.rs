@@ -1,0 +1,6 @@
+//! Error types for the baseline models (thin wrapper over the core error).
+
+pub use idgnn_core::CoreError as BaselineError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

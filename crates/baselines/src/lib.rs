@@ -1,0 +1,164 @@
+//! # idgnn-baselines
+//!
+//! Models of the three accelerators the I-DGNN paper compares against,
+//! scaled to the same multipliers / on-chip storage / frequency / off-chip
+//! bandwidth per the paper's §VI-A methodology:
+//!
+//! * [`Ready`] — ReaDy (TCAD'22): recompute algorithm, mesh PE array,
+//!   static workload-ratio resource partition, no cross-snapshot pipeline;
+//! * [`Booster`] — DGNN-Booster (FCCM'23): recompute algorithm,
+//!   message-passing dataflow, snapshot-level two-stage pipeline;
+//! * [`Race`] — RACE (TACO'23): incremental algorithm, heterogeneous
+//!   GNN/RNN engines with a fixed 50/50 PE split behind crossbars.
+//!
+//! All three produce the same [`SimReport`](idgnn_core::SimReport) type as
+//! the I-DGNN accelerator, so the bench harness compares them directly.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use idgnn_baselines::{Booster, Race, Ready};
+//! use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
+//! use idgnn_hw::AcceleratorConfig;
+//! use idgnn_model::{DgnnModel, ModelConfig};
+//!
+//! let dg = generate_dynamic_graph(
+//!     &GraphConfig::power_law(200, 600, 16),
+//!     &StreamConfig::default(),
+//!     7,
+//! )?;
+//! let model = DgnnModel::from_config(&ModelConfig::paper_default(16))?;
+//! let config = AcceleratorConfig::paper_default().scaled_down(64);
+//! let ready = Ready::new(config)?.simulate(&model, &dg)?;
+//! let race = Race::new(config)?.simulate(&model, &dg)?;
+//! assert!(ready.total_cycles > 0.0 && race.total_cycles > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod booster;
+mod common;
+mod error;
+mod race;
+mod ready;
+
+pub use booster::Booster;
+pub use error::{BaselineError, Result};
+pub use race::Race;
+pub use ready::Ready;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
+    use idgnn_graph::{DynamicGraph, Normalization};
+    use idgnn_hw::AcceleratorConfig;
+    use idgnn_model::{Activation, DgnnModel, ModelConfig};
+
+    pub fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_default().scaled_down(64)
+    }
+
+    pub fn workload() -> (DgnnModel, DynamicGraph) {
+        let dg = generate_dynamic_graph(
+            &GraphConfig::power_law(300, 900, 16),
+            &StreamConfig { deltas: 3, dissimilarity: 0.02, ..Default::default() },
+            11,
+        )
+        .unwrap();
+        let model = DgnnModel::from_config(&ModelConfig {
+            input_dim: 16,
+            gnn_hidden: 8,
+            gnn_layers: 3,
+            rnn_hidden: 8,
+            activation: Activation::Relu,
+            normalization: Normalization::SelfLoops,
+            seed: 7,
+            rnn_kernel: Default::default(),
+        })
+        .unwrap();
+        (model, dg)
+    }
+}
+
+#[cfg(test)]
+mod comparison_tests {
+    use super::test_support::{small_config, workload};
+    use super::*;
+    use idgnn_core::{IdgnnAccelerator, SimOptions};
+
+    #[test]
+    fn idgnn_beats_all_baselines_on_cycles() {
+        // The paper's headline (Fig. 12 shape): I-DGNN wins against all
+        // three baselines on the same resource budget.
+        let (model, dg) = workload();
+        let config = small_config();
+        let idgnn = IdgnnAccelerator::new(config)
+            .unwrap()
+            .simulate(&model, &dg, &SimOptions::default())
+            .unwrap();
+        let ready = Ready::new(config).unwrap().simulate(&model, &dg).unwrap();
+        let booster = Booster::new(config).unwrap().simulate(&model, &dg).unwrap();
+        let race = Race::new(config).unwrap().simulate(&model, &dg).unwrap();
+        assert!(
+            idgnn.total_cycles < ready.total_cycles,
+            "I-DGNN {} !< ReaDy {}",
+            idgnn.total_cycles,
+            ready.total_cycles
+        );
+        assert!(
+            idgnn.total_cycles < booster.total_cycles,
+            "I-DGNN {} !< Booster {}",
+            idgnn.total_cycles,
+            booster.total_cycles
+        );
+        assert!(
+            idgnn.total_cycles < race.total_cycles,
+            "I-DGNN {} !< RACE {}",
+            idgnn.total_cycles,
+            race.total_cycles
+        );
+    }
+
+    #[test]
+    fn idgnn_beats_all_baselines_on_energy() {
+        // Fig. 14 shape: the baselines burn more energy.
+        let (model, dg) = workload();
+        let config = small_config();
+        let idgnn = IdgnnAccelerator::new(config)
+            .unwrap()
+            .simulate(&model, &dg, &SimOptions::default())
+            .unwrap();
+        for (name, total) in [
+            ("ReaDy", Ready::new(config).unwrap().simulate(&model, &dg).unwrap().energy.total_pj()),
+            (
+                "Booster",
+                Booster::new(config).unwrap().simulate(&model, &dg).unwrap().energy.total_pj(),
+            ),
+            ("RACE", Race::new(config).unwrap().simulate(&model, &dg).unwrap().energy.total_pj()),
+        ] {
+            assert!(
+                idgnn.energy.total_pj() < total,
+                "I-DGNN {} !< {name} {total}",
+                idgnn.energy.total_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn idgnn_moves_least_dram_bytes() {
+        let (model, dg) = workload();
+        let config = small_config();
+        let idgnn = IdgnnAccelerator::new(config)
+            .unwrap()
+            .simulate(&model, &dg, &SimOptions::default())
+            .unwrap();
+        let ready = Ready::new(config).unwrap().simulate(&model, &dg).unwrap();
+        let race = Race::new(config).unwrap().simulate(&model, &dg).unwrap();
+        assert!(idgnn.dram_bytes < ready.dram_bytes);
+        assert!(idgnn.dram_bytes < race.dram_bytes);
+    }
+}

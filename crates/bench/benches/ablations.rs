@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the DESIGN.md §5 ablations: each design choice
+//! on/off, timed head-to-head on the WD workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use idgnn_bench::context::{Context, ExperimentScale};
+use idgnn_core::{DataflowPolicy, SchedulerPolicy, SimOptions};
+use idgnn_model::exec::OnePassOptions;
+use idgnn_model::DissimilarityStrategy;
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = Context::new(ExperimentScale::Quick, 42).expect("context builds");
+    let w = ctx.workload("WD").clone();
+    let mem = ctx.memory();
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // D1: ΔA_C evaluation strategy (functional kernel, host time).
+    for (name, strategy) in [
+        ("ablation_transpose/general", DissimilarityStrategy::General),
+        ("ablation_transpose/optimized", DissimilarityStrategy::TransposeOptimized),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                idgnn_model::exec::run_onepass_with(
+                    black_box(&w.model),
+                    black_box(&w.graph),
+                    &mem,
+                    &OnePassOptions { strategy, ..Default::default() },
+                )
+                .expect("runs")
+            })
+        });
+    }
+
+    // D2: scheduler policy (simulated cycles printed once; host time timed).
+    for (name, opts) in [
+        ("ablation_scheduler/analytical", SimOptions::default()),
+        (
+            "ablation_scheduler/even",
+            SimOptions { scheduler: SchedulerPolicy::Even, ..Default::default() },
+        ),
+        (
+            "ablation_scheduler/no_pipeline",
+            SimOptions { disable_pipeline: true, ..Default::default() },
+        ),
+    ] {
+        let cycles = ctx.run_idgnn(&w, &opts).expect("simulates").total_cycles;
+        println!("{name}: {cycles:.0} simulated cycles");
+        g.bench_function(name, |b| b.iter(|| ctx.run_idgnn(black_box(&w), &opts).expect("ok")));
+    }
+
+    // D3: dataflow policy.
+    for (name, opts) in [
+        ("ablation_dataflow/rotation", SimOptions::default()),
+        (
+            "ablation_dataflow/broadcast",
+            SimOptions { dataflow: DataflowPolicy::Broadcast, ..Default::default() },
+        ),
+    ] {
+        let cycles = ctx.run_idgnn(&w, &opts).expect("simulates").total_cycles;
+        println!("{name}: {cycles:.0} simulated cycles");
+        g.bench_function(name, |b| b.iter(|| ctx.run_idgnn(black_box(&w), &opts).expect("ok")));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

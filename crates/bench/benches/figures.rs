@@ -1,0 +1,59 @@
+//! Criterion wrappers over the figure harnesses — one benchmark per paper
+//! table/figure, so `cargo bench` regenerates (and times) the entire
+//! evaluation. Each iteration re-runs the figure's simulation; the figure's
+//! numbers themselves are printed once up front and written by the
+//! `src/bin/*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use idgnn_bench::context::{Context, ExperimentScale};
+use idgnn_bench::figures;
+
+fn ctx() -> Context {
+    Context::new(ExperimentScale::Quick, 42).expect("context builds")
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = ctx();
+    // Print each figure's result once so `cargo bench` output doubles as the
+    // evaluation report.
+    println!("{}", figures::table1::run(&ctx).expect("table1"));
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| figures::table1::run(black_box(&ctx)).expect("ok")));
+    g.bench_function("fig03_dram_breakdown", |b| {
+        b.iter(|| figures::fig03::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig10_ops", |b| b.iter(|| figures::fig10::run(black_box(&ctx)).expect("ok")));
+    g.bench_function("fig11_dram", |b| {
+        b.iter(|| figures::fig11::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig12_exec_time", |b| {
+        b.iter(|| figures::fig12::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig13_same_hw", |b| {
+        b.iter(|| figures::fig13::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig14_energy", |b| {
+        b.iter(|| figures::fig14::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig15_dissim_sweep", |b| {
+        b.iter(|| figures::fig15::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig16_adddel", |b| {
+        b.iter(|| figures::fig16::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig17_scaling", |b| {
+        b.iter(|| figures::fig17::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig18_util", |b| {
+        b.iter(|| figures::fig18::run(black_box(&ctx)).expect("ok"))
+    });
+    g.bench_function("fig19_area", |b| b.iter(|| figures::fig19::run().expect("ok")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

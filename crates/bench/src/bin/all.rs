@@ -1,0 +1,19 @@
+//! Runs the complete evaluation (every table and figure) and writes the
+//! JSON results under `results/` plus a combined text report.
+fn main() {
+    let ctx = idgnn_bench::cli::env_context().expect("context construction failed");
+    std::env::set_var("IDGNN_JSON_DIR", "results");
+    let mut combined = String::new();
+    for name in idgnn_bench::cli::EXPERIMENTS {
+        eprintln!("running {name}…");
+        let (text, json) =
+            idgnn_bench::cli::run_experiment(name, &ctx).expect("experiment failed");
+        println!("{text}");
+        combined.push_str(&text);
+        combined.push('\n');
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(format!("results/{name}.json"), json).expect("write results");
+    }
+    std::fs::write("results/report.txt", combined).expect("write combined report");
+    eprintln!("wrote results/*.json and results/report.txt");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 experiment. See DESIGN.md §4.
+fn main() {
+    idgnn_bench::cli::figure_main("fig11");
+}

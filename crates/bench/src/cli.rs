@@ -1,0 +1,98 @@
+//! Dispatch helper shared by the per-figure binaries.
+//!
+//! Every binary accepts the same environment knobs:
+//!
+//! * `IDGNN_SCALE=quick|standard` — workload scale (default `standard`);
+//! * `IDGNN_SEED=<u64>` — generation seed (default 42).
+
+use crate::context::{Context, ExperimentScale, Result};
+use crate::figures;
+
+/// Reads the scale/seed knobs from the environment.
+pub fn env_context() -> Result<Context> {
+    let scale = match std::env::var("IDGNN_SCALE").as_deref() {
+        Ok("quick") | Ok("QUICK") => ExperimentScale::Quick,
+        _ => ExperimentScale::Standard,
+    };
+    let seed = std::env::var("IDGNN_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    Context::new(scale, seed)
+}
+
+/// Runs one named experiment and returns `(text report, JSON)`.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name (programming error in a binary).
+pub fn run_experiment(name: &str, ctx: &Context) -> Result<(String, String)> {
+    macro_rules! go {
+        ($result:expr) => {{
+            let r = $result?;
+            let json = serde_json::to_string_pretty(&r).expect("results serialize");
+            Ok((r.to_string(), json))
+        }};
+    }
+    match name {
+        "table1" => go!(figures::table1::run(ctx)),
+        "fig03" => go!(figures::fig03::run(ctx)),
+        "fig10" => go!(figures::fig10::run(ctx)),
+        "fig11" => go!(figures::fig11::run(ctx)),
+        "fig12" => go!(figures::fig12::run(ctx)),
+        "fig13" => go!(figures::fig13::run(ctx)),
+        "fig14" => go!(figures::fig14::run(ctx)),
+        "fig15" => go!(figures::fig15::run(ctx)),
+        "fig16" => go!(figures::fig16::run(ctx)),
+        "fig17" => go!(figures::fig17::run(ctx)),
+        "fig18" => go!(figures::fig18::run(ctx)),
+        "fig19" => go!(figures::fig19::run()),
+        "ablations" => go!(figures::ablations::run(ctx)),
+        other => panic!("unknown experiment {other}"),
+    }
+}
+
+/// Names of all experiments, in paper order.
+pub const EXPERIMENTS: [&str; 13] = [
+    "table1", "fig03", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "fig18", "fig19", "ablations",
+];
+
+/// Entry point used by the single-figure binaries: builds the context from
+/// the environment, runs the experiment, prints the text report, and — when
+/// `IDGNN_JSON_DIR` is set — writes the JSON next to it.
+pub fn figure_main(name: &str) {
+    let ctx = env_context().unwrap_or_else(|e| panic!("context construction failed: {e}"));
+    let (text, json) =
+        run_experiment(name, &ctx).unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    println!("{text}");
+    if let Ok(dir) = std::env::var("IDGNN_JSON_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_list_is_complete() {
+        assert_eq!(EXPERIMENTS.len(), 13);
+        let ctx = Context::new(ExperimentScale::Quick, 1).unwrap();
+        // fig19 is config-only and cheap; make sure dispatch works.
+        let (text, json) = run_experiment("fig19", &ctx).unwrap();
+        assert!(text.contains("chip area"));
+        assert!(json.contains("chip_fractions"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let ctx = Context::new(ExperimentScale::Quick, 1).unwrap();
+        let _ = run_experiment("fig99", &ctx);
+    }
+}

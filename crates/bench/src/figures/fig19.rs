@@ -1,0 +1,98 @@
+//! Fig. 19: area breakdown of the I-DGNN chip and of one PE (TSMC 45 nm).
+//! Paper values — chip: 36.06 % PE array, 58.89 % global buffer, 4.6 %
+//! interconnect, 0.45 % control; PE: 42.53 % MACs, 25.51 % GSB, 31.89 % LB,
+//! 0.07 % muxes.
+
+use idgnn_hw::{AcceleratorConfig, AreaModel};
+use serde::Serialize;
+
+use crate::context::Result;
+use crate::report::table;
+
+/// The Fig. 19 reproduction (computed at the paper's full configuration).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig19 {
+    /// Chip fractions: PE array, global buffer, interconnect, control.
+    pub chip_fractions: [f64; 4],
+    /// PE fractions: MACs, GSB, LB, muxes.
+    pub pe_fractions: [f64; 4],
+    /// Total chip area of the model, mm².
+    pub chip_mm2: f64,
+}
+
+/// Paper reference values for the chip breakdown.
+pub const PAPER_CHIP: [f64; 4] = [0.3606, 0.5889, 0.046, 0.0045];
+/// Paper reference values for the PE breakdown.
+pub const PAPER_PE: [f64; 4] = [0.4253, 0.2551, 0.3189, 0.0007];
+
+/// Runs the area analysis on the paper's full-size configuration.
+///
+/// # Errors
+///
+/// Infallible in practice; kept for harness uniformity.
+pub fn run() -> Result<Fig19> {
+    let config = AcceleratorConfig::paper_default();
+    let model = AreaModel::tsmc45();
+    let chip = model.chip_breakdown(&config);
+    let pe = model.pe_breakdown(&config);
+    Ok(Fig19 {
+        chip_fractions: chip.fractions(),
+        pe_fractions: pe.fractions(),
+        chip_mm2: chip.total_mm2(),
+    })
+}
+
+impl std::fmt::Display for Fig19 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let chip_rows: Vec<Vec<String>> = ["PE array", "global buffer", "interconnect", "control"]
+            .iter()
+            .zip(self.chip_fractions.iter().zip(&PAPER_CHIP))
+            .map(|(name, (ours, paper))| {
+                vec![
+                    name.to_string(),
+                    format!("{:.2}%", ours * 100.0),
+                    format!("{:.2}%", paper * 100.0),
+                ]
+            })
+            .collect();
+        let pe_rows: Vec<Vec<String>> = ["MAC array", "GSB", "LB", "muxes"]
+            .iter()
+            .zip(self.pe_fractions.iter().zip(&PAPER_PE))
+            .map(|(name, (ours, paper))| {
+                vec![
+                    name.to_string(),
+                    format!("{:.2}%", ours * 100.0),
+                    format!("{:.2}%", paper * 100.0),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            table("Fig. 19a — chip area breakdown", &["component", "model", "paper"], &chip_rows)
+        )?;
+        write!(
+            f,
+            "{}",
+            table("Fig. 19b — PE area breakdown", &["component", "model", "paper"], &pe_rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_matches_paper_within_tolerance() {
+        let fig = run().unwrap();
+        for (ours, paper) in fig.chip_fractions.iter().zip(&PAPER_CHIP) {
+            assert!((ours - paper).abs() < 5e-3, "{ours} vs {paper}");
+        }
+        for (ours, paper) in fig.pe_fractions.iter().zip(&PAPER_PE) {
+            assert!((ours - paper).abs() < 5e-3, "{ours} vs {paper}");
+        }
+        assert!(fig.chip_mm2 > 0.0);
+        assert!(fig.to_string().contains("global buffer"));
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure, each exposing `run(...)` returning a
+//! serializable, displayable result struct. The per-experiment index lives
+//! in DESIGN.md §4.
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod table1;

@@ -1,0 +1,109 @@
+//! Table I: the dataset registry and its scaled synthetic stand-ins.
+
+use serde::Serialize;
+
+use crate::context::{Context, Result};
+use crate::report::{human, table};
+
+/// One row of Table I plus the generated scaled equivalent.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub name: String,
+    /// Short code.
+    pub short: String,
+    /// Full-size vertices (paper).
+    pub vertices: usize,
+    /// Full-size edges (paper).
+    pub edges: usize,
+    /// Full-size features (paper).
+    pub features: usize,
+    /// Scaled vertices actually generated.
+    pub scaled_vertices: usize,
+    /// Scaled edges actually generated.
+    pub scaled_edges: usize,
+    /// Scaled feature width.
+    pub scaled_features: usize,
+    /// Mean dissimilarity of the generated stream.
+    pub mean_dissimilarity: f64,
+}
+
+/// The Table-1 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Per-dataset rows, Table-I order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds the table from the context.
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn run(ctx: &Context) -> Result<Table1> {
+    let mut rows = Vec::new();
+    for w in &ctx.workloads {
+        rows.push(Table1Row {
+            name: w.spec.name.to_string(),
+            short: w.spec.short.to_string(),
+            vertices: w.spec.vertices,
+            edges: w.spec.edges,
+            features: w.spec.features,
+            scaled_vertices: w.graph.initial().num_vertices(),
+            scaled_edges: w.graph.initial().num_edges(),
+            scaled_features: w.graph.initial().feature_dim(),
+            mean_dissimilarity: w.graph.mean_dissimilarity()?,
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} ({})", r.name, r.short),
+                    human(r.vertices as u64),
+                    human(r.edges as u64),
+                    r.features.to_string(),
+                    human(r.scaled_vertices as u64),
+                    human(r.scaled_edges as u64),
+                    r.scaled_features.to_string(),
+                    format!("{:.1}%", r.mean_dissimilarity * 100.0),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(
+                "Table I — datasets (paper full-size vs generated scaled)",
+                &["dataset", "V", "E", "K", "V'", "E'", "K'", "δ'"],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentScale;
+
+    #[test]
+    fn table1_matches_paper_counts() {
+        let ctx = Context::new(ExperimentScale::Quick, 3).unwrap();
+        let t = run(&ctx).unwrap();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0].vertices, 1_917); // PubMed
+        assert_eq!(t.rows[5].edges, 33_140_017); // Flickr
+        for r in &t.rows {
+            assert!(r.scaled_edges <= ExperimentScale::Quick.max_edges());
+            assert!(r.mean_dissimilarity > 0.0);
+        }
+        assert!(t.to_string().contains("PubMed"));
+    }
+}

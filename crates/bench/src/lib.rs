@@ -1,0 +1,65 @@
+//! # idgnn-bench
+//!
+//! The experiment harness regenerating every table and figure of the I-DGNN
+//! paper (HPCA 2025). Each experiment is a module under [`figures`] with a
+//! `run` function returning a serializable result; binaries under `src/bin/`
+//! print one figure each, and `src/bin/all.rs` runs the whole evaluation and
+//! writes `results/*.json` + a combined report.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), idgnn_core::CoreError> {
+//! use idgnn_bench::context::{Context, ExperimentScale};
+//!
+//! let ctx = Context::new(ExperimentScale::Quick, 42)?;
+//! let fig12 = idgnn_bench::figures::fig12::run(&ctx)?;
+//! println!("{fig12}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod context;
+pub mod figures;
+pub mod report;
+
+use context::{Context, Result};
+
+/// Runs every experiment and returns the combined textual report.
+///
+/// # Errors
+///
+/// Propagates the first experiment failure.
+pub fn run_all(ctx: &Context) -> Result<String> {
+    let mut out = String::new();
+    out.push_str(&figures::table1::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig03::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig10::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig11::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig12::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig13::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig14::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig15::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig16::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig17::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig18::run(ctx)?.to_string());
+    out.push('\n');
+    out.push_str(&figures::fig19::run()?.to_string());
+    out.push('\n');
+    out.push_str(&figures::ablations::run(ctx)?.to_string());
+    Ok(out)
+}

@@ -1,0 +1,96 @@
+//! Error types for the I-DGNN accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by accelerator construction or simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Consecutive snapshots had different vertex counts or feature widths.
+    SnapshotMismatch {
+        /// `(vertices, feature_dim)` of the previous snapshot.
+        prev: (usize, usize),
+        /// `(vertices, feature_dim)` of the next snapshot.
+        next: (usize, usize),
+    },
+    /// An underlying sparse kernel failed.
+    Sparse(idgnn_sparse::SparseError),
+    /// An underlying graph operation failed.
+    Graph(idgnn_graph::GraphError),
+    /// An underlying model execution failed.
+    Model(idgnn_model::ModelError),
+    /// An underlying hardware model failed.
+    Hw(idgnn_hw::HwError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SnapshotMismatch { prev, next } => write!(
+                f,
+                "snapshot shape changed: previous (V={}, K={}), next (V={}, K={})",
+                prev.0, prev.1, next.0, next.1
+            ),
+            CoreError::Sparse(e) => write!(f, "sparse kernel failure: {e}"),
+            CoreError::Graph(e) => write!(f, "graph failure: {e}"),
+            CoreError::Model(e) => write!(f, "model failure: {e}"),
+            CoreError::Hw(e) => write!(f, "hardware failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sparse(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Hw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<idgnn_sparse::SparseError> for CoreError {
+    fn from(e: idgnn_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<idgnn_graph::GraphError> for CoreError {
+    fn from(e: idgnn_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<idgnn_model::ModelError> for CoreError {
+    fn from(e: idgnn_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<idgnn_hw::HwError> for CoreError {
+    fn from(e: idgnn_hw::HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::SnapshotMismatch { prev: (3, 2), next: (4, 2) };
+        assert!(e.to_string().contains("V=3"));
+        assert!(e.source().is_none());
+        let e: CoreError = idgnn_hw::HwError::InvalidConfig { reason: "x" }.into();
+        assert!(e.source().is_some());
+        let e: CoreError = idgnn_model::ModelError::EmptyModel.into();
+        assert!(e.to_string().contains("model failure"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's dataset registry (Table I) and calibrated synthetic stand-ins.
+//!
+//! | Dataset | Vertices | Edges | Features | Kind |
+//! |---|---|---|---|---|
+//! | PubMed (PM) | 1,917 | 88,648 | 500 | Citation |
+//! | Reddit (RD) | 55,863 | 858,490 | 602 | Social |
+//! | Mobile (MB) | 340,751 | 2,200,203 | 362 | Citation |
+//! | Twitter (TW) | 8,861 | 119,872 | 768 | Sharing |
+//! | Wikipedia (WD) | 9,227 | 157,474 | 172 | Citation |
+//! | Flickr (FK) | 2,302,925 | 33,140,017 | 800 | Social |
+//!
+//! Full-size graphs feed the *analytical* cost model (pure arithmetic on
+//! counts); [`DatasetSpec::generate_scaled`] produces a proportionally
+//! shrunken graph for the functional/cycle-level simulation path.
+
+use crate::dynamic::DynamicGraph;
+use crate::error::Result;
+use crate::generate::{generate_dynamic_graph, GraphConfig, StreamConfig, Topology};
+
+/// Category of dynamic graph, as listed in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GraphKind {
+    /// Citation graph.
+    Citation,
+    /// Social graph.
+    Social,
+    /// Sharing graph.
+    Sharing,
+}
+
+/// A dataset row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Full dataset name.
+    pub name: &'static str,
+    /// Two-letter short code used in the figures (PM, RD, MB, TW, WD, FK).
+    pub short: &'static str,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Input feature dimensionality.
+    pub features: usize,
+    /// Graph category.
+    pub kind: GraphKind,
+}
+
+/// PubMed citation graph (PM).
+pub const PUBMED: DatasetSpec = DatasetSpec {
+    name: "PubMed",
+    short: "PM",
+    vertices: 1_917,
+    edges: 88_648,
+    features: 500,
+    kind: GraphKind::Citation,
+};
+
+/// Reddit social graph (RD).
+pub const REDDIT: DatasetSpec = DatasetSpec {
+    name: "Reddit",
+    short: "RD",
+    vertices: 55_863,
+    edges: 858_490,
+    features: 602,
+    kind: GraphKind::Social,
+};
+
+/// Mobile citation graph (MB).
+pub const MOBILE: DatasetSpec = DatasetSpec {
+    name: "Mobile",
+    short: "MB",
+    vertices: 340_751,
+    edges: 2_200_203,
+    features: 362,
+    kind: GraphKind::Citation,
+};
+
+/// Twitter sharing graph (TW).
+pub const TWITTER: DatasetSpec = DatasetSpec {
+    name: "Twitter",
+    short: "TW",
+    vertices: 8_861,
+    edges: 119_872,
+    features: 768,
+    kind: GraphKind::Sharing,
+};
+
+/// Wikipedia citation graph (WD) — the dataset used for the paper's
+/// sensitivity and utilization studies (Figs. 15, 16, 18).
+pub const WIKIPEDIA: DatasetSpec = DatasetSpec {
+    name: "Wikipedia",
+    short: "WD",
+    vertices: 9_227,
+    edges: 157_474,
+    features: 172,
+    kind: GraphKind::Citation,
+};
+
+/// Flickr social graph (FK).
+pub const FLICKR: DatasetSpec = DatasetSpec {
+    name: "Flickr",
+    short: "FK",
+    vertices: 2_302_925,
+    edges: 33_140_017,
+    features: 800,
+    kind: GraphKind::Social,
+};
+
+/// All six datasets in the paper's Table I order.
+pub const ALL_DATASETS: [DatasetSpec; 6] = [PUBMED, REDDIT, MOBILE, TWITTER, WIKIPEDIA, FLICKR];
+
+impl DatasetSpec {
+    /// Looks a dataset up by its short code (case-insensitive).
+    pub fn by_short(short: &str) -> Option<DatasetSpec> {
+        ALL_DATASETS.iter().copied().find(|d| d.short.eq_ignore_ascii_case(short))
+    }
+
+    /// Mean degree `2E / V`.
+    pub fn mean_degree(&self) -> f64 {
+        2.0 * self.edges as f64 / self.vertices as f64
+    }
+
+    /// Adjacency density `2E / V²` (symmetric storage).
+    pub fn density(&self) -> f64 {
+        2.0 * self.edges as f64 / (self.vertices as f64 * self.vertices as f64)
+    }
+
+    /// A [`GraphConfig`] for the full-size dataset.
+    pub fn graph_config(&self) -> GraphConfig {
+        GraphConfig {
+            vertices: self.vertices,
+            edges: self.edges,
+            feature_dim: self.features,
+            topology: Topology::PowerLaw,
+        }
+    }
+
+    /// A proportionally scaled [`GraphConfig`] whose edge count does not
+    /// exceed `max_edges`. Density and mean degree are preserved as closely
+    /// as integral arithmetic allows; the feature width shrinks with
+    /// `ratio^0.75` (floor-clamped to 8) so feature-related work scales down
+    /// with the graph while keeping the paper's `K > C` regime.
+    pub fn scaled_config(&self, max_edges: usize) -> GraphConfig {
+        if self.edges <= max_edges {
+            return self.graph_config();
+        }
+        let ratio = max_edges as f64 / self.edges as f64;
+        let vertices = ((self.vertices as f64 * ratio).round() as usize).max(8);
+        let feature_dim = ((self.features as f64 * ratio.powf(0.75)).round() as usize).max(8);
+        GraphConfig { vertices, edges: max_edges, feature_dim, topology: Topology::PowerLaw }
+    }
+
+    /// Generates a scaled synthetic dynamic graph for this dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (practically unreachable; kept for API
+    /// honesty).
+    pub fn generate_scaled(
+        &self,
+        max_edges: usize,
+        stream: &StreamConfig,
+        seed: u64,
+    ) -> Result<DynamicGraph> {
+        generate_dynamic_graph(&self.scaled_config(max_edges), stream, seed)
+    }
+}
+
+impl std::fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}) V={} E={} K={}",
+            self.name, self.short, self.vertices, self.edges, self.features
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_counts_match_paper() {
+        assert_eq!(PUBMED.vertices, 1_917);
+        assert_eq!(PUBMED.edges, 88_648);
+        assert_eq!(PUBMED.features, 500);
+        assert_eq!(REDDIT.vertices, 55_863);
+        assert_eq!(MOBILE.edges, 2_200_203);
+        assert_eq!(TWITTER.features, 768);
+        assert_eq!(WIKIPEDIA.edges, 157_474);
+        assert_eq!(FLICKR.vertices, 2_302_925);
+        assert_eq!(ALL_DATASETS.len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_short_code() {
+        assert_eq!(DatasetSpec::by_short("wd"), Some(WIKIPEDIA));
+        assert_eq!(DatasetSpec::by_short("PM"), Some(PUBMED));
+        assert_eq!(DatasetSpec::by_short("zz"), None);
+    }
+
+    #[test]
+    fn pubmed_has_smallest_vertex_to_edge_ratio() {
+        // §VI-D attributes the largest speedup on PubMed to its small
+        // vertex-to-edge ratio; check the registry reflects that.
+        let pm_ratio = PUBMED.vertices as f64 / PUBMED.edges as f64;
+        for d in ALL_DATASETS.iter().filter(|d| d.short != "PM") {
+            assert!(pm_ratio < d.vertices as f64 / d.edges as f64, "{}", d.short);
+        }
+    }
+
+    #[test]
+    fn scaled_config_preserves_mean_degree_roughly() {
+        let full = WIKIPEDIA.graph_config();
+        let scaled = WIKIPEDIA.scaled_config(10_000);
+        let full_deg = 2.0 * full.edges as f64 / full.vertices as f64;
+        let scaled_deg = 2.0 * scaled.edges as f64 / scaled.vertices as f64;
+        assert!((full_deg - scaled_deg).abs() / full_deg < 0.05);
+        assert!(scaled.feature_dim < WIKIPEDIA.features);
+    }
+
+    #[test]
+    fn scaled_config_is_identity_when_small_enough() {
+        let cfg = PUBMED.scaled_config(10_000_000);
+        assert_eq!(cfg.edges, PUBMED.edges);
+        assert_eq!(cfg.vertices, PUBMED.vertices);
+    }
+
+    #[test]
+    fn generate_scaled_produces_stream() {
+        let dg = WIKIPEDIA
+            .generate_scaled(2_000, &StreamConfig::default(), 3)
+            .unwrap();
+        assert_eq!(dg.num_snapshots(), 5);
+        assert_eq!(dg.initial().num_edges(), 2_000);
+    }
+
+    #[test]
+    fn display_includes_short_code() {
+        assert!(WIKIPEDIA.to_string().contains("(WD)"));
+    }
+
+    #[test]
+    fn density_and_degree_helpers() {
+        let d = PUBMED;
+        assert!((d.mean_degree() - 2.0 * 88_648.0 / 1_917.0).abs() < 1e-9);
+        assert!(d.density() > 0.0 && d.density() < 1.0);
+    }
+}

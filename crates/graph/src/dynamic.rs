@@ -1,0 +1,197 @@
+//! Discrete-time dynamic graphs: `DG = {G^1, G^2, …, G^T}` (paper Eq. 1).
+
+use crate::delta::GraphDelta;
+use crate::error::Result;
+use crate::snapshot::GraphSnapshot;
+
+/// A discrete-time dynamic graph stored as an initial snapshot plus a list of
+/// deltas — the exact input representation the paper's accelerator consumes
+/// (the DIU derives `ΔA`/`ΔX_0` between snapshots; here they are first-class).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use idgnn_graph::{adjacency_from_edges, DynamicGraph, GraphDelta, GraphSnapshot};
+/// use idgnn_sparse::DenseMatrix;
+///
+/// let g0 = GraphSnapshot::new(
+///     adjacency_from_edges(3, &[(0, 1)])?,
+///     DenseMatrix::zeros(3, 2),
+/// )?;
+/// let dg = DynamicGraph::new(g0)
+///     .with_delta(GraphDelta::builder().add_edge(1, 2).build());
+/// assert_eq!(dg.num_snapshots(), 2);
+/// let snaps = dg.materialize()?;
+/// assert_eq!(snaps[1].num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicGraph {
+    initial: GraphSnapshot,
+    deltas: Vec<GraphDelta>,
+}
+
+impl DynamicGraph {
+    /// Creates a dynamic graph with a single snapshot and no evolution yet.
+    pub fn new(initial: GraphSnapshot) -> Self {
+        Self { initial, deltas: Vec::new() }
+    }
+
+    /// Appends one more snapshot described by `delta` (builder style).
+    #[must_use]
+    pub fn with_delta(mut self, delta: GraphDelta) -> Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Appends one more snapshot described by `delta`.
+    pub fn push_delta(&mut self, delta: GraphDelta) {
+        self.deltas.push(delta);
+    }
+
+    /// The initial snapshot `G^1`.
+    pub fn initial(&self) -> &GraphSnapshot {
+        &self.initial
+    }
+
+    /// The deltas between consecutive snapshots, in order.
+    pub fn deltas(&self) -> &[GraphDelta] {
+        &self.deltas
+    }
+
+    /// Total number of snapshots `T` (initial + one per delta).
+    pub fn num_snapshots(&self) -> usize {
+        1 + self.deltas.len()
+    }
+
+    /// Materializes every snapshot by successively applying the deltas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any delta-application error (conflicting edge, bad vertex).
+    pub fn materialize(&self) -> Result<Vec<GraphSnapshot>> {
+        let mut out = Vec::with_capacity(self.num_snapshots());
+        out.push(self.initial.clone());
+        for d in &self.deltas {
+            let next = d.apply(out.last().expect("out starts non-empty"))?;
+            out.push(next);
+        }
+        Ok(out)
+    }
+
+    /// Iterator over `(snapshot_t, delta_{t→t+1})` pairs, materializing each
+    /// snapshot on the fly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first delta-application error encountered, with the index
+    /// of the failing transition.
+    pub fn transitions(&self) -> Result<Vec<(GraphSnapshot, GraphDelta)>> {
+        let snaps = self.materialize()?;
+        Ok(snaps
+            .into_iter()
+            .zip(self.deltas.iter().cloned())
+            .collect())
+    }
+
+    /// Mean dissimilarity ratio across transitions (`0.0` if no deltas).
+    pub fn mean_dissimilarity(&self) -> Result<f64> {
+        if self.deltas.is_empty() {
+            return Ok(0.0);
+        }
+        let mut sum = 0.0;
+        let mut cur = self.initial.clone();
+        for d in &self.deltas {
+            sum += d.dissimilarity_ratio(&cur);
+            cur = d.apply(&cur)?;
+        }
+        Ok(sum / self.deltas.len() as f64)
+    }
+}
+
+impl std::fmt::Display for DynamicGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DynamicGraph(T={}, V={}, E₀={}, K={})",
+            self.num_snapshots(),
+            self.initial.num_vertices(),
+            self.initial.num_edges(),
+            self.initial.feature_dim()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::adjacency_from_edges;
+    use idgnn_sparse::DenseMatrix;
+
+    fn dg() -> DynamicGraph {
+        let g0 = GraphSnapshot::new(
+            adjacency_from_edges(4, &[(0, 1), (1, 2)]).unwrap(),
+            DenseMatrix::zeros(4, 2),
+        )
+        .unwrap();
+        DynamicGraph::new(g0)
+            .with_delta(GraphDelta::builder().add_edge(2, 3).build())
+            .with_delta(GraphDelta::builder().remove_edge(0, 1).build())
+    }
+
+    #[test]
+    fn snapshot_count() {
+        assert_eq!(dg().num_snapshots(), 3);
+    }
+
+    #[test]
+    fn materialize_chains_deltas() {
+        let snaps = dg().materialize().unwrap();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].num_edges(), 2);
+        assert_eq!(snaps[1].num_edges(), 3);
+        assert_eq!(snaps[2].num_edges(), 2);
+        assert_eq!(snaps[2].adjacency().get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transitions_pair_snapshot_with_delta() {
+        let ts = dg().transitions().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0.num_edges(), 2);
+        assert_eq!(ts[0].1.added_edges(), &[(2, 3)]);
+        assert_eq!(ts[1].0.num_edges(), 3);
+    }
+
+    #[test]
+    fn conflicting_delta_errors() {
+        let g = dg().with_delta(GraphDelta::builder().remove_edge(0, 1).build());
+        // Edge (0,1) was already removed by the second delta.
+        assert!(g.materialize().is_err());
+    }
+
+    #[test]
+    fn mean_dissimilarity() {
+        // Transition 1: 1 change / 2 edges; transition 2: 1 change / 3 edges.
+        let m = dg().mean_dissimilarity().unwrap();
+        assert!((m - (0.5 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+        let single = DynamicGraph::new(dg().initial().clone());
+        assert_eq!(single.mean_dissimilarity().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_counts() {
+        assert_eq!(dg().to_string(), "DynamicGraph(T=3, V=4, E₀=2, K=2)");
+    }
+
+    #[test]
+    fn push_delta_matches_with_delta() {
+        let mut a = DynamicGraph::new(dg().initial().clone());
+        a.push_delta(GraphDelta::builder().add_edge(2, 3).build());
+        let b = DynamicGraph::new(dg().initial().clone())
+            .with_delta(GraphDelta::builder().add_edge(2, 3).build());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for dynamic-graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+use idgnn_sparse::SparseError;
+
+/// Error raised by snapshot/delta construction and application.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The adjacency matrix is not square-symmetric.
+    AsymmetricAdjacency {
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// Feature row count differs from the vertex count.
+    FeatureShapeMismatch {
+        /// Number of vertices in the adjacency matrix.
+        vertices: usize,
+        /// Number of feature rows provided.
+        feature_rows: usize,
+    },
+    /// A delta referenced a vertex outside the snapshot.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the snapshot.
+        vertices: usize,
+    },
+    /// A delta tried to add an edge that already exists, or remove one that
+    /// does not.
+    EdgeConflict {
+        /// The edge endpoints.
+        edge: (usize, usize),
+        /// Human-readable description of the conflict.
+        reason: &'static str,
+    },
+    /// A feature update row had the wrong width.
+    FeatureWidthMismatch {
+        /// Expected feature dimensionality.
+        expected: usize,
+        /// Provided row length.
+        got: usize,
+    },
+    /// An underlying sparse-matrix operation failed.
+    Sparse(SparseError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::AsymmetricAdjacency { shape } => {
+                write!(f, "adjacency matrix {}x{} is not square-symmetric", shape.0, shape.1)
+            }
+            GraphError::FeatureShapeMismatch { vertices, feature_rows } => write!(
+                f,
+                "feature matrix has {feature_rows} rows but the graph has {vertices} vertices"
+            ),
+            GraphError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range for a {vertices}-vertex snapshot")
+            }
+            GraphError::EdgeConflict { edge, reason } => {
+                write!(f, "edge ({}, {}) conflict: {reason}", edge.0, edge.1)
+            }
+            GraphError::FeatureWidthMismatch { expected, got } => {
+                write!(f, "feature row has width {got}, expected {expected}")
+            }
+            GraphError::Sparse(e) => write!(f, "sparse operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for GraphError {
+    fn from(e: SparseError) -> Self {
+        GraphError::Sparse(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::AsymmetricAdjacency { shape: (2, 3) }.to_string().contains("2x3"));
+        assert!(GraphError::FeatureShapeMismatch { vertices: 5, feature_rows: 4 }
+            .to_string()
+            .contains("4 rows"));
+        assert!(GraphError::VertexOutOfRange { vertex: 9, vertices: 3 }
+            .to_string()
+            .contains("vertex 9"));
+        assert!(GraphError::EdgeConflict { edge: (1, 2), reason: "duplicate add" }
+            .to_string()
+            .contains("duplicate add"));
+    }
+
+    #[test]
+    fn sparse_error_chains() {
+        let inner = SparseError::NotSquare { shape: (1, 2) };
+        let e: GraphError = inner.clone().into();
+        assert_eq!(e.to_string(), format!("sparse operation failed: {inner}"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,238 @@
+//! A single snapshot of a discrete-time dynamic graph.
+
+use idgnn_sparse::{CsrMatrix, DenseMatrix, SparseError};
+
+use crate::error::{GraphError, Result};
+
+/// One snapshot `G^t` of a discrete-time dynamic graph: a symmetric adjacency
+/// matrix plus per-vertex input features `X_0^t`.
+///
+/// Invariants (enforced by [`GraphSnapshot::new`]):
+/// * the adjacency matrix is square and symmetric;
+/// * `features.rows() == adjacency.rows()` (one feature row per vertex).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use idgnn_graph::GraphSnapshot;
+/// use idgnn_sparse::{CooMatrix, DenseMatrix};
+///
+/// let mut coo = CooMatrix::new(3, 3);
+/// coo.push_symmetric(0, 1, 1.0)?;
+/// let snap = GraphSnapshot::new(coo.to_csr(), DenseMatrix::filled(3, 4, 0.5))?;
+/// assert_eq!(snap.num_vertices(), 3);
+/// assert_eq!(snap.num_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSnapshot {
+    adjacency: CsrMatrix,
+    features: DenseMatrix,
+}
+
+impl GraphSnapshot {
+    /// Creates a snapshot, validating the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::AsymmetricAdjacency`] if the adjacency matrix is not
+    ///   square-symmetric (tolerance `1e-6`);
+    /// * [`GraphError::FeatureShapeMismatch`] if the feature row count does
+    ///   not match the vertex count.
+    pub fn new(adjacency: CsrMatrix, features: DenseMatrix) -> Result<Self> {
+        if adjacency.rows() != adjacency.cols() || !adjacency.is_symmetric(1e-6) {
+            return Err(GraphError::AsymmetricAdjacency { shape: adjacency.shape() });
+        }
+        if features.rows() != adjacency.rows() {
+            return Err(GraphError::FeatureShapeMismatch {
+                vertices: adjacency.rows(),
+                feature_rows: features.rows(),
+            });
+        }
+        Ok(Self { adjacency, features })
+    }
+
+    /// Creates a snapshot without validating symmetry (O(1) extra cost).
+    ///
+    /// Intended for internal construction where symmetry holds by
+    /// construction (e.g. applying a symmetric delta to a symmetric graph).
+    ///
+    /// # Errors
+    ///
+    /// Still rejects a feature/vertex count mismatch.
+    pub fn new_unchecked_symmetry(adjacency: CsrMatrix, features: DenseMatrix) -> Result<Self> {
+        if features.rows() != adjacency.rows() {
+            return Err(GraphError::FeatureShapeMismatch {
+                vertices: adjacency.rows(),
+                feature_rows: features.rows(),
+            });
+        }
+        Ok(Self { adjacency, features })
+    }
+
+    /// The adjacency matrix `A^t`.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// The input feature matrix `X_0^t` (one row per vertex).
+    pub fn features(&self) -> &DenseMatrix {
+        &self.features
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of undirected edges (stored entry pairs / 2, counting
+    /// self-loops once).
+    pub fn num_edges(&self) -> usize {
+        let mut loops = 0usize;
+        for r in 0..self.adjacency.rows() {
+            if self.adjacency.get(r, r) != 0.0 {
+                loops += 1;
+            }
+        }
+        (self.adjacency.nnz() - loops) / 2 + loops
+    }
+
+    /// Feature dimensionality `K` (columns of `X_0`).
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Adjacency density (`nnz / V²`).
+    pub fn density(&self) -> f64 {
+        self.adjacency.density()
+    }
+
+    /// Decomposes the snapshot into its parts.
+    pub fn into_parts(self) -> (CsrMatrix, DenseMatrix) {
+        (self.adjacency, self.features)
+    }
+
+    /// Replaces the adjacency matrix, re-validating invariants.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphSnapshot::new`].
+    pub fn with_adjacency(self, adjacency: CsrMatrix) -> Result<Self> {
+        Self::new(adjacency, self.features)
+    }
+}
+
+impl std::fmt::Display for GraphSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GraphSnapshot(V={}, E={}, K={})",
+            self.num_vertices(),
+            self.num_edges(),
+            self.feature_dim()
+        )
+    }
+}
+
+impl TryFrom<(CsrMatrix, DenseMatrix)> for GraphSnapshot {
+    type Error = GraphError;
+    fn try_from((a, x): (CsrMatrix, DenseMatrix)) -> Result<Self> {
+        Self::new(a, x)
+    }
+}
+
+/// Convenience: builds the symmetric adjacency matrix of an edge list.
+///
+/// Edges are `(u, v)` pairs with implicit weight `1.0`; duplicates are merged
+/// (not summed — an edge is either present or absent).
+///
+/// # Errors
+///
+/// Returns [`SparseError::IndexOutOfBounds`] (wrapped) if an endpoint is
+/// `>= n`.
+pub fn adjacency_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<CsrMatrix> {
+    let mut coo = idgnn_sparse::CooMatrix::new(n, n);
+    let mut seen = std::collections::HashSet::with_capacity(edges.len());
+    for &(u, v) in edges {
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            coo.push_symmetric(u, v, 1.0).map_err(|e: SparseError| GraphError::Sparse(e))?;
+        }
+    }
+    Ok(coo.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idgnn_sparse::CooMatrix;
+
+    fn tri() -> CsrMatrix {
+        adjacency_from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn new_valid_snapshot() {
+        let s = GraphSnapshot::new(tri(), DenseMatrix::zeros(3, 5)).unwrap();
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.num_edges(), 3);
+        assert_eq!(s.feature_dim(), 5);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        let err = GraphSnapshot::new(coo.to_csr(), DenseMatrix::zeros(2, 1)).unwrap_err();
+        assert!(matches!(err, GraphError::AsymmetricAdjacency { .. }));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = CsrMatrix::zeros(2, 3);
+        assert!(GraphSnapshot::new(a, DenseMatrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn rejects_feature_mismatch() {
+        let err = GraphSnapshot::new(tri(), DenseMatrix::zeros(4, 2)).unwrap_err();
+        assert!(matches!(err, GraphError::FeatureShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn edge_count_with_self_loop() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push_symmetric(0, 1, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let s = GraphSnapshot::new(coo.to_csr(), DenseMatrix::zeros(2, 1)).unwrap();
+        assert_eq!(s.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_from_edges_dedups() {
+        let a = adjacency_from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn adjacency_from_edges_out_of_bounds() {
+        assert!(adjacency_from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = GraphSnapshot::new(tri(), DenseMatrix::zeros(3, 2)).unwrap();
+        assert_eq!(s.to_string(), "GraphSnapshot(V=3, E=3, K=2)");
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let s = GraphSnapshot::new(tri(), DenseMatrix::zeros(3, 2)).unwrap();
+        let (a, x) = s.clone().into_parts();
+        let s2 = GraphSnapshot::new(a, x).unwrap();
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Area model (TSMC 45 nm class), calibrated to the paper's Fig. 19.
+//!
+//! The paper synthesizes with Synopsys DC + TSMC 45 nm and reports *relative*
+//! area: chip = 36.06 % PE array, 58.89 % global buffer, 4.6 % torus
+//! interconnect, 0.45 % control; PE = 42.53 % MAC array, 25.51 % GSB,
+//! 31.89 % LB, 0.07 % muxes/control. We derive per-unit constants from those
+//! fractions at the paper's default configuration, so the breakdown scales
+//! sensibly when the configuration changes (Fig. 17 sweeps PE count).
+
+use crate::config::AcceleratorConfig;
+
+/// Per-unit area constants, mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// One MAC unit (multiplier + adder slice).
+    pub mac_mm2: f64,
+    /// GSB SRAM, per KiB.
+    pub gsb_mm2_per_kib: f64,
+    /// LB SRAM, per KiB.
+    pub lb_mm2_per_kib: f64,
+    /// PE mux/control overhead, per PE.
+    pub pe_mux_mm2: f64,
+    /// Global buffer SRAM, per KiB.
+    pub glb_mm2_per_kib: f64,
+    /// One NoC router.
+    pub router_mm2: f64,
+    /// Chip-level controller (fixed).
+    pub controller_mm2: f64,
+}
+
+/// Reference PE area used to anchor the constants, mm².
+const REFERENCE_PE_MM2: f64 = 0.05;
+
+impl AreaModel {
+    /// Constants calibrated so the paper's default configuration reproduces
+    /// Fig. 19's percentages exactly.
+    pub fn tsmc45() -> Self {
+        let pe = REFERENCE_PE_MM2;
+        // PE-internal fractions (Fig. 19b).
+        let mac_mm2 = pe * 0.4253 / 16.0;
+        let gsb_mm2_per_kib = pe * 0.2551 / 128.0;
+        let lb_mm2_per_kib = pe * 0.3189 / 100.0;
+        let pe_mux_mm2 = pe * 0.0007;
+        // Chip-level fractions (Fig. 19a) anchored on 1024 reference PEs.
+        let chip = 1024.0 * pe / 0.3606;
+        let glb_mm2_per_kib = chip * 0.5889 / (64.0 * 1024.0);
+        let router_mm2 = chip * 0.046 / 1024.0;
+        let controller_mm2 = chip * 0.0045;
+        Self {
+            mac_mm2,
+            gsb_mm2_per_kib,
+            lb_mm2_per_kib,
+            pe_mux_mm2,
+            glb_mm2_per_kib,
+            router_mm2,
+            controller_mm2,
+        }
+    }
+
+    /// Area of one PE under `config`.
+    pub fn pe_breakdown(&self, config: &AcceleratorConfig) -> PeArea {
+        PeArea {
+            macs_mm2: config.macs_per_pe as f64 * self.mac_mm2,
+            gsb_mm2: config.gsb_bytes as f64 / 1024.0 * self.gsb_mm2_per_kib,
+            lb_mm2: config.lb_bytes as f64 / 1024.0 * self.lb_mm2_per_kib,
+            mux_mm2: self.pe_mux_mm2,
+        }
+    }
+
+    /// Whole-chip area under `config`.
+    pub fn chip_breakdown(&self, config: &AcceleratorConfig) -> ChipArea {
+        let pe = self.pe_breakdown(config);
+        let pes = config.num_pes() as f64;
+        ChipArea {
+            pe_array_mm2: pes * pe.total_mm2(),
+            global_buffer_mm2: config.glb_bytes as f64 / 1024.0 * self.glb_mm2_per_kib,
+            interconnect_mm2: pes * self.router_mm2,
+            control_mm2: self.controller_mm2,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::tsmc45()
+    }
+}
+
+/// Chip-level area breakdown (Fig. 19a's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChipArea {
+    /// All PEs.
+    pub pe_array_mm2: f64,
+    /// Global buffer.
+    pub global_buffer_mm2: f64,
+    /// NoC routers/links.
+    pub interconnect_mm2: f64,
+    /// Chip controller & configuration logic.
+    pub control_mm2: f64,
+}
+
+impl ChipArea {
+    /// Total chip area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.pe_array_mm2 + self.global_buffer_mm2 + self.interconnect_mm2 + self.control_mm2
+    }
+
+    /// Fractions in the order (PE array, GLB, interconnect, control).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_mm2().max(f64::MIN_POSITIVE);
+        [
+            self.pe_array_mm2 / t,
+            self.global_buffer_mm2 / t,
+            self.interconnect_mm2 / t,
+            self.control_mm2 / t,
+        ]
+    }
+}
+
+/// PE-level area breakdown (Fig. 19b's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeArea {
+    /// MAC array.
+    pub macs_mm2: f64,
+    /// Sparse graph-structure buffer.
+    pub gsb_mm2: f64,
+    /// Dense local buffer.
+    pub lb_mm2: f64,
+    /// Muxes and local control.
+    pub mux_mm2: f64,
+}
+
+impl PeArea {
+    /// Total PE area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.macs_mm2 + self.gsb_mm2 + self.lb_mm2 + self.mux_mm2
+    }
+
+    /// Fractions in the order (MACs, GSB, LB, mux).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_mm2().max(f64::MIN_POSITIVE);
+        [self.macs_mm2 / t, self.gsb_mm2 / t, self.lb_mm2 / t, self.mux_mm2 / t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_fig19a() {
+        let a = AreaModel::tsmc45().chip_breakdown(&AcceleratorConfig::paper_default());
+        let [pe, glb, noc, ctrl] = a.fractions();
+        assert!((pe - 0.3606).abs() < 1e-3, "pe {pe}");
+        assert!((glb - 0.5889).abs() < 1e-3, "glb {glb}");
+        assert!((noc - 0.046).abs() < 1e-3, "noc {noc}");
+        assert!((ctrl - 0.0045).abs() < 1e-3, "ctrl {ctrl}");
+    }
+
+    #[test]
+    fn default_config_reproduces_fig19b() {
+        let p = AreaModel::tsmc45().pe_breakdown(&AcceleratorConfig::paper_default());
+        let [mac, gsb, lb, mux] = p.fractions();
+        assert!((mac - 0.4253).abs() < 1e-3, "mac {mac}");
+        assert!((gsb - 0.2551).abs() < 1e-3, "gsb {gsb}");
+        assert!((lb - 0.3189).abs() < 1e-3, "lb {lb}");
+        assert!((mux - 0.0007).abs() < 1e-3, "mux {mux}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let a = AreaModel::tsmc45().chip_breakdown(&AcceleratorConfig::paper_default());
+        assert!((a.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let p = AreaModel::tsmc45().pe_breakdown(&AcceleratorConfig::paper_default());
+        assert!((p.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe_area_scales_with_mac_count() {
+        let model = AreaModel::tsmc45();
+        let base = AcceleratorConfig::paper_default();
+        let mut wide = base;
+        wide.macs_per_pe = 32;
+        assert!(
+            model.pe_breakdown(&wide).macs_mm2 > 1.9 * model.pe_breakdown(&base).macs_mm2
+        );
+    }
+
+    #[test]
+    fn chip_area_grows_with_pe_count() {
+        let model = AreaModel::tsmc45();
+        let small = AcceleratorConfig::paper_default().with_pe_grid(8, 8);
+        let big = AcceleratorConfig::paper_default().with_pe_grid(64, 64);
+        assert!(
+            model.chip_breakdown(&big).total_mm2() > model.chip_breakdown(&small).total_mm2()
+        );
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let z = ChipArea::default();
+        assert_eq!(z.total_mm2(), 0.0);
+        assert!(z.fractions().iter().all(|f| f.is_finite()));
+    }
+}

@@ -1,0 +1,213 @@
+//! Accelerator configuration.
+//!
+//! The paper's I-DGNN instance (§VI-A "Accelerator Modeling"): 32×32 PEs on a
+//! torus, each PE with a 4×4 multiplier array feeding a 4×4 adder array, a
+//! 128 KB sparse Graph Structure Buffer and a 100 KB dense Local Buffer,
+//! 64 MB global buffer, 700 MHz.
+
+use crate::noc::Topology;
+
+/// Full accelerator configuration. Construct via [`AcceleratorConfig::paper_default`]
+/// or the builder methods; all fields are validated by [`AcceleratorConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// PE grid rows.
+    pub pe_rows: usize,
+    /// PE grid columns.
+    pub pe_cols: usize,
+    /// Multiply-accumulate units per PE (the 4×4 multiplier array).
+    pub macs_per_pe: usize,
+    /// Core clock, Hz.
+    pub frequency_hz: u64,
+    /// Global buffer capacity, bytes.
+    pub glb_bytes: u64,
+    /// Per-PE sparse Graph Structure Buffer capacity, bytes.
+    pub gsb_bytes: u64,
+    /// Per-PE dense Local Buffer capacity, bytes.
+    pub lb_bytes: u64,
+    /// On-chip interconnect topology.
+    pub topology: Topology,
+    /// Off-chip DRAM peak bandwidth, bytes per second.
+    pub dram_bandwidth_bps: u64,
+    /// DRAM channel count (parallel banks groups for the timing model).
+    pub dram_channels: usize,
+}
+
+impl AcceleratorConfig {
+    /// The paper's I-DGNN configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            pe_rows: 32,
+            pe_cols: 32,
+            macs_per_pe: 16,
+            frequency_hz: 700_000_000,
+            glb_bytes: 64 * 1024 * 1024,
+            gsb_bytes: 128 * 1024,
+            lb_bytes: 100 * 1024,
+            topology: Topology::Torus { rows: 32, cols: 32 },
+            // HBM-class budget shared by all accelerators in the comparison.
+            dram_bandwidth_bps: 256_000_000_000,
+            dram_channels: 8,
+        }
+    }
+
+    /// A proportionally shrunken configuration for scaled-dataset runs:
+    /// buffer capacities scale by `1/scale`, the PE array shrinks to the
+    /// nearest square grid with `(32·32)/scale` PEs (at least 1), bandwidth
+    /// scales by `1/scale`. Spill behaviour relative to the workload is
+    /// thereby preserved.
+    pub fn scaled_down(&self, scale: u64) -> Self {
+        let scale = scale.max(1);
+        let pes = ((self.pe_rows * self.pe_cols) as u64 / scale).max(1);
+        let side = (pes as f64).sqrt().floor().max(1.0) as usize;
+        Self {
+            pe_rows: side,
+            pe_cols: side,
+            macs_per_pe: self.macs_per_pe,
+            frequency_hz: self.frequency_hz,
+            glb_bytes: (self.glb_bytes / scale).max(1024),
+            gsb_bytes: (self.gsb_bytes / scale).max(256),
+            lb_bytes: (self.lb_bytes / scale).max(256),
+            topology: match self.topology {
+                Topology::Torus { .. } => Topology::Torus { rows: side, cols: side },
+                Topology::Mesh { .. } => Topology::Mesh { rows: side, cols: side },
+                Topology::Crossbar { .. } => Topology::Crossbar { ports: side * side },
+            },
+            dram_bandwidth_bps: (self.dram_bandwidth_bps / scale).max(1_000_000),
+            dram_channels: self.dram_channels,
+        }
+    }
+
+    /// Returns a copy with a different PE grid (used by the Fig. 17
+    /// scalability sweep), keeping the topology family.
+    pub fn with_pe_grid(&self, rows: usize, cols: usize) -> Self {
+        let mut out = *self;
+        out.pe_rows = rows;
+        out.pe_cols = cols;
+        out.topology = match self.topology {
+            Topology::Torus { .. } => Topology::Torus { rows, cols },
+            Topology::Mesh { .. } => Topology::Mesh { rows, cols },
+            Topology::Crossbar { .. } => Topology::Crossbar { ports: rows * cols },
+        };
+        out
+    }
+
+    /// Total PE count `M`.
+    pub fn num_pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Total MAC units across the chip.
+    pub fn total_macs(&self) -> u64 {
+        self.num_pes() as u64 * self.macs_per_pe as u64
+    }
+
+    /// Total on-chip storage: GLB plus every PE's GSB and LB.
+    pub fn total_onchip_bytes(&self) -> u64 {
+        self.glb_bytes + self.num_pes() as u64 * (self.gsb_bytes + self.lb_bytes)
+    }
+
+    /// DRAM bytes deliverable per core cycle at peak bandwidth.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_bps as f64 / self.frequency_hz as f64
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HwError::InvalidConfig`] for zero-sized grids,
+    /// zero MACs, zero frequency or zero bandwidth.
+    pub fn validate(&self) -> crate::Result<()> {
+        let reason = if self.pe_rows == 0 || self.pe_cols == 0 {
+            Some("PE grid must be non-empty")
+        } else if self.macs_per_pe == 0 {
+            Some("macs_per_pe must be positive")
+        } else if self.frequency_hz == 0 {
+            Some("frequency must be positive")
+        } else if self.dram_bandwidth_bps == 0 {
+            Some("DRAM bandwidth must be positive")
+        } else {
+            None
+        };
+        match reason {
+            Some(r) => Err(crate::HwError::InvalidConfig { reason: r }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let c = AcceleratorConfig::paper_default();
+        assert_eq!(c.num_pes(), 1024);
+        assert_eq!(c.macs_per_pe, 16);
+        assert_eq!(c.frequency_hz, 700_000_000);
+        assert_eq!(c.glb_bytes, 64 * 1024 * 1024);
+        assert_eq!(c.gsb_bytes, 128 * 1024);
+        assert_eq!(c.lb_bytes, 100 * 1024);
+        assert!(matches!(c.topology, Topology::Torus { rows: 32, cols: 32 }));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn totals() {
+        let c = AcceleratorConfig::paper_default();
+        assert_eq!(c.total_macs(), 1024 * 16);
+        assert_eq!(
+            c.total_onchip_bytes(),
+            64 * 1024 * 1024 + 1024 * (128 + 100) * 1024
+        );
+        assert!(c.dram_bytes_per_cycle() > 100.0);
+    }
+
+    #[test]
+    fn scaled_down_preserves_shape() {
+        let c = AcceleratorConfig::paper_default().scaled_down(64);
+        assert_eq!(c.num_pes(), 16);
+        assert_eq!(c.glb_bytes, 1024 * 1024);
+        assert!(matches!(c.topology, Topology::Torus { rows: 4, cols: 4 }));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_down_never_zero() {
+        let c = AcceleratorConfig::paper_default().scaled_down(u64::MAX);
+        assert!(c.num_pes() >= 1);
+        assert!(c.glb_bytes >= 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_pe_grid_swaps_topology_size() {
+        let c = AcceleratorConfig::paper_default().with_pe_grid(8, 8);
+        assert_eq!(c.num_pes(), 64);
+        assert!(matches!(c.topology, Topology::Torus { rows: 8, cols: 8 }));
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = AcceleratorConfig::paper_default();
+        c.pe_rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper_default();
+        c.macs_per_pe = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper_default();
+        c.frequency_hz = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::paper_default();
+        c.dram_bandwidth_bps = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Banked off-chip DRAM timing model (the DRAMSim2 stand-in).
+//!
+//! First-order behaviour preserved from a real controller:
+//!
+//! * a peak-bandwidth ceiling (bytes/cycle at core clock);
+//! * per-burst overhead that depends on the row-buffer hit rate — streaming
+//!   (sequential) access amortizes row activations, scattered (CSR gather)
+//!   access pays `tRC`-class penalties;
+//! * channel-level parallelism dilutes the penalty across channels.
+
+use crate::config::AcceleratorConfig;
+
+/// Access locality class of a DRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AccessPattern {
+    /// Long unit-stride bursts (dense feature matrices).
+    Streaming,
+    /// Row-granular gathers (CSR rows, delta scatters).
+    Scattered,
+}
+
+/// DRAM burst granularity, bytes.
+pub const BURST_BYTES: f64 = 64.0;
+
+/// DRAM row (page) size seen by the streaming-miss model, bytes.
+pub const ROW_BYTES: f64 = 2048.0;
+
+/// Extra cycles per row-buffer miss (tRP + tRCD at the 700 MHz core clock).
+pub const ROW_MISS_PENALTY_CYCLES: f64 = 21.0;
+
+/// Expected row-buffer misses for a transfer of `bytes` under `pattern`:
+/// streaming misses once per row crossing; scattered (CSR-gather) accesses
+/// miss on most bursts.
+fn row_misses(bytes: u64, pattern: AccessPattern) -> f64 {
+    match pattern {
+        AccessPattern::Streaming => (bytes as f64 / ROW_BYTES).ceil(),
+        AccessPattern::Scattered => 0.65 * (bytes as f64 / BURST_BYTES).ceil(),
+    }
+}
+
+/// The DRAM timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    bytes_per_cycle: f64,
+    channels: usize,
+}
+
+impl DramModel {
+    /// Builds the model from an accelerator configuration.
+    pub fn new(config: &AcceleratorConfig) -> Self {
+        Self { bytes_per_cycle: config.dram_bytes_per_cycle(), channels: config.dram_channels }
+    }
+
+    /// Builds the model from raw parameters (bytes per core cycle, channels).
+    /// Degenerate bandwidths are clamped to a small positive floor.
+    pub fn from_raw(bytes_per_cycle: f64, channels: usize) -> Self {
+        Self { bytes_per_cycle: bytes_per_cycle.max(1e-6), channels: channels.max(1) }
+    }
+
+    /// Peak deliverable bytes per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Cycles to move `bytes` with the given locality.
+    ///
+    /// Time = transfer time at peak bandwidth + row-activation overhead
+    /// amortized across channels.
+    pub fn access_cycles(&self, bytes: u64, pattern: AccessPattern) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let transfer = bytes as f64 / self.bytes_per_cycle;
+        let overhead = row_misses(bytes, pattern) * ROW_MISS_PENALTY_CYCLES / self.channels as f64;
+        transfer + overhead
+    }
+
+    /// Effective bandwidth (bytes/cycle) achieved for a transfer, after
+    /// row-miss overheads.
+    pub fn effective_bandwidth(&self, bytes: u64, pattern: AccessPattern) -> f64 {
+        if bytes == 0 {
+            return self.bytes_per_cycle;
+        }
+        bytes as f64 / self.access_cycles(bytes, pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(&AcceleratorConfig::paper_default())
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(model().access_cycles(0, AccessPattern::Streaming), 0.0);
+    }
+
+    #[test]
+    fn streaming_beats_scattered() {
+        let m = model();
+        let s = m.access_cycles(1 << 20, AccessPattern::Streaming);
+        let r = m.access_cycles(1 << 20, AccessPattern::Scattered);
+        assert!(s < r, "streaming {s} !< scattered {r}");
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let m = model();
+        let eff = m.effective_bandwidth(1 << 24, AccessPattern::Streaming);
+        assert!(eff < m.bytes_per_cycle());
+        assert!(eff > 0.5 * m.bytes_per_cycle());
+        let eff_r = m.effective_bandwidth(1 << 24, AccessPattern::Scattered);
+        assert!(eff_r < eff);
+    }
+
+    #[test]
+    fn more_channels_reduce_overhead() {
+        let narrow = DramModel::from_raw(365.0, 1);
+        let wide = DramModel::from_raw(365.0, 8);
+        let b = 1 << 22;
+        assert!(
+            wide.access_cycles(b, AccessPattern::Scattered)
+                < narrow.access_cycles(b, AccessPattern::Scattered)
+        );
+    }
+
+    #[test]
+    fn cycles_scale_with_volume() {
+        let m = model();
+        let c1 = m.access_cycles(1 << 20, AccessPattern::Streaming);
+        let c2 = m.access_cycles(1 << 22, AccessPattern::Streaming);
+        assert!(c2 > 3.5 * c1 && c2 < 4.5 * c1);
+    }
+
+    #[test]
+    fn from_raw_clamps_degenerate_inputs() {
+        let m = DramModel::from_raw(0.0, 0);
+        assert!(m.bytes_per_cycle() > 0.0);
+        assert!(m.access_cycles(1024, AccessPattern::Streaming).is_finite());
+    }
+}

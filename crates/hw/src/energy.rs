@@ -1,0 +1,189 @@
+//! Energy model, 45 nm class (Horowitz, ISSCC'14 tutorial numbers —
+//! the table the paper cites as [36]).
+//!
+//! The paper's Fig. 14 breaks total energy into **computation**, **on-chip
+//! communication**, **off-chip communication**, and **control &
+//! configuration** (< 3 % of the total). [`EnergyBreakdown`] mirrors that.
+
+use idgnn_sparse::OpStats;
+
+/// Per-event energy constants, picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// FP32 multiply.
+    pub mult_pj: f64,
+    /// FP32 add.
+    pub add_pj: f64,
+    /// PE-local buffer (GSB/LB) access, per byte.
+    pub pe_buffer_pj_per_byte: f64,
+    /// Global buffer access, per byte.
+    pub glb_pj_per_byte: f64,
+    /// NoC traversal, per byte-hop.
+    pub noc_pj_per_byte_hop: f64,
+    /// Off-chip DRAM access, per byte.
+    pub dram_pj_per_byte: f64,
+    /// Control & configuration overhead as a fraction of all other energy.
+    pub control_fraction: f64,
+}
+
+impl EnergyModel {
+    /// The 45 nm defaults: 3.7 pJ FP32 multiply, 0.9 pJ FP32 add,
+    /// ~5 pJ / 32-bit word small-SRAM access, ~25 pJ / word for the large
+    /// global buffer, and ~20 pJ/bit off-chip.
+    pub fn tsmc45() -> Self {
+        Self {
+            mult_pj: 3.7,
+            add_pj: 0.9,
+            pe_buffer_pj_per_byte: 1.25,
+            glb_pj_per_byte: 6.25,
+            noc_pj_per_byte_hop: 0.8,
+            dram_pj_per_byte: 160.0,
+            control_fraction: 0.02,
+        }
+    }
+
+    /// Compute energy of an operation mix, pJ.
+    pub fn compute_pj(&self, ops: OpStats) -> f64 {
+        ops.mults as f64 * self.mult_pj + ops.adds as f64 * self.add_pj
+    }
+
+    /// On-chip energy for buffer traffic plus NoC byte-hops, pJ.
+    pub fn onchip_pj(&self, pe_buffer_bytes: f64, glb_bytes: f64, noc_byte_hops: f64) -> f64 {
+        pe_buffer_bytes * self.pe_buffer_pj_per_byte
+            + glb_bytes * self.glb_pj_per_byte
+            + noc_byte_hops * self.noc_pj_per_byte_hop
+    }
+
+    /// Off-chip energy for DRAM traffic, pJ.
+    pub fn offchip_pj(&self, dram_bytes: u64) -> f64 {
+        dram_bytes as f64 * self.dram_pj_per_byte
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::tsmc45()
+    }
+}
+
+/// Energy totals split the way the paper's Fig. 14 stacks them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MAC / ALU energy, pJ.
+    pub compute_pj: f64,
+    /// Buffer + NoC energy, pJ.
+    pub onchip_pj: f64,
+    /// DRAM energy, pJ.
+    pub offchip_pj: f64,
+    /// Control & configuration energy, pJ.
+    pub control_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Builds a breakdown, deriving the control share from the model.
+    pub fn new(model: &EnergyModel, compute_pj: f64, onchip_pj: f64, offchip_pj: f64) -> Self {
+        let control_pj = model.control_fraction * (compute_pj + onchip_pj + offchip_pj);
+        Self { compute_pj, onchip_pj, offchip_pj, control_pj }
+    }
+
+    /// Total energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.onchip_pj + self.offchip_pj + self.control_pj
+    }
+
+    /// Fraction of the total contributed by control & configuration.
+    pub fn control_share(&self) -> f64 {
+        if self.total_pj() == 0.0 {
+            0.0
+        } else {
+            self.control_pj / self.total_pj()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_pj: self.compute_pj + other.compute_pj,
+            onchip_pj: self.onchip_pj + other.onchip_pj,
+            offchip_pj: self.offchip_pj + other.offchip_pj,
+            control_pj: self.control_pj + other.control_pj,
+        }
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self.merged(&rhs)
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Energy {{ compute {:.1} µJ, on-chip {:.1} µJ, off-chip {:.1} µJ, ctrl {:.1} µJ }}",
+            self.compute_pj / 1e6,
+            self.onchip_pj / 1e6,
+            self.offchip_pj / 1e6,
+            self.control_pj / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_energy_uses_both_op_kinds() {
+        let m = EnergyModel::tsmc45();
+        let e = m.compute_pj(OpStats { mults: 10, adds: 10 });
+        assert!((e - (37.0 + 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_is_two_orders_above_mac() {
+        let m = EnergyModel::tsmc45();
+        // One 4-byte word from DRAM vs one FP32 MAC.
+        let word = m.offchip_pj(4);
+        let mac = m.mult_pj + m.add_pj;
+        assert!(word > 100.0 * mac, "{word} !> 100× {mac}");
+    }
+
+    #[test]
+    fn glb_costlier_than_pe_buffer() {
+        let m = EnergyModel::tsmc45();
+        assert!(m.glb_pj_per_byte > m.pe_buffer_pj_per_byte);
+    }
+
+    #[test]
+    fn breakdown_control_share_matches_paper_bound() {
+        let m = EnergyModel::tsmc45();
+        let b = EnergyBreakdown::new(&m, 100.0, 50.0, 850.0);
+        assert!(b.control_share() < 0.03, "control {}", b.control_share());
+        assert!((b.total_pj() - (1000.0 + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_merging() {
+        let m = EnergyModel::tsmc45();
+        let a = EnergyBreakdown::new(&m, 1.0, 2.0, 3.0);
+        let b = EnergyBreakdown::new(&m, 10.0, 20.0, 30.0);
+        let s = a + b;
+        assert!((s.compute_pj - 11.0).abs() < 1e-12);
+        assert!((s.total_pj() - (a.total_pj() + b.total_pj())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_share() {
+        assert_eq!(EnergyBreakdown::default().control_share(), 0.0);
+    }
+
+    #[test]
+    fn display_uses_microjoules() {
+        let m = EnergyModel::tsmc45();
+        let b = EnergyBreakdown::new(&m, 2e6, 0.0, 0.0);
+        assert!(b.to_string().contains("compute 2.0 µJ"));
+    }
+}

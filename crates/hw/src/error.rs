@@ -1,0 +1,47 @@
+//! Error types for the hardware models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by hardware-model construction or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// An accelerator configuration field was inconsistent.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+    /// A workload parameter was out of the model's domain.
+    InvalidWorkload {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidConfig { reason } => write!(f, "invalid accelerator config: {reason}"),
+            HwError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = HwError::InvalidConfig { reason: "zero PEs" };
+        assert_eq!(e.to_string(), "invalid accelerator config: zero PEs");
+        let e = HwError::InvalidWorkload { reason: "negative cycles".into() };
+        assert!(e.to_string().contains("negative cycles"));
+    }
+}

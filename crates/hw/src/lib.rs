@@ -1,0 +1,53 @@
+//! # idgnn-hw
+//!
+//! Hardware substrate for the I-DGNN reproduction (HPCA 2025): accelerator
+//! configuration, PE microarchitecture, NoC models (torus / mesh / crossbar),
+//! a banked DRAM timing model (the DRAMSim2 stand-in), 45 nm energy and area
+//! models calibrated to the paper's Figs. 14/19, a phase-level timing engine,
+//! and MAC/buffer utilization tracing (Fig. 18).
+//!
+//! ## Example
+//!
+//! Time a memory-bound aggregation phase on the paper's configuration:
+//!
+//! ```
+//! # fn main() -> Result<(), idgnn_hw::HwError> {
+//! use idgnn_hw::{AcceleratorConfig, Engine, PhaseWork};
+//! use idgnn_model::Phase;
+//! use idgnn_sparse::OpStats;
+//!
+//! let engine = Engine::new(AcceleratorConfig::paper_default())?;
+//! let mut w = PhaseWork::compute(Phase::Aggregation, OpStats { mults: 1 << 20, adds: 1 << 20 });
+//! w.dram_read_bytes = 64 << 20; // 64 MiB of feature traffic
+//! let t = engine.phase_timing(&w);
+//! assert!(t.dram_cycles > t.compute_cycles); // memory-bound
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod config;
+mod dram;
+mod energy;
+mod engine;
+mod error;
+mod microsim;
+mod ringsim;
+mod noc;
+mod pe;
+
+pub mod utilization;
+
+pub use area::{AreaModel, ChipArea, PeArea};
+pub use config::AcceleratorConfig;
+pub use dram::{AccessPattern, DramModel, BURST_BYTES, ROW_MISS_PENALTY_CYCLES};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use engine::{overlap_cycles, Bound, Engine, EngineReport, PhaseTiming, PhaseWork};
+pub use error::{HwError, Result};
+pub use microsim::{MicrosimResult, PeMicrosim, TileWork};
+pub use ringsim::RingSim;
+pub use noc::{Topology, TrafficPattern, HOP_LATENCY_CYCLES, LINK_BYTES_PER_CYCLE};
+pub use pe::{mac_cycles, transpose_cycles, DatapathMode, ReconfigurablePe, RECONFIG_CYCLES};

@@ -1,0 +1,210 @@
+//! On-chip interconnect models: torus (I-DGNN), mesh (ReaDy), crossbar (RACE).
+//!
+//! The model is first-order: a transfer's cycle count is its byte volume
+//! divided by the usable aggregate link bandwidth for the given traffic
+//! pattern, plus an average hop latency. That is the level of detail the
+//! paper's simulator uses for on-chip communication time.
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Topology {
+    /// 2-D torus (wrap-around mesh) — the I-DGNN interconnect.
+    Torus {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// 2-D mesh — ReaDy's hierarchical PE array.
+    Mesh {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Full crossbar — RACE's per-engine interconnect.
+    Crossbar {
+        /// Number of ports.
+        ports: usize,
+    },
+}
+
+/// Traffic pattern of an on-chip transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TrafficPattern {
+    /// Every PE sends one partition to its ring neighbour — the I-DGNN
+    /// dataflow's rotation step (Fig. 9). One hop, fully parallel.
+    NeighborShift,
+    /// One source to all PEs (weight / ΔA duplication).
+    Broadcast,
+    /// Uniform random pairs (baseline dataflows without locality).
+    AllToAll,
+    /// PEs stream to/from the global buffer.
+    GlobalBuffer,
+}
+
+/// Per-link width in bytes per cycle (32-bit flit × 4-lane link).
+pub const LINK_BYTES_PER_CYCLE: f64 = 16.0;
+
+/// Fixed per-hop router latency, cycles.
+pub const HOP_LATENCY_CYCLES: f64 = 2.0;
+
+impl Topology {
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> usize {
+        match *self {
+            Topology::Torus { rows, cols } | Topology::Mesh { rows, cols } => rows * cols,
+            Topology::Crossbar { ports } => ports,
+        }
+    }
+
+    /// Number of unidirectional links.
+    pub fn num_links(&self) -> usize {
+        match *self {
+            // Each torus node owns 4 outgoing links (wrap-around).
+            Topology::Torus { rows, cols } => 4 * rows * cols,
+            // Mesh: interior links only.
+            Topology::Mesh { rows, cols } => {
+                2 * (rows * (cols.saturating_sub(1)) + cols * (rows.saturating_sub(1)))
+            }
+            // Crossbar: one link per port pair direction, bounded by ports²,
+            // but the usable concurrency is one transfer per port.
+            Topology::Crossbar { ports } => ports,
+        }
+    }
+
+    /// Average hop distance for a uniform-random pair.
+    pub fn mean_hops(&self) -> f64 {
+        match *self {
+            Topology::Torus { rows, cols } => (rows as f64 / 4.0) + (cols as f64 / 4.0),
+            Topology::Mesh { rows, cols } => (rows as f64 / 3.0) + (cols as f64 / 3.0),
+            Topology::Crossbar { .. } => 1.0,
+        }
+    }
+
+    /// Effective aggregate bandwidth (bytes/cycle) usable by `pattern`.
+    pub fn effective_bandwidth(&self, pattern: TrafficPattern) -> f64 {
+        let n = self.endpoints() as f64;
+        match (self, pattern) {
+            // Rotation uses exactly one outgoing link per node, all at once.
+            (_, TrafficPattern::NeighborShift) => n * LINK_BYTES_PER_CYCLE,
+            // Broadcast is serialized at the root but fans out along a tree:
+            // root injection bandwidth bounds it.
+            (_, TrafficPattern::Broadcast) => LINK_BYTES_PER_CYCLE,
+            // All-to-all is bisection-limited on grids, port-limited on the
+            // crossbar.
+            (Topology::Torus { rows, cols }, TrafficPattern::AllToAll) => {
+                2.0 * 2.0 * (*rows.min(cols) as f64) * LINK_BYTES_PER_CYCLE
+            }
+            (Topology::Mesh { rows, cols }, TrafficPattern::AllToAll) => {
+                2.0 * (*rows.min(cols) as f64) * LINK_BYTES_PER_CYCLE
+            }
+            (Topology::Crossbar { ports }, TrafficPattern::AllToAll) => {
+                *ports as f64 * LINK_BYTES_PER_CYCLE
+            }
+            // Global-buffer streaming: limited by the GLB's port count,
+            // modeled as 4 wide ports.
+            (_, TrafficPattern::GlobalBuffer) => 4.0 * LINK_BYTES_PER_CYCLE * 4.0,
+        }
+    }
+
+    /// Cycles to move `bytes` under `pattern`.
+    pub fn transfer_cycles(&self, bytes: u64, pattern: TrafficPattern) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let hops = match pattern {
+            TrafficPattern::NeighborShift => 1.0,
+            TrafficPattern::Broadcast => self.mean_hops().max(1.0),
+            TrafficPattern::AllToAll | TrafficPattern::GlobalBuffer => self.mean_hops().max(1.0),
+        };
+        bytes as f64 / self.effective_bandwidth(pattern) + hops * HOP_LATENCY_CYCLES
+    }
+
+    /// Bytes × hops product for energy accounting.
+    pub fn byte_hops(&self, bytes: u64, pattern: TrafficPattern) -> f64 {
+        let hops = match pattern {
+            TrafficPattern::NeighborShift => 1.0,
+            _ => self.mean_hops().max(1.0),
+        };
+        bytes as f64 * hops
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Topology::Torus { rows, cols } => write!(f, "torus {rows}x{cols}"),
+            Topology::Mesh { rows, cols } => write!(f, "mesh {rows}x{cols}"),
+            Topology::Crossbar { ports } => write!(f, "crossbar {ports}p"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TORUS: Topology = Topology::Torus { rows: 32, cols: 32 };
+    const MESH: Topology = Topology::Mesh { rows: 32, cols: 32 };
+    const XBAR: Topology = Topology::Crossbar { ports: 512 };
+
+    #[test]
+    fn endpoints_and_links() {
+        assert_eq!(TORUS.endpoints(), 1024);
+        assert_eq!(TORUS.num_links(), 4096);
+        assert_eq!(MESH.num_links(), 2 * (32 * 31 + 32 * 31));
+        assert_eq!(XBAR.endpoints(), 512);
+    }
+
+    #[test]
+    fn torus_halves_mean_hops_vs_mesh() {
+        assert!(TORUS.mean_hops() < MESH.mean_hops());
+        assert_eq!(XBAR.mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn neighbor_shift_is_fastest_pattern() {
+        let bytes = 1 << 20;
+        let shift = TORUS.transfer_cycles(bytes, TrafficPattern::NeighborShift);
+        let a2a = TORUS.transfer_cycles(bytes, TrafficPattern::AllToAll);
+        let bcast = TORUS.transfer_cycles(bytes, TrafficPattern::Broadcast);
+        assert!(shift < a2a, "shift {shift} !< all-to-all {a2a}");
+        assert!(a2a < bcast, "all-to-all {a2a} !< broadcast {bcast}");
+    }
+
+    #[test]
+    fn torus_beats_mesh_on_all_to_all() {
+        let bytes = 1 << 20;
+        assert!(
+            TORUS.transfer_cycles(bytes, TrafficPattern::AllToAll)
+                < MESH.transfer_cycles(bytes, TrafficPattern::AllToAll)
+        );
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        assert_eq!(TORUS.transfer_cycles(0, TrafficPattern::AllToAll), 0.0);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_volume() {
+        let c1 = TORUS.transfer_cycles(1 << 20, TrafficPattern::NeighborShift);
+        let c2 = TORUS.transfer_cycles(1 << 21, TrafficPattern::NeighborShift);
+        assert!(c2 > 1.9 * c1 && c2 < 2.1 * c1);
+    }
+
+    #[test]
+    fn byte_hops_reflects_distance() {
+        assert_eq!(TORUS.byte_hops(100, TrafficPattern::NeighborShift), 100.0);
+        assert!(TORUS.byte_hops(100, TrafficPattern::AllToAll) > 100.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TORUS.to_string(), "torus 32x32");
+        assert_eq!(XBAR.to_string(), "crossbar 512p");
+    }
+}

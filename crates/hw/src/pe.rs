@@ -1,0 +1,131 @@
+//! The reconfigurable processing-element microarchitecture (paper §V-B).
+//!
+//! Each PE couples a multiplier array (MA) to an adder array (AA) and a
+//! post-processing unit (PPU: ReLU/sigmoid/tanh/pooling/bias/transpose),
+//! fed by a sparse Graph Structure Buffer (CSR) and a dense Local Buffer.
+//! The datapath reconfigures between four modes; switching costs a fixed
+//! number of cycles (the paper's Fig. 18a shows the configuration completing
+//! within 16 cycles).
+
+/// Datapath configuration of the reconfigurable PE (paper §V-B-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DatapathMode {
+    /// One-shot computation: GSB × GSB chained products building `ΔA_C`,
+    /// with PPU transposes.
+    OneShot,
+    /// GNN aggregation: GSB × LB.
+    GnnAggregation,
+    /// GNN combination: LB × LB with PPU activation.
+    GnnCombination,
+    /// RNN gates and element-wise epilogue.
+    Rnn,
+}
+
+/// Cycles to reconfigure the PE datapath between modes.
+pub const RECONFIG_CYCLES: u64 = 16;
+
+/// A reconfigurable PE: tracks the current mode and accumulated
+/// reconfiguration overhead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigurablePe {
+    mode: Option<DatapathMode>,
+    reconfigurations: u64,
+}
+
+impl ReconfigurablePe {
+    /// A PE with no mode configured yet.
+    pub fn new() -> Self {
+        Self { mode: None, reconfigurations: 0 }
+    }
+
+    /// Current datapath mode, if configured.
+    pub fn mode(&self) -> Option<DatapathMode> {
+        self.mode
+    }
+
+    /// Switches to `mode`, returning the cycles spent (0 if already there).
+    pub fn configure(&mut self, mode: DatapathMode) -> u64 {
+        if self.mode == Some(mode) {
+            0
+        } else {
+            self.mode = Some(mode);
+            self.reconfigurations += 1;
+            RECONFIG_CYCLES
+        }
+    }
+
+    /// Number of mode switches so far.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Total cycles spent reconfiguring.
+    pub fn reconfig_cycles(&self) -> u64 {
+        self.reconfigurations * RECONFIG_CYCLES
+    }
+}
+
+impl Default for ReconfigurablePe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cycles for `macs` multiply-accumulates on `allocated_macs` parallel MAC
+/// units running at `efficiency` (load balance). The multiplier and adder
+/// arrays operate in tandem, so one MAC is one cycle per unit.
+pub fn mac_cycles(macs: u64, allocated_macs: f64, efficiency: f64) -> f64 {
+    if macs == 0 {
+        return 0.0;
+    }
+    let effective = (allocated_macs * efficiency).max(1.0);
+    macs as f64 / effective
+}
+
+/// PPU transpose cost: the PPU "exchanges the row and column index" of a CSR
+/// matrix — one index rewrite per stored entry, pipelined one per cycle.
+pub fn transpose_cycles(nnz: u64) -> f64 {
+    nnz as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_charges_only_on_change() {
+        let mut pe = ReconfigurablePe::new();
+        assert_eq!(pe.mode(), None);
+        assert_eq!(pe.configure(DatapathMode::OneShot), RECONFIG_CYCLES);
+        assert_eq!(pe.configure(DatapathMode::OneShot), 0);
+        assert_eq!(pe.configure(DatapathMode::Rnn), RECONFIG_CYCLES);
+        assert_eq!(pe.reconfigurations(), 2);
+        assert_eq!(pe.reconfig_cycles(), 32);
+        assert_eq!(pe.mode(), Some(DatapathMode::Rnn));
+    }
+
+    #[test]
+    fn mac_cycles_basic() {
+        assert_eq!(mac_cycles(0, 16.0, 1.0), 0.0);
+        assert_eq!(mac_cycles(160, 16.0, 1.0), 10.0);
+        assert_eq!(mac_cycles(160, 16.0, 0.5), 20.0);
+    }
+
+    #[test]
+    fn mac_cycles_clamps_tiny_allocations() {
+        // Even a degenerate allocation processes one MAC per cycle.
+        assert_eq!(mac_cycles(100, 0.0, 1.0), 100.0);
+    }
+
+    #[test]
+    fn transpose_is_linear_in_nnz() {
+        assert_eq!(transpose_cycles(0), 0.0);
+        assert_eq!(transpose_cycles(1000), 1000.0);
+    }
+
+    #[test]
+    fn default_is_unconfigured() {
+        assert_eq!(ReconfigurablePe::default().mode(), None);
+    }
+}

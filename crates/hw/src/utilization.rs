@@ -1,0 +1,224 @@
+//! MAC and buffer utilization traces (paper Fig. 18).
+//!
+//! The paper plots (a) average MAC-unit utilization and (b) buffer capacity
+//! utilization over cycles for the WD dataset: a short configuration window
+//! (≤ 16 cycles) precedes high sustained MAC utilization, and the buffers
+//! fill as intermediate results accumulate ("nearly fully utilized after 120
+//! cycles"). This module reconstructs those time series from a timed phase
+//! sequence.
+
+use crate::engine::PhaseTiming;
+use crate::pe::RECONFIG_CYCLES;
+
+/// A utilization time series sampled in fixed cycle buckets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UtilizationTrace {
+    /// Bucket width, cycles.
+    pub bucket_cycles: u64,
+    /// Mean MAC utilization per bucket, `0..=1`.
+    pub mac: Vec<f64>,
+    /// Mean buffer occupancy per bucket, `0..=1`.
+    pub buffer: Vec<f64>,
+}
+
+impl UtilizationTrace {
+    /// Mean MAC utilization over the whole trace.
+    pub fn mean_mac(&self) -> f64 {
+        mean(&self.mac)
+    }
+
+    /// Mean buffer occupancy over the whole trace.
+    pub fn mean_buffer(&self) -> f64 {
+        mean(&self.buffer)
+    }
+
+    /// First bucket index at which buffer occupancy exceeds `level`, if any.
+    pub fn buffer_full_after(&self, level: f64) -> Option<usize> {
+        self.buffer.iter().position(|&b| b >= level)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Input for one phase of the trace: its timing, the MAC allocation it got,
+/// and the fraction of buffer capacity its outputs occupy once complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseUtilization {
+    /// Timing from the engine.
+    pub timing: PhaseTiming,
+    /// MAC share × parallel efficiency actually achieved.
+    pub mac_utilization: f64,
+    /// Buffer occupancy delta contributed by this phase's outputs, `0..=1`.
+    pub buffer_delta: f64,
+}
+
+/// Builds a utilization trace from a timed phase sequence.
+///
+/// Within a phase, MAC utilization is the achieved allocation scaled by the
+/// compute-boundedness (`compute / total`); reconfiguration windows show
+/// zero utilization. Buffer occupancy ramps linearly across each phase by
+/// its `buffer_delta`, saturating at 1.0.
+pub fn trace(phases: &[PhaseUtilization], bucket_cycles: u64) -> UtilizationTrace {
+    let bucket = bucket_cycles.max(1);
+    let mut mac = Vec::new();
+    let mut buffer = Vec::new();
+    let mut occupancy = 0.0f64;
+    let mut carry_cycles = 0.0f64; // position inside the current bucket
+    let mut mac_acc = 0.0f64;
+    let mut buf_acc = 0.0f64;
+
+    let mut push_span = |cycles: f64,
+                         util: f64,
+                         occ_start: f64,
+                         occ_end: f64,
+                         mac_out: &mut Vec<f64>,
+                         buf_out: &mut Vec<f64>| {
+        let mut remaining = cycles;
+        let mut pos = 0.0;
+        while remaining > 0.0 {
+            let room = bucket as f64 - carry_cycles;
+            let step = remaining.min(room);
+            let frac_mid = if cycles > 0.0 { (pos + step / 2.0) / cycles } else { 0.0 };
+            let occ_mid = occ_start + (occ_end - occ_start) * frac_mid;
+            mac_acc += util * step;
+            buf_acc += occ_mid * step;
+            carry_cycles += step;
+            pos += step;
+            remaining -= step;
+            if carry_cycles >= bucket as f64 - 1e-9 {
+                mac_out.push(mac_acc / bucket as f64);
+                buf_out.push(buf_acc / bucket as f64);
+                mac_acc = 0.0;
+                buf_acc = 0.0;
+                carry_cycles = 0.0;
+            }
+        }
+    };
+
+    for p in phases {
+        if p.timing.reconfig_cycles > 0.0 {
+            push_span(
+                RECONFIG_CYCLES as f64,
+                0.0,
+                occupancy,
+                occupancy,
+                &mut mac,
+                &mut buffer,
+            );
+        }
+        let body = p.timing.total_cycles() - p.timing.reconfig_cycles;
+        let body_bound = p
+            .timing
+            .compute_cycles
+            .max(p.timing.dram_cycles)
+            .max(p.timing.noc_cycles);
+        let boundedness =
+            if body_bound > 0.0 { p.timing.compute_cycles / body_bound } else { 0.0 };
+        let util = (p.mac_utilization * boundedness).clamp(0.0, 1.0);
+        let next_occ = (occupancy + p.buffer_delta).clamp(0.0, 1.0);
+        push_span(body.max(0.0), util, occupancy, next_occ, &mut mac, &mut buffer);
+        occupancy = next_occ;
+    }
+    // Flush the partial bucket.
+    if carry_cycles > 0.0 {
+        mac.push(mac_acc / carry_cycles);
+        buffer.push(buf_acc / carry_cycles);
+    }
+    UtilizationTrace { bucket_cycles: bucket, mac, buffer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Bound;
+    use idgnn_model::Phase;
+
+    fn timing(compute: f64, reconfig: bool) -> PhaseTiming {
+        PhaseTiming {
+            phase: Phase::Aggregation,
+            compute_cycles: compute,
+            dram_cycles: 0.0,
+            noc_cycles: 0.0,
+            reconfig_cycles: if reconfig { RECONFIG_CYCLES as f64 } else { 0.0 },
+            bound: Bound::Compute,
+        }
+    }
+
+    #[test]
+    fn single_phase_full_utilization() {
+        let t = trace(
+            &[PhaseUtilization { timing: timing(100.0, false), mac_utilization: 1.0, buffer_delta: 1.0 }],
+            10,
+        );
+        assert_eq!(t.mac.len(), 10);
+        assert!(t.mac.iter().all(|&u| (u - 1.0).abs() < 1e-9));
+        // Occupancy ramps: first bucket low, last near full.
+        assert!(t.buffer[0] < 0.1);
+        assert!(t.buffer[9] > 0.9);
+        assert!((t.mean_mac() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfiguration_window_has_zero_utilization() {
+        let t = trace(
+            &[PhaseUtilization { timing: timing(16.0, true), mac_utilization: 1.0, buffer_delta: 0.0 }],
+            16,
+        );
+        // First bucket is the 16-cycle configuration window.
+        assert!(t.mac[0] < 1e-9);
+        assert!(t.mac[1] > 0.99);
+    }
+
+    #[test]
+    fn buffer_saturates_at_one() {
+        let p = PhaseUtilization {
+            timing: timing(50.0, false),
+            mac_utilization: 0.8,
+            buffer_delta: 0.7,
+        };
+        let t = trace(&[p, p], 10);
+        assert!(t.buffer.last().copied().unwrap() <= 1.0 + 1e-9);
+        assert!(t.buffer_full_after(0.95).is_some());
+    }
+
+    #[test]
+    fn memory_bound_phase_lowers_mac_utilization() {
+        let t = PhaseTiming {
+            phase: Phase::Aggregation,
+            compute_cycles: 10.0,
+            dram_cycles: 40.0,
+            noc_cycles: 0.0,
+            reconfig_cycles: 0.0,
+            bound: Bound::Memory,
+        };
+        let tr = trace(
+            &[PhaseUtilization { timing: t, mac_utilization: 1.0, buffer_delta: 0.0 }],
+            40,
+        );
+        assert!((tr.mean_mac() - 0.25).abs() < 1e-6, "mean {}", tr.mean_mac());
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let t = trace(&[], 16);
+        assert!(t.mac.is_empty());
+        assert_eq!(t.mean_mac(), 0.0);
+        assert_eq!(t.buffer_full_after(0.5), None);
+    }
+
+    #[test]
+    fn partial_final_bucket_is_flushed() {
+        let t = trace(
+            &[PhaseUtilization { timing: timing(25.0, false), mac_utilization: 1.0, buffer_delta: 0.0 }],
+            10,
+        );
+        assert_eq!(t.mac.len(), 3);
+        assert!((t.mac[2] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the hardware models: timing monotonicity,
+//! topology orderings, and pipeline-overlap bounds.
+
+use idgnn_hw::{
+    overlap_cycles, AcceleratorConfig, AccessPattern, DramModel, Engine, PhaseWork, Topology,
+    TrafficPattern,
+};
+use idgnn_model::Phase;
+use idgnn_sparse::OpStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dram_cycles_monotone_in_volume(a in 0u64..1 << 24, b in 0u64..1 << 24) {
+        let m = DramModel::new(&AcceleratorConfig::paper_default());
+        let (lo, hi) = (a.min(b), a.max(b));
+        for p in [AccessPattern::Streaming, AccessPattern::Scattered] {
+            prop_assert!(m.access_cycles(lo, p) <= m.access_cycles(hi, p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scattered_never_faster_than_streaming(bytes in 0u64..1 << 24) {
+        let m = DramModel::new(&AcceleratorConfig::paper_default());
+        prop_assert!(
+            m.access_cycles(bytes, AccessPattern::Streaming)
+                <= m.access_cycles(bytes, AccessPattern::Scattered) + 1e-9
+        );
+    }
+
+    #[test]
+    fn neighbor_shift_never_slower_than_other_patterns(
+        bytes in 1u64..1 << 22,
+        rows in 2usize..64,
+        cols in 2usize..64,
+    ) {
+        let t = Topology::Torus { rows, cols };
+        let shift = t.transfer_cycles(bytes, TrafficPattern::NeighborShift);
+        for p in [TrafficPattern::Broadcast, TrafficPattern::AllToAll] {
+            prop_assert!(shift <= t.transfer_cycles(bytes, p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn torus_never_slower_than_mesh(bytes in 1u64..1 << 22, side in 2usize..64) {
+        let torus = Topology::Torus { rows: side, cols: side };
+        let mesh = Topology::Mesh { rows: side, cols: side };
+        for p in [TrafficPattern::NeighborShift, TrafficPattern::AllToAll] {
+            prop_assert!(
+                torus.transfer_cycles(bytes, p) <= mesh.transfer_cycles(bytes, p) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn phase_total_is_max_of_components(
+        mults in 0u64..1 << 30,
+        dram in 0u64..1 << 24,
+        noc in 0u64..1 << 22,
+        share in 0.05f64..1.0,
+    ) {
+        let engine = Engine::new(AcceleratorConfig::paper_default()).unwrap();
+        let mut w = PhaseWork::compute(Phase::Aggregation, OpStats { mults, adds: mults });
+        w.dram_read_bytes = dram;
+        w.noc_bytes = noc;
+        w.mac_share = share;
+        let t = engine.phase_timing(&w);
+        let max = t.compute_cycles.max(t.dram_cycles).max(t.noc_cycles);
+        prop_assert!((t.total_cycles() - max).abs() < 1e-9); // no reconfig requested
+        prop_assert!(t.compute_cycles >= 0.0 && t.dram_cycles >= 0.0 && t.noc_cycles >= 0.0);
+    }
+
+    #[test]
+    fn smaller_mac_share_never_speeds_up_compute(
+        mults in 1u64..1 << 28,
+        s1 in 0.05f64..1.0,
+        s2 in 0.05f64..1.0,
+    ) {
+        let engine = Engine::new(AcceleratorConfig::paper_default()).unwrap();
+        let mk = |share: f64| {
+            let mut w = PhaseWork::compute(Phase::RnnB, OpStats { mults, adds: mults });
+            w.mac_share = share;
+            engine.phase_timing(&w).compute_cycles
+        };
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        prop_assert!(mk(hi) <= mk(lo) + 1e-9);
+    }
+
+    #[test]
+    fn overlap_bounded_by_serial_and_critical_path(
+        stages in prop::collection::vec((0.0f64..1e6, 0.0f64..1e6), 0..12),
+    ) {
+        let total = overlap_cycles(&stages);
+        let serial: f64 = stages.iter().map(|(a, b)| a + b).sum();
+        let fronts: f64 = stages.iter().map(|(a, _)| a).sum();
+        let backs: f64 = stages.iter().map(|(_, b)| b).sum();
+        prop_assert!(total <= serial + 1e-6, "{total} > serial {serial}");
+        prop_assert!(total + 1e-6 >= fronts.max(backs), "{total} < critical path");
+    }
+
+    #[test]
+    fn energy_is_additive_and_nonnegative(
+        mults in 0u64..1 << 24,
+        dram in 0u64..1 << 22,
+    ) {
+        let engine = Engine::new(AcceleratorConfig::paper_default()).unwrap();
+        let mut w = PhaseWork::compute(Phase::Combination, OpStats { mults, adds: mults });
+        w.dram_write_bytes = dram;
+        let e = engine.phase_energy(&w);
+        prop_assert!(e.compute_pj >= 0.0 && e.onchip_pj >= 0.0 && e.offchip_pj >= 0.0);
+        let doubled = {
+            let mut w2 = w;
+            w2.ops = OpStats { mults: mults * 2, adds: mults * 2 };
+            w2.dram_write_bytes = dram * 2;
+            engine.phase_energy(&w2)
+        };
+        prop_assert!(doubled.total_pj() >= e.total_pj() * 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn scaled_configs_always_validate(scale in 1u64..1 << 20) {
+        let c = AcceleratorConfig::paper_default().scaled_down(scale);
+        prop_assert!(c.validate().is_ok());
+        prop_assert!(c.num_pes() >= 1);
+        prop_assert!(Engine::new(c).is_ok());
+    }
+}

@@ -1,0 +1,75 @@
+//! GCN activation functions.
+
+use idgnn_sparse::DenseMatrix;
+
+/// Activation applied after each GCN layer.
+///
+/// The I-DGNN one-pass derivation (paper Eq. 10) commutes the output
+/// difference through the activation; that step is **exact for
+/// [`Activation::Linear`]** (and for ReLU whenever the pre-activation signs
+/// are unchanged between snapshots, e.g. non-negative data). The evaluation
+/// in this repository uses `Linear` where bit-equivalence is asserted and
+/// `Relu` to mirror the paper's model definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Identity — makes layer fusion and the one-pass kernel exact.
+    Linear,
+    /// Rectified linear unit (the paper's Eq. 3).
+    #[default]
+    Relu,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, x: &DenseMatrix) -> DenseMatrix {
+        match self {
+            Activation::Linear => x.clone(),
+            Activation::Relu => x.relu(),
+        }
+    }
+
+    /// Whether the one-pass delta algebra is exact under this activation.
+    pub fn is_linear(self) -> bool {
+        matches!(self, Activation::Linear)
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Activation::Linear => f.write_str("linear"),
+            Activation::Relu => f.write_str("relu"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_identity() {
+        let x = DenseMatrix::from_rows(&[&[-1.0, 2.0]]).unwrap();
+        assert_eq!(Activation::Linear.apply(&x), x);
+        assert!(Activation::Linear.is_linear());
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let x = DenseMatrix::from_rows(&[&[-1.0, 2.0]]).unwrap();
+        assert_eq!(Activation::Relu.apply(&x), DenseMatrix::from_rows(&[&[0.0, 2.0]]).unwrap());
+        assert!(!Activation::Relu.is_linear());
+    }
+
+    #[test]
+    fn default_is_relu_like_paper() {
+        assert_eq!(Activation::default(), Activation::Relu);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Activation::Linear.to_string(), "linear");
+        assert_eq!(Activation::Relu.to_string(), "relu");
+    }
+}

@@ -1,0 +1,276 @@
+//! GRU cell — the alternate RNN kernel the paper calls out ("this work can
+//! also be efficiently applied to other RNN variants, such as gated
+//! recurrent units", §II-B), with the same RNN-A / RNN-B phase split as the
+//! LSTM.
+//!
+//! Gates (no biases, matching the paper's LSTM formulation):
+//!
+//! ```text
+//! r = σ(Z·W_r + H·U_r)          (reset)
+//! u = σ(Z·W_u + H·U_u)          (update)
+//! n = tanh(Z·W_n + r ∘ (H·U_n)) (candidate)
+//! H' = (1 − u) ∘ n + u ∘ H
+//! ```
+//!
+//! RNN-A precomputes the three `H·U_α` products (GNN-independent); RNN-B
+//! consumes the GNN output `Z`.
+
+use idgnn_sparse::{ops, DenseMatrix, OpStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{ModelError, Result};
+use crate::lstm::LstmState;
+
+/// A GRU cell with input weights `W_{r,u,n}` and hidden weights `U_{r,u,n}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruCell {
+    w: [DenseMatrix; 3],
+    u: [DenseMatrix; 3],
+}
+
+impl GruCell {
+    /// Creates a cell from explicit weights (`w[g]: C × R`, `u[g]: R × R`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LayerDimensionMismatch`] on inconsistent shapes.
+    pub fn new(w: [DenseMatrix; 3], u: [DenseMatrix; 3]) -> Result<Self> {
+        let r = w[0].cols();
+        let c = w[0].rows();
+        for (i, m) in w.iter().enumerate() {
+            if m.shape() != (c, r) {
+                return Err(ModelError::LayerDimensionMismatch {
+                    layer: i,
+                    expected: r,
+                    got: m.cols(),
+                });
+            }
+        }
+        for (i, m) in u.iter().enumerate() {
+            if m.shape() != (r, r) {
+                return Err(ModelError::LayerDimensionMismatch {
+                    layer: i,
+                    expected: r,
+                    got: m.cols(),
+                });
+            }
+        }
+        Ok(Self { w, u })
+    }
+
+    /// Creates a cell with small random weights, deterministic in `seed`.
+    pub fn random(input_dim: usize, hidden_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mk = |rows: usize, cols: usize| {
+            let scale = 1.0 / (rows.max(1) as f32).sqrt();
+            let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+            DenseMatrix::from_vec(rows, cols, data).expect("length matches")
+        };
+        let w = [mk(input_dim, hidden_dim), mk(input_dim, hidden_dim), mk(input_dim, hidden_dim)];
+        let u = [mk(hidden_dim, hidden_dim), mk(hidden_dim, hidden_dim), mk(hidden_dim, hidden_dim)];
+        Self { w, u }
+    }
+
+    /// Input dimensionality `C`.
+    pub fn input_dim(&self) -> usize {
+        self.w[0].rows()
+    }
+
+    /// Hidden dimensionality `R`.
+    pub fn hidden_dim(&self) -> usize {
+        self.w[0].cols()
+    }
+
+    /// **RNN-A**: the GNN-independent half — `H·U_α` for the three gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `h_prev` has the wrong width.
+    pub fn rnn_a(&self, h_prev: &DenseMatrix) -> Result<(GruPrecomp, OpStats)> {
+        let mut ops = OpStats::default();
+        let mut outs = Vec::with_capacity(3);
+        for g in 0..3 {
+            let (m, s) = ops::gemm_with_stats(h_prev, &self.u[g]).map_err(ModelError::from)?;
+            ops += s;
+            outs.push(m);
+        }
+        let [r, u, n] = <[DenseMatrix; 3]>::try_from(outs).expect("three gates");
+        Ok((GruPrecomp { gates: [r, u, n] }, ops))
+    }
+
+    /// **RNN-B**: consumes the GNN output `z`, producing the next state.
+    /// The returned state reuses [`LstmState`] with an all-zero cell vector
+    /// (GRUs carry no cell state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error on any dimension mismatch.
+    pub fn rnn_b(
+        &self,
+        z: &DenseMatrix,
+        a: &GruPrecomp,
+        prev: &LstmState,
+    ) -> Result<(LstmState, OpStats)> {
+        let mut ops = OpStats::default();
+        let mut pre = Vec::with_capacity(3);
+        for g in 0..3 {
+            let (m, s) = ops::gemm_with_stats(z, &self.w[g]).map_err(ModelError::from)?;
+            ops += s;
+            pre.push(m);
+        }
+        let elems = prev.h.as_slice().len() as u64;
+
+        let r = pre[0].add(&a.gates[0]).map_err(ModelError::from)?.sigmoid();
+        let u = pre[1].add(&a.gates[1]).map_err(ModelError::from)?.sigmoid();
+        let gated = r.hadamard(&a.gates[2]).map_err(ModelError::from)?;
+        let n = pre[2].add(&gated).map_err(ModelError::from)?.tanh();
+        // H' = (1 − u)∘n + u∘H.
+        let one_minus_u = u.map(|x| 1.0 - x);
+        let h = one_minus_u
+            .hadamard(&n)
+            .map_err(ModelError::from)?
+            .add(&u.hadamard(&prev.h).map_err(ModelError::from)?)
+            .map_err(ModelError::from)?;
+        // Element-wise epilogue: 3 gate adds + r∘Un + (1−u), two products,
+        // one add ≈ 3 mults + 5 adds per element.
+        ops.mults += 3 * elems;
+        ops.adds += 5 * elems;
+        Ok((LstmState { h, c: DenseMatrix::zeros(prev.c.rows(), prev.c.cols()) }, ops))
+    }
+
+    /// Full step: RNN-A followed by RNN-B.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error on any dimension mismatch.
+    pub fn step(&self, z: &DenseMatrix, prev: &LstmState) -> Result<(LstmState, OpStats)> {
+        let (a, oa) = self.rnn_a(&prev.h)?;
+        let (s, ob) = self.rnn_b(z, &a, prev)?;
+        Ok((s, oa + ob))
+    }
+}
+
+/// RNN-A output of a GRU: `H·U_α` for (reset, update, candidate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruPrecomp {
+    gates: [DenseMatrix; 3],
+}
+
+impl GruPrecomp {
+    /// The precomputed matrix for gate `g` (0 = reset, 1 = update,
+    /// 2 = candidate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= 3`.
+    pub fn gate(&self, g: usize) -> &DenseMatrix {
+        &self.gates[g]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> GruCell {
+        GruCell::random(3, 2, 42)
+    }
+
+    #[test]
+    fn dims_and_determinism() {
+        let c = cell();
+        assert_eq!(c.input_dim(), 3);
+        assert_eq!(c.hidden_dim(), 2);
+        assert_eq!(GruCell::random(3, 2, 42), cell());
+        assert_ne!(GruCell::random(3, 2, 43), cell());
+    }
+
+    #[test]
+    fn step_equals_split_phases() {
+        let c = cell();
+        let z = DenseMatrix::filled(4, 3, 0.4);
+        let prev = LstmState::zeros(4, 2);
+        let (s1, o1) = c.step(&z, &prev).unwrap();
+        let (a, oa) = c.rnn_a(&prev.h).unwrap();
+        let (s2, ob) = c.rnn_b(&z, &a, &prev).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(o1, oa + ob);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        // H' is a convex combination of tanh(·) ∈ (−1,1) and the previous H,
+        // so it stays in (−1, 1) starting from zero.
+        let c = cell();
+        let z = DenseMatrix::filled(4, 3, 50.0);
+        let mut state = LstmState::zeros(4, 2);
+        for _ in 0..6 {
+            state = c.step(&z, &state).unwrap().0;
+        }
+        // tanh saturates to exactly ±1.0 in f32 under extreme inputs.
+        assert!(state.h.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_zero() {
+        // r = u = σ(0) = ½; n = tanh(0) = 0; H' = ½·0 + ½·0 = 0.
+        let c = cell();
+        let (s, _) = c.step(&DenseMatrix::zeros(3, 3), &LstmState::zeros(3, 2)).unwrap();
+        assert!(s.h.approx_eq(&DenseMatrix::zeros(3, 2), 1e-6));
+    }
+
+    #[test]
+    fn gru_cell_has_no_cell_state() {
+        let c = cell();
+        let (s, _) = c.step(&DenseMatrix::filled(4, 3, 1.0), &LstmState::zeros(4, 2)).unwrap();
+        assert!(s.c.approx_eq(&DenseMatrix::zeros(4, 2), 0.0));
+    }
+
+    #[test]
+    fn update_gate_interpolates_toward_previous_state() {
+        // With a saturated update gate (huge positive pre-activation via huge
+        // H·U_u) the state barely moves. Construct weights to force u → 1.
+        let w = [DenseMatrix::zeros(2, 2), DenseMatrix::zeros(2, 2), DenseMatrix::zeros(2, 2)];
+        let big = DenseMatrix::from_rows(&[&[50.0, 0.0], &[0.0, 50.0]]).unwrap();
+        let u = [DenseMatrix::zeros(2, 2), big, DenseMatrix::zeros(2, 2)];
+        let c = GruCell::new(w, u).unwrap();
+        let prev = LstmState {
+            h: DenseMatrix::filled(3, 2, 0.8),
+            c: DenseMatrix::zeros(3, 2),
+        };
+        let (s, _) = c.rnn_b(
+            &DenseMatrix::filled(3, 2, 1.0),
+            &c.rnn_a(&prev.h).unwrap().0,
+            &prev,
+        )
+        .unwrap();
+        assert!(s.h.approx_eq(&prev.h, 1e-6), "u≈1 should hold the state");
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let good = DenseMatrix::zeros(3, 2);
+        let u = DenseMatrix::zeros(2, 2);
+        assert!(GruCell::new(
+            [good.clone(), good.clone(), good.clone()],
+            [u.clone(), u.clone(), u.clone()]
+        )
+        .is_ok());
+        assert!(GruCell::new(
+            [good.clone(), DenseMatrix::zeros(3, 5), good],
+            [u.clone(), u.clone(), u]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rnn_ops_scale_with_vertices() {
+        let c = cell();
+        let (a4, _) = c.rnn_a(&DenseMatrix::zeros(4, 2)).unwrap();
+        let (a8, _) = c.rnn_a(&DenseMatrix::zeros(8, 2)).unwrap();
+        let (_, o4) = c.rnn_b(&DenseMatrix::zeros(4, 3), &a4, &LstmState::zeros(4, 2)).unwrap();
+        let (_, o8) = c.rnn_b(&DenseMatrix::zeros(8, 3), &a8, &LstmState::zeros(8, 2)).unwrap();
+        assert_eq!(o8.mults, 2 * o4.mults);
+    }
+}

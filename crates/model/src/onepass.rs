@@ -1,0 +1,362 @@
+//! The one-pass dissimilarity computation kernel (paper §IV-B/C,
+//! Eqs. 10–15) — the paper's central theoretical contribution.
+//!
+//! Given the previous operator `A = Â^t` and its change `ΔA = Â^{t+1} − Â^t`
+//! (both symmetric), the **fused graph dissimilarity matrix** is
+//!
+//! ```text
+//! ΔA_C = (A + ΔA)^L − A^L = Σ_{i=0}^{L-1} A^i · ΔA · (A + ΔA)^{L-1-i}   (Eq. 13)
+//! ```
+//!
+//! For `L = 3` the seven expanded chained products (Eq. 14) reduce — using
+//! `(M N)ᵀ = Nᵀ Mᵀ` and the symmetry of `A`, `ΔA` — to five products, two of
+//! which are reused via a transpose performed by the PE's post-processing
+//! unit (Eq. 15). [`DissimilarityStrategy`] selects between the naive
+//! expansion and the transpose-optimized form; the ablation bench
+//! (`ablation_transpose`) quantifies the savings.
+
+use idgnn_sparse::{ops, CsrMatrix, DenseMatrix, OpStats};
+
+use crate::error::{ModelError, Result};
+
+/// How to evaluate the `ΔA_C` chained-product sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum DissimilarityStrategy {
+    /// Direct evaluation of Eq. 13: precompute powers of `A` and `A+ΔA`,
+    /// then form each `A^i · ΔA · (A+ΔA)^{L-1-i}` term.
+    General,
+    /// Eq. 15: shared sub-products anchored on the sparse `ΔA`, with
+    /// transposes substituting for mirror-image chains (requires symmetric
+    /// inputs; exact for `L ≤ 3`, falls back to [`Self::General`] above).
+    #[default]
+    TransposeOptimized,
+}
+
+/// Result of a `ΔA_C` evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dissimilarity {
+    /// The fused graph dissimilarity matrix `ΔA_C`.
+    pub delta_ac: CsrMatrix,
+    /// Exact multiply/add counts of the evaluation.
+    pub ops: OpStats,
+    /// Number of SpGEMM products performed.
+    pub products: u32,
+    /// Number of whole-matrix transposes performed (PPU index swaps —
+    /// essentially free on the accelerator, counted separately).
+    pub transposes: u32,
+}
+
+/// Computes `ΔA_C = (A + ΔA)^L − A^L`.
+///
+/// # Errors
+///
+/// * [`ModelError::Sparse`] if the matrices are not square/same-shaped;
+/// * the `TransposeOptimized` strategy additionally requires symmetric
+///   inputs, which holds for all operators produced by
+///   [`Normalization`](idgnn_graph::Normalization) on undirected graphs
+///   (debug-asserted, not re-checked in release builds).
+pub fn fused_dissimilarity(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    num_layers: u32,
+    strategy: DissimilarityStrategy,
+) -> Result<Dissimilarity> {
+    if a.shape() != da.shape() {
+        return Err(ModelError::Sparse(idgnn_sparse::SparseError::DimensionMismatch {
+            op: "fused_dissimilarity",
+            lhs: a.shape(),
+            rhs: da.shape(),
+        }));
+    }
+    match (strategy, num_layers) {
+        (_, 0) => Ok(Dissimilarity {
+            delta_ac: CsrMatrix::zeros(a.rows(), a.cols()),
+            ops: OpStats::default(),
+            products: 0,
+            transposes: 0,
+        }),
+        (_, 1) => Ok(Dissimilarity {
+            delta_ac: da.clone(),
+            ops: OpStats::default(),
+            products: 0,
+            transposes: 0,
+        }),
+        (DissimilarityStrategy::TransposeOptimized, 2) => optimized_l2(a, da),
+        (DissimilarityStrategy::TransposeOptimized, 3) => optimized_l3(a, da),
+        _ => general(a, da, num_layers),
+    }
+}
+
+/// Eq. 13 evaluated directly for arbitrary `L`.
+fn general(a: &CsrMatrix, da: &CsrMatrix, l: u32) -> Result<Dissimilarity> {
+    let mut ops = OpStats::default();
+    let mut products = 0u32;
+    let a_next = ops::sp_add(a, da)?;
+    ops.adds += da.nnz() as u64;
+
+    // Powers A^0..A^{L-1} and (A+ΔA)^0..(A+ΔA)^{L-1}.
+    let mut pow_a = vec![CsrMatrix::identity(a.rows())];
+    let mut pow_n = vec![CsrMatrix::identity(a.rows())];
+    for i in 1..l as usize {
+        let (pa, sa) = ops::spgemm_with_stats(&pow_a[i - 1], a)?;
+        let (pn, sn) = ops::spgemm_with_stats(&pow_n[i - 1], &a_next)?;
+        ops += sa;
+        ops += sn;
+        products += 2;
+        pow_a.push(pa);
+        pow_n.push(pn);
+    }
+
+    let mut acc = CsrMatrix::zeros(a.rows(), a.cols());
+    for i in 0..l as usize {
+        let (left, s1) = ops::spgemm_with_stats(&pow_a[i], da)?;
+        ops += s1;
+        products += 1;
+        let (term, s2) = ops::spgemm_with_stats(&left, &pow_n[l as usize - 1 - i])?;
+        ops += s2;
+        products += 1;
+        ops.adds += term.nnz().min(acc.nnz()) as u64;
+        acc = ops::sp_add(&acc, &term)?;
+    }
+    Ok(Dissimilarity { delta_ac: acc.pruned(0.0), ops, products, transposes: 0 })
+}
+
+/// `L = 2`: `ΔA·A + (ΔA·A)ᵀ + ΔA·ΔA` — two products and one transpose
+/// instead of three products.
+fn optimized_l2(a: &CsrMatrix, da: &CsrMatrix) -> Result<Dissimilarity> {
+    debug_assert!(a.is_symmetric(1e-5) && da.is_symmetric(1e-5));
+    let mut ops = OpStats::default();
+    let (p, s1) = ops::spgemm_with_stats(da, a)?; // ΔA·A
+    ops += s1;
+    let pt = p.transpose(); // = A·ΔA by symmetry
+    let (dd, s2) = ops::spgemm_with_stats(da, da)?; // ΔA²
+    ops += s2;
+    let sum = ops::sp_add(&ops::sp_add(&p, &pt)?, &dd)?;
+    ops.adds += (p.nnz() + dd.nnz()) as u64;
+    Ok(Dissimilarity { delta_ac: sum.pruned(0.0), ops, products: 2, transposes: 1 })
+}
+
+/// `L = 3`, the paper's worked example (Eqs. 14–15):
+///
+/// ```text
+/// ΔA_C = A(ΔA·A) + ΔA·A·ΔA + (ΔA·ΔA·A)(1 + T) + (ΔA·A·A)(1 + T) + ΔA³
+/// ```
+///
+/// Every product has the hyper-sparse `ΔA` as one operand (directly or
+/// through `P = ΔA·A`), so the chains never touch the dense-ish
+/// `(A + ΔA)²` that the general path must build.
+fn optimized_l3(a: &CsrMatrix, da: &CsrMatrix) -> Result<Dissimilarity> {
+    debug_assert!(a.is_symmetric(1e-5) && da.is_symmetric(1e-5));
+    let mut ops = OpStats::default();
+    let mut products = 0u32;
+    let mut mm = |x: &CsrMatrix, y: &CsrMatrix| -> Result<CsrMatrix> {
+        let (m, s) = ops::spgemm_with_stats(x, y)?;
+        ops += s;
+        products += 1;
+        Ok(m)
+    };
+
+    let p = mm(da, a)?; // P = ΔA·A (shared)
+    let ada_a = mm(&p.transpose(), a)?; // A·ΔA·A   (palindrome, self-transpose)
+    let da_a_da = mm(&p, da)?; // ΔA·A·ΔA (palindrome)
+    let dd = mm(da, da)?; // ΔA²
+    let dda = mm(&dd, a)?; // ΔA·ΔA·A  → its T gives A·ΔA·ΔA
+    let daa = mm(&p, a)?; // ΔA·A·A   → its T gives A·A·ΔA
+    let ddd = mm(&dd, da)?; // ΔA³
+
+    let mut acc = ops::sp_add(&ada_a, &da_a_da)?;
+    for term in [&dda, &dda.transpose(), &daa, &daa.transpose(), &ddd] {
+        ops.adds += term.nnz().min(acc.nnz().max(1)) as u64;
+        acc = ops::sp_add(&acc, term)?;
+    }
+    Ok(Dissimilarity { delta_ac: acc.pruned(0.0), ops, products, transposes: 2 })
+}
+
+/// The aggregation half of Eq. 10:
+/// `ΔAgg = ΔA_C · X_0^{t+1} + A_C^t · ΔX_0^{t+1}`.
+///
+/// The second product exploits the row sparsity of `ΔX_0` (only updated
+/// vertices have non-zero rows) and the symmetry of `A_C^t`: only the columns
+/// of `A_C^t` matching updated rows contribute, accessed as rows via
+/// symmetry.
+///
+/// # Errors
+///
+/// Returns a dimension error if shapes are inconsistent.
+pub fn delta_aggregation(
+    delta_ac: &CsrMatrix,
+    x0_next: &DenseMatrix,
+    ac_prev: &CsrMatrix,
+    dx0: &DenseMatrix,
+) -> Result<(DenseMatrix, OpStats)> {
+    let (mut agg, mut ops) = ops::spmm_with_stats(delta_ac, x0_next)?;
+    if agg.shape() != dx0.shape() {
+        return Err(ModelError::Sparse(idgnn_sparse::SparseError::DimensionMismatch {
+            op: "delta_aggregation",
+            lhs: agg.shape(),
+            rhs: dx0.shape(),
+        }));
+    }
+    let k = dx0.cols();
+    for v in 0..dx0.rows() {
+        let row = dx0.row(v);
+        if row.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        // A_C^t is symmetric: column v equals row v.
+        for (r, w) in ac_prev.row_iter(v) {
+            let out = &mut agg.as_mut_slice()[r * k..(r + 1) * k];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += w * x;
+            }
+            ops.mults += k as u64;
+            ops.adds += k as u64;
+        }
+    }
+    Ok((agg, ops))
+}
+
+/// Rows of `m` containing at least one entry with `|x| > tol` — the
+/// "involved vertices" whose features/outputs the one-pass kernel touches.
+pub fn nonzero_rows(m: &DenseMatrix, tol: f32) -> Vec<usize> {
+    (0..m.rows())
+        .filter(|&r| m.row(r).iter().any(|&x| x.abs() > tol))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idgnn_graph::{adjacency_from_edges, GraphDelta, GraphSnapshot, Normalization};
+    use idgnn_sparse::DenseMatrix;
+
+    fn setup(norm: Normalization) -> (CsrMatrix, CsrMatrix, CsrMatrix) {
+        let base = GraphSnapshot::new(
+            adjacency_from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (1, 5)])
+                .unwrap(),
+            DenseMatrix::zeros(8, 1),
+        )
+        .unwrap();
+        let delta = GraphDelta::builder().add_edge(0, 4).remove_edge(1, 5).build();
+        let next = delta.apply(&base).unwrap();
+        let a_prev = norm.apply(base.adjacency());
+        let a_next = norm.apply(next.adjacency());
+        let d = ops::sp_sub(&a_next, &a_prev).unwrap().pruned(0.0);
+        (a_prev, a_next, d)
+    }
+
+    fn reference_delta_ac(a_prev: &CsrMatrix, a_next: &CsrMatrix, l: u32) -> CsrMatrix {
+        ops::sp_sub(&ops::sp_pow(a_next, l).unwrap(), &ops::sp_pow(a_prev, l).unwrap())
+            .unwrap()
+            .pruned(0.0)
+    }
+
+    #[test]
+    fn general_matches_reference_l3() {
+        let (a, an, d) = setup(Normalization::Symmetric);
+        let got = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).unwrap();
+        let want = reference_delta_ac(&a, &an, 3);
+        assert!(got.delta_ac.approx_eq(&want, 1e-4));
+        assert_eq!(got.transposes, 0);
+    }
+
+    #[test]
+    fn optimized_matches_reference_l2_and_l3() {
+        let (a, an, d) = setup(Normalization::Symmetric);
+        for l in [2u32, 3] {
+            let got =
+                fused_dissimilarity(&a, &d, l, DissimilarityStrategy::TransposeOptimized).unwrap();
+            let want = reference_delta_ac(&a, &an, l);
+            assert!(
+                got.delta_ac.approx_eq(&want, 1e-4),
+                "L={l}: max diff {}",
+                ops::sp_sub(&got.delta_ac, &want).unwrap().max_abs()
+            );
+            assert!(got.transposes > 0, "L={l} should use transposes");
+        }
+    }
+
+    #[test]
+    fn optimized_matches_general_raw_adjacency() {
+        let (a, _an, d) = setup(Normalization::Raw);
+        let g = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).unwrap();
+        let o = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::TransposeOptimized).unwrap();
+        assert!(g.delta_ac.approx_eq(&o.delta_ac, 1e-4));
+    }
+
+    #[test]
+    fn trivial_layer_counts() {
+        let (a, _, d) = setup(Normalization::Raw);
+        let r0 = fused_dissimilarity(&a, &d, 0, DissimilarityStrategy::default()).unwrap();
+        assert_eq!(r0.delta_ac.nnz(), 0);
+        let r1 = fused_dissimilarity(&a, &d, 1, DissimilarityStrategy::default()).unwrap();
+        assert_eq!(r1.delta_ac, d);
+        assert_eq!(r1.products, 0);
+    }
+
+    #[test]
+    fn optimized_is_cheaper_than_general_on_sparse_deltas() {
+        // The optimization exists to avoid multiplying by the dense-ish
+        // (A+ΔA)² — on a sparse delta the optimized path must do fewer mults.
+        let (a, _, d) = setup(Normalization::Symmetric);
+        let g = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).unwrap();
+        let o = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::TransposeOptimized).unwrap();
+        assert!(
+            o.ops.mults < g.ops.mults,
+            "optimized {} vs general {}",
+            o.ops.mults,
+            g.ops.mults
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = CsrMatrix::identity(4);
+        let d = CsrMatrix::identity(5);
+        assert!(fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).is_err());
+    }
+
+    #[test]
+    fn delta_aggregation_matches_dense_reference() {
+        let (a, an, d) = setup(Normalization::Symmetric);
+        let dac = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::default()).unwrap();
+        let ac_prev = ops::sp_pow(&a, 3).unwrap();
+        let ac_next = ops::sp_pow(&an, 3).unwrap();
+
+        let x_prev = DenseMatrix::from_vec(8, 3, (0..24).map(|i| (i as f32).cos()).collect()).unwrap();
+        let mut x_next = x_prev.clone();
+        for c in 0..3 {
+            x_next.set(2, c, 5.0 + c as f32); // vertex 2's features change
+        }
+        let dx0 = x_next.sub(&x_prev).unwrap();
+
+        let (got, ops_cnt) = delta_aggregation(&dac.delta_ac, &x_next, &ac_prev, &dx0).unwrap();
+        // Reference: A_C^{t+1}·X^{t+1} − A_C^t·X^t.
+        let want = ops::spmm(&ac_next, &x_next)
+            .unwrap()
+            .sub(&ops::spmm(&ac_prev, &x_prev).unwrap())
+            .unwrap();
+        assert!(got.approx_eq(&want, 1e-3), "max diff {}", got.max_abs_diff(&want).unwrap());
+        assert!(ops_cnt.mults > 0);
+    }
+
+    #[test]
+    fn nonzero_rows_finds_involved_vertices() {
+        let mut m = DenseMatrix::zeros(4, 2);
+        m.set(1, 0, 0.5);
+        m.set(3, 1, -2.0);
+        assert_eq!(nonzero_rows(&m, 0.0), vec![1, 3]);
+        assert_eq!(nonzero_rows(&m, 1.0), vec![3]);
+    }
+
+    #[test]
+    fn empty_delta_produces_empty_dissimilarity() {
+        let (a, _, _) = setup(Normalization::Symmetric);
+        let zero = CsrMatrix::zeros(8, 8);
+        for strat in [DissimilarityStrategy::General, DissimilarityStrategy::TransposeOptimized] {
+            let r = fused_dissimilarity(&a, &zero, 3, strat).unwrap();
+            assert_eq!(r.delta_ac.nnz(), 0, "{strat:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for sparse/dense matrix operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by matrix constructors and operations.
+///
+/// # Examples
+///
+/// ```
+/// use idgnn_sparse::{DenseMatrix, SparseError};
+///
+/// let a = DenseMatrix::zeros(2, 3);
+/// let b = DenseMatrix::zeros(4, 5);
+/// match a.matmul(&b) {
+///     Err(SparseError::DimensionMismatch { .. }) => {}
+///     _ => panic!("expected a dimension mismatch"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending `(row, col)` index.
+        index: (usize, usize),
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Raw CSR/COO components were internally inconsistent
+    /// (e.g. `indptr` not monotone, or a column index ≥ `cols`).
+    InvalidStructure {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// The matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            SparseError::InvalidStructure { reason } => {
+                write!(f, "invalid sparse structure: {reason}")
+            }
+            SparseError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = SparseError::DimensionMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(e.to_string(), "dimension mismatch in matmul: lhs is 2x3, rhs is 4x5");
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { index: (9, 1), shape: (3, 3) };
+        assert!(e.to_string().contains("(9, 1)"));
+        assert!(e.to_string().contains("3x3"));
+    }
+
+    #[test]
+    fn display_invalid_structure() {
+        let e = SparseError::InvalidStructure { reason: "indptr not monotone".into() };
+        assert!(e.to_string().contains("indptr not monotone"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = SparseError::NotSquare { shape: (2, 5) };
+        assert!(e.to_string().contains("2x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,454 @@
+//! Sparse arithmetic kernels: SpGEMM, SpMM, sparse addition, matrix powers.
+//!
+//! Every kernel has a `_with_stats` variant exposing the exact number of
+//! scalar multiply and add operations performed ([`OpStats`]). The accelerator
+//! model uses these counts directly — the paper's simulator "monitors the
+//! number of arithmetic operations" (§VI-A), and so do we.
+
+use crate::error::{Result, SparseError};
+use crate::{CsrMatrix, DenseMatrix};
+
+/// Exact scalar-operation counts of a kernel invocation.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), idgnn_sparse::SparseError> {
+/// use idgnn_sparse::{ops, CsrMatrix};
+///
+/// let i = CsrMatrix::identity(4);
+/// let (_, stats) = ops::spgemm_with_stats(&i, &i)?;
+/// assert_eq!(stats.mults, 4); // one multiply per diagonal entry
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Scalar multiplications performed.
+    pub mults: u64,
+    /// Scalar additions performed (accumulations).
+    pub adds: u64,
+}
+
+impl OpStats {
+    /// Total scalar operations (`mults + adds`).
+    pub fn total(&self) -> u64 {
+        self.mults + self.adds
+    }
+
+    /// Component-wise sum of two stats.
+    pub fn merged(self, other: OpStats) -> OpStats {
+        OpStats { mults: self.mults + other.mults, adds: self.adds + other.adds }
+    }
+}
+
+impl std::ops::Add for OpStats {
+    type Output = OpStats;
+    fn add(self, rhs: OpStats) -> OpStats {
+        self.merged(rhs)
+    }
+}
+
+impl std::ops::AddAssign for OpStats {
+    fn add_assign(&mut self, rhs: OpStats) {
+        *self = self.merged(rhs);
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpStats {{ mults: {}, adds: {} }}", self.mults, self.adds)
+    }
+}
+
+/// Sparse × sparse matrix product (Gustavson's row-wise SpGEMM).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    spgemm_with_stats(a, b).map(|(m, _)| m)
+}
+
+/// Sparse × sparse product together with exact op counts.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpStats)> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut stats = OpStats::default();
+    let n_cols = b.cols();
+    let mut indptr = vec![0usize; a.rows() + 1];
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+
+    // Dense accumulator (SPA) with a generation-stamped touched-list, the
+    // classic Gustavson formulation: O(flops) time independent of n.
+    let mut acc = vec![0.0f32; n_cols];
+    let mut stamp = vec![usize::MAX; n_cols];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for r in 0..a.rows() {
+        for (k, va) in a.row_iter(r) {
+            for (c, vb) in b.row_iter(k) {
+                stats.mults += 1;
+                if stamp[c] == r {
+                    stats.adds += 1;
+                    acc[c] += va * vb;
+                } else {
+                    stamp[c] = r;
+                    touched.push(c);
+                    acc[c] = va * vb;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            indices.push(c);
+            values.push(acc[c]);
+        }
+        touched.clear();
+        indptr[r + 1] = indices.len();
+    }
+    let m = CsrMatrix::from_raw_parts(a.rows(), n_cols, indptr, indices, values)
+        .expect("SpGEMM output is valid CSR by construction");
+    Ok((m, stats))
+}
+
+/// Linear combination of two sparse matrices: `alpha * a + beta * b`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_axpby(alpha: f32, a: &CsrMatrix, beta: f32, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::DimensionMismatch {
+            op: "sp_axpby",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut indptr = vec![0usize; a.rows() + 1];
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    for r in 0..a.rows() {
+        let mut ia = a.row_iter(r).peekable();
+        let mut ib = b.row_iter(r).peekable();
+        loop {
+            match (ia.peek().copied(), ib.peek().copied()) {
+                (None, None) => break,
+                (Some((ca, va)), None) => {
+                    indices.push(ca);
+                    values.push(alpha * va);
+                    ia.next();
+                }
+                (None, Some((cb, vb))) => {
+                    indices.push(cb);
+                    values.push(beta * vb);
+                    ib.next();
+                }
+                (Some((ca, va)), Some((cb, vb))) => {
+                    if ca == cb {
+                        indices.push(ca);
+                        values.push(alpha * va + beta * vb);
+                        ia.next();
+                        ib.next();
+                    } else if ca < cb {
+                        indices.push(ca);
+                        values.push(alpha * va);
+                        ia.next();
+                    } else {
+                        indices.push(cb);
+                        values.push(beta * vb);
+                        ib.next();
+                    }
+                }
+            }
+        }
+        indptr[r + 1] = indices.len();
+    }
+    CsrMatrix::from_raw_parts(a.rows(), a.cols(), indptr, indices, values)
+}
+
+/// Sparse matrix sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    sp_axpby(1.0, a, 1.0, b)
+}
+
+/// Sparse matrix difference `a - b`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_sub(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    sp_axpby(1.0, a, -1.0, b)
+}
+
+/// Sparse × dense product (SpMM): `a * x` where `x` is dense.
+///
+/// This is the GNN *aggregation* kernel: `A · X`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix> {
+    spmm_with_stats(a, x).map(|(m, _)| m)
+}
+
+/// Sparse × dense product together with exact op counts.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+pub fn spmm_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
+    if a.cols() != x.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmm",
+            lhs: a.shape(),
+            rhs: x.shape(),
+        });
+    }
+    let k = x.cols();
+    let mut out = DenseMatrix::zeros(a.rows(), k);
+    let mut stats = OpStats::default();
+    for r in 0..a.rows() {
+        let row_nnz = a.row_nnz(r) as u64;
+        for (c, v) in a.row_iter(r) {
+            let xrow = x.row(c);
+            let orow = &mut out.as_mut_slice()[r * k..(r + 1) * k];
+            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                *o += v * xv;
+            }
+        }
+        stats.mults += row_nnz * k as u64;
+        stats.adds += row_nnz.saturating_sub(1) * k as u64;
+    }
+    Ok((out, stats))
+}
+
+/// `L`-th power of a square sparse matrix by repeated SpGEMM.
+///
+/// `pow(a, 0)` is the identity.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `a` is rectangular.
+pub fn sp_pow(a: &CsrMatrix, l: u32) -> Result<CsrMatrix> {
+    sp_pow_with_stats(a, l).map(|(m, _)| m)
+}
+
+/// `L`-th power together with accumulated op counts.
+///
+/// Uses the naive left-to-right chain (`A·A·…·A`) rather than
+/// square-and-multiply: the chain matches the layer-by-layer receptive-field
+/// semantics of the paper and keeps intermediate sparsity realistic.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `a` is rectangular.
+pub fn sp_pow_with_stats(a: &CsrMatrix, l: u32) -> Result<(CsrMatrix, OpStats)> {
+    if a.rows() != a.cols() {
+        return Err(SparseError::NotSquare { shape: a.shape() });
+    }
+    let mut stats = OpStats::default();
+    let mut acc = CsrMatrix::identity(a.rows());
+    for _ in 0..l {
+        let (next, s) = spgemm_with_stats(&acc, a)?;
+        acc = next;
+        stats += s;
+    }
+    Ok((acc, stats))
+}
+
+/// Dense × dense product with exact op counts (the GNN *combination* and RNN
+/// gate kernels).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn gemm_with_stats(a: &DenseMatrix, b: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
+    let out = a.matmul(b)?;
+    let (m, n, k) = (a.rows() as u64, b.cols() as u64, a.cols() as u64);
+    Ok((out, OpStats { mults: m * n * k, adds: m * n * k.saturating_sub(1) }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn path_graph(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_symmetric(i, i + 1, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = path_graph(5);
+        let b = path_graph(5);
+        let s = spgemm(&a, &b).unwrap();
+        let d = a.to_dense().matmul(&b.to_dense()).unwrap();
+        assert!(s.to_dense().approx_eq(&d, 1e-5));
+    }
+
+    #[test]
+    fn spgemm_identity() {
+        let a = path_graph(4);
+        let i = CsrMatrix::identity(4);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
+        assert_eq!(spgemm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn spgemm_dimension_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(matches!(spgemm(&a, &b), Err(SparseError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn spgemm_stats_count_mults() {
+        // identity * identity: one mult per row, no accumulation adds.
+        let i = CsrMatrix::identity(7);
+        let (_, st) = spgemm_with_stats(&i, &i).unwrap();
+        assert_eq!(st.mults, 7);
+        assert_eq!(st.adds, 0);
+    }
+
+    #[test]
+    fn spgemm_stats_flops_equal_expanded_products() {
+        // For A*B, #mults = Σ_k nnz_col_a(k)*nnz_row_b(k) summed over shared dim.
+        let a = path_graph(6);
+        let (_, st) = spgemm_with_stats(&a, &a).unwrap();
+        let expected: u64 = (0..6)
+            .map(|k| a.transpose().row_nnz(k) as u64 * a.row_nnz(k) as u64)
+            .sum();
+        assert_eq!(st.mults, expected);
+    }
+
+    #[test]
+    fn sp_add_merges_structures() {
+        let mut ca = CooMatrix::new(2, 2);
+        ca.push(0, 0, 1.0).unwrap();
+        let mut cb = CooMatrix::new(2, 2);
+        cb.push(0, 1, 2.0).unwrap();
+        cb.push(0, 0, 3.0).unwrap();
+        let s = sp_add(&ca.to_csr(), &cb.to_csr()).unwrap();
+        assert_eq!(s.get(0, 0), 4.0);
+        assert_eq!(s.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn sp_sub_self_is_zero() {
+        let a = path_graph(5);
+        let z = sp_sub(&a, &a).unwrap();
+        assert_eq!(z.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn sp_axpby_coefficients() {
+        let a = CsrMatrix::identity(3);
+        let b = CsrMatrix::identity(3);
+        let m = sp_axpby(2.0, &a, -0.5, &b).unwrap();
+        assert_eq!(m.get(1, 1), 1.5);
+    }
+
+    #[test]
+    fn sp_axpby_shape_mismatch() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(3, 3);
+        assert!(sp_axpby(1.0, &a, 1.0, &b).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = path_graph(5);
+        let x = DenseMatrix::from_vec(5, 3, (0..15).map(|i| i as f32 * 0.5).collect()).unwrap();
+        let y = spmm(&a, &x).unwrap();
+        let d = a.to_dense().matmul(&x).unwrap();
+        assert!(y.approx_eq(&d, 1e-5));
+    }
+
+    #[test]
+    fn spmm_dimension_mismatch() {
+        let a = CsrMatrix::zeros(2, 3);
+        let x = DenseMatrix::zeros(5, 2);
+        assert!(spmm(&a, &x).is_err());
+    }
+
+    #[test]
+    fn spmm_stats_proportional_to_nnz_times_features() {
+        let a = path_graph(4); // nnz = 6
+        let x = DenseMatrix::zeros(4, 10);
+        let (_, st) = spmm_with_stats(&a, &x).unwrap();
+        assert_eq!(st.mults, 6 * 10);
+    }
+
+    #[test]
+    fn sp_pow_zero_is_identity() {
+        let a = path_graph(4);
+        assert_eq!(sp_pow(&a, 0).unwrap(), CsrMatrix::identity(4));
+    }
+
+    #[test]
+    fn sp_pow_matches_dense_power() {
+        let a = path_graph(5);
+        let p3 = sp_pow(&a, 3).unwrap();
+        let d = a.to_dense();
+        let d3 = d.matmul(&d).unwrap().matmul(&d).unwrap();
+        assert!(p3.to_dense().approx_eq(&d3, 1e-4));
+    }
+
+    #[test]
+    fn sp_pow_requires_square() {
+        let a = CsrMatrix::zeros(2, 3);
+        assert!(matches!(sp_pow(&a, 2), Err(SparseError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn gemm_stats_exact() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(3, 4);
+        let (_, st) = gemm_with_stats(&a, &b).unwrap();
+        assert_eq!(st.mults, 2 * 4 * 3);
+        assert_eq!(st.adds, 2 * 4 * 2);
+    }
+
+    #[test]
+    fn opstats_arithmetic() {
+        let a = OpStats { mults: 1, adds: 2 };
+        let b = OpStats { mults: 10, adds: 20 };
+        assert_eq!((a + b).total(), 33);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert!(format!("{c}").contains("mults: 11"));
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product_of_transposes() {
+        // (AB)^T = B^T A^T — the identity behind the paper's Eq. 15 trick.
+        let a = path_graph(6);
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push_symmetric(0, 3, 1.0).unwrap();
+        coo.push_symmetric(2, 5, 1.0).unwrap();
+        let b = coo.to_csr();
+        let lhs = spgemm(&a, &b).unwrap().transpose();
+        let rhs = spgemm(&b.transpose(), &a.transpose()).unwrap();
+        assert!(lhs.approx_eq(&rhs, 1e-6));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the sparse kernels.
+//!
+//! These check the algebraic identities the I-DGNN derivation leans on
+//! (distributivity, transpose-of-product, power expansion) on randomly
+//! generated sparse matrices, with the dense implementation as the oracle.
+
+use idgnn_sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: random sparse n×n matrix with up to `max_nnz` entries.
+fn sparse_square(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec(
+        (0..n, 0..n, -4i8..=4i8).prop_map(|(r, c, v)| (r, c, v as f32 * 0.5)),
+        0..=max_nnz,
+    )
+    .prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    })
+}
+
+/// Strategy: random *symmetric* sparse n×n matrix (adjacency-like).
+fn symmetric_square(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec((0..n, 0..n, 1u8..=3u8), 0..=max_nnz).prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            coo.push_symmetric(r, c, v as f32).unwrap();
+        }
+        coo.to_csr()
+    })
+}
+
+fn dense_of(m: &CsrMatrix) -> DenseMatrix {
+    m.to_dense()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_to_csr_preserves_sums(entries in prop::collection::vec((0usize..6, 0usize..6, -3i8..=3i8), 0..30)) {
+        let mut coo = CooMatrix::new(6, 6);
+        let mut dense = DenseMatrix::zeros(6, 6);
+        for (r, c, v) in entries {
+            coo.push(r, c, v as f32).unwrap();
+            dense.set(r, c, dense.get(r, c) + v as f32);
+        }
+        let csr = coo.to_csr();
+        prop_assert!(csr.to_dense().approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn spgemm_agrees_with_dense(a in sparse_square(7, 20), b in sparse_square(7, 20)) {
+        let s = ops::spgemm(&a, &b).unwrap();
+        let d = dense_of(&a).matmul(&dense_of(&b)).unwrap();
+        prop_assert!(s.to_dense().approx_eq(&d, 1e-4));
+    }
+
+    #[test]
+    fn sp_add_agrees_with_dense(a in sparse_square(8, 24), b in sparse_square(8, 24)) {
+        let s = ops::sp_add(&a, &b).unwrap();
+        let d = dense_of(&a).add(&dense_of(&b)).unwrap();
+        prop_assert!(s.to_dense().approx_eq(&d, 1e-5));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in sparse_square(9, 30)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_of_product(a in sparse_square(6, 18), b in sparse_square(6, 18)) {
+        // (AB)ᵀ = BᵀAᵀ — the identity enabling the paper's Eq. 15 optimization.
+        let lhs = ops::spgemm(&a, &b).unwrap().transpose();
+        let rhs = ops::spgemm(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn symmetric_matrices_stay_symmetric_under_power(a in symmetric_square(6, 12)) {
+        let a2 = ops::sp_pow(&a, 2).unwrap();
+        prop_assert!(a2.is_symmetric(1e-3));
+    }
+
+    #[test]
+    fn binomial_like_expansion(a in symmetric_square(5, 8), d in symmetric_square(5, 6)) {
+        // (A+Δ)² − A² = ΔA + AΔ + Δ² — the L=2 case of the paper's Eq. 13.
+        let apd = ops::sp_add(&a, &d).unwrap();
+        let lhs = ops::sp_sub(&ops::sp_pow(&apd, 2).unwrap(), &ops::sp_pow(&a, 2).unwrap()).unwrap();
+        let da = ops::spgemm(&d, &a).unwrap();
+        let ad = ops::spgemm(&a, &d).unwrap();
+        let dd = ops::spgemm(&d, &d).unwrap();
+        let rhs = ops::sp_add(&ops::sp_add(&da, &ad).unwrap(), &dd).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn spmm_distributes_over_sparse_add(
+        a in sparse_square(6, 15),
+        b in sparse_square(6, 15),
+        xs in prop::collection::vec(-2.0f32..2.0, 6 * 3),
+    ) {
+        // (A + B)·X = A·X + B·X — justifies splitting aggregation into
+        // dissimilarity and reuse components (Eq. 10).
+        let x = DenseMatrix::from_vec(6, 3, xs).unwrap();
+        let lhs = ops::spmm(&ops::sp_add(&a, &b).unwrap(), &x).unwrap();
+        let rhs = ops::spmm(&a, &x).unwrap().add(&ops::spmm(&b, &x).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn pruned_never_increases_nnz(a in sparse_square(8, 30), tol in 0.0f32..2.0) {
+        let p = a.pruned(tol);
+        prop_assert!(p.nnz() <= a.nnz());
+        prop_assert!(p.max_abs() <= a.max_abs());
+    }
+
+    #[test]
+    fn spgemm_stats_mults_match_structural_count(a in sparse_square(6, 15), b in sparse_square(6, 15)) {
+        let (_, st) = ops::spgemm_with_stats(&a, &b).unwrap();
+        let bt_nnz_per_row: Vec<u64> = (0..6).map(|k| b.row_nnz(k) as u64).collect();
+        let expected: u64 = a.iter().map(|(_, k, _)| bt_nnz_per_row[k]).sum();
+        prop_assert_eq!(st.mults, expected);
+    }
+
+    #[test]
+    fn dense_matmul_associative(
+        xs in prop::collection::vec(-2.0f32..2.0, 4 * 4),
+        ys in prop::collection::vec(-2.0f32..2.0, 4 * 4),
+        zs in prop::collection::vec(-2.0f32..2.0, 4 * 4),
+    ) {
+        // (XY)Z = X(YZ) within tolerance — underpins weight-matrix fusion (Eq. 8).
+        let x = DenseMatrix::from_vec(4, 4, xs).unwrap();
+        let y = DenseMatrix::from_vec(4, 4, ys).unwrap();
+        let z = DenseMatrix::from_vec(4, 4, zs).unwrap();
+        let lhs = x.matmul(&y).unwrap().matmul(&z).unwrap();
+        let rhs = x.matmul(&y.matmul(&z).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+}

@@ -1,0 +1,101 @@
+//! Continuous-time event streams (paper §II-A): take a CTDG `⟨G, O⟩` — an
+//! initial graph plus timestamped update events — discretize it into
+//! regularly-sampled snapshots, and run the discrete-time accelerator on the
+//! result. This is how event-level data sources (transaction logs, message
+//! streams) plug into the discrete-time I-DGNN design.
+//!
+//! ```text
+//! cargo run --release --example event_stream
+//! ```
+
+use idgnn::core::{IdgnnAccelerator, SimOptions};
+use idgnn::graph::generate::random_features;
+use idgnn::graph::{
+    adjacency_from_edges, ContinuousGraph, GraphSnapshot, Normalization, UpdateEvent, UpdateOp,
+};
+use idgnn::hw::AcceleratorConfig;
+use idgnn::model::{Activation, DgnnModel, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const USERS: usize = 300;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Initial interaction graph.
+    let mut edges = Vec::new();
+    for u in 0..USERS {
+        for _ in 0..2 {
+            let v = rng.gen_range(0..USERS);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    let initial = GraphSnapshot::new(
+        adjacency_from_edges(USERS, &edges)?,
+        random_features(USERS, 16, &mut rng),
+    )?;
+
+    // A bursty Poisson-ish event stream over 24 "hours": mostly new
+    // interactions, some churn, occasional profile updates.
+    let mut events = Vec::new();
+    let mut t = 0.0f64;
+    while t < 24.0 {
+        t += -rng.gen_range(0.001f64..1.0).ln() * 0.02; // exponential gaps
+        let roll: f64 = rng.gen();
+        let op = if roll < 0.70 {
+            UpdateOp::AddEdge(rng.gen_range(0..USERS), rng.gen_range(0..USERS))
+        } else if roll < 0.85 {
+            UpdateOp::RemoveEdge(rng.gen_range(0..USERS), rng.gen_range(0..USERS))
+        } else {
+            UpdateOp::UpdateFeature(
+                rng.gen_range(0..USERS),
+                (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            )
+        };
+        events.push(UpdateEvent { time: t, op });
+    }
+    let ctdg = ContinuousGraph::new(initial, events);
+    println!("continuous stream: {ctdg}");
+
+    // Sample at two granularities and compare the induced workloads.
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 16,
+        gnn_hidden: 16,
+        gnn_layers: 2,
+        rnn_hidden: 16,
+        activation: Activation::Relu,
+        normalization: Normalization::SelfLoops,
+        seed: 3,
+    rnn_kernel: Default::default(),
+    })?;
+    let accel = IdgnnAccelerator::new(AcceleratorConfig::paper_default().scaled_down(64))?;
+
+    println!("\n{:<10} {:>10} {:>12} {:>14} {:>12}", "interval", "snapshots", "mean churn", "cycles", "cyc/snapshot");
+    for hours in [8.0, 4.0, 2.0, 1.0] {
+        // Discretization drops canceling events inside each window, so a
+        // coarser interval sees *less* net churn per unit of work.
+        let dg = match ctdg.discretize(hours) {
+            Ok(dg) => dg,
+            Err(e) => {
+                // Events can reference an edge state that a coarser window
+                // already collapsed; skip infeasible windows gracefully.
+                println!("{hours:<10} (skipped: {e})");
+                continue;
+            }
+        };
+        let report = accel.simulate(&model, &dg, &SimOptions::default())?;
+        println!(
+            "{:<10} {:>10} {:>11.1}% {:>14.0} {:>12.0}",
+            format!("{hours} h"),
+            dg.num_snapshots(),
+            dg.mean_dissimilarity()? * 100.0,
+            report.total_cycles,
+            report.total_cycles / dg.num_snapshots() as f64
+        );
+    }
+    println!("\nFiner sampling processes more snapshots but each one-pass update is");
+    println!("smaller — the amortized cost per snapshot drops with the interval.");
+    Ok(())
+}

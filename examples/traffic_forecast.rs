@@ -1,0 +1,131 @@
+//! Domain scenario: traffic forecasting on an evolving road-sensor network
+//! (the T-GCN / STGNN use-case the paper's introduction motivates).
+//!
+//! A city's sensor graph changes slowly — roadworks close a few links,
+//! new sensors come online — while every sensor's feature row (flow /
+//! occupancy / speed readings) refreshes each interval. That is precisely
+//! the workload profile where the one-pass kernel shines: tiny structural
+//! deltas, dense feature updates, and a hard real-time budget per snapshot.
+//!
+//! ```text
+//! cargo run --release --example traffic_forecast
+//! ```
+
+use idgnn::core::{IdgnnAccelerator, SimOptions};
+use idgnn::graph::generate::random_features;
+use idgnn::graph::{adjacency_from_edges, DynamicGraph, GraphDelta, GraphSnapshot, Normalization};
+use idgnn::hw::AcceleratorConfig;
+use idgnn::model::{Activation, Algorithm, DgnnModel, ModelConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a grid-like road network: an `n × n` lattice of intersections
+/// with a few diagonal arterials.
+fn road_network(n: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut edges = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < n {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if r + 1 < n && c + 1 < n && rng.gen_bool(0.15) {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    edges
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const GRID: usize = 20; // 400 intersections
+    const FEATURES: usize = 24; // 24 readings per interval per sensor
+    const INTERVALS: usize = 6;
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let vertices = GRID * GRID;
+    let edges = road_network(GRID, &mut rng);
+    let initial = GraphSnapshot::new(
+        adjacency_from_edges(vertices, &edges)?,
+        random_features(vertices, FEATURES, &mut rng),
+    )?;
+    println!("road network: {initial}");
+
+    // Evolution: every interval, ~2 road segments close or reopen while
+    // 30 % of the sensors publish fresh readings.
+    let mut dg = DynamicGraph::new(initial);
+    let mut current = dg.initial().clone();
+    for _ in 0..INTERVALS {
+        let mut builder = GraphDelta::builder();
+        // A closure: drop one random existing edge.
+        let existing: Vec<(usize, usize)> = current
+            .adjacency()
+            .iter()
+            .filter(|(u, v, _)| u < v)
+            .map(|(u, v, _)| (u, v))
+            .collect();
+        for _ in 0..2 {
+            let (u, v) = existing[rng.gen_range(0..existing.len())];
+            builder = builder.remove_edge(u, v);
+        }
+        // A reopening: add one random non-edge between nearby intersections.
+        loop {
+            let u = rng.gen_range(0..vertices);
+            let v = (u + rng.gen_range(1..GRID)) % vertices;
+            if u != v && current.adjacency().get(u, v) == 0.0 {
+                builder = builder.add_edge(u, v);
+                break;
+            }
+        }
+        // Sensor refresh.
+        for s in 0..vertices {
+            if rng.gen_bool(0.3) {
+                let row: Vec<f32> = (0..FEATURES).map(|_| rng.gen_range(0.0..1.0)).collect();
+                builder = builder.update_feature(s, row);
+            }
+        }
+        let delta = builder.build();
+        current = delta.apply(&current)?;
+        dg.push_delta(delta);
+    }
+    println!("intervals: {}, mean structural churn: {:.2}%", INTERVALS, dg.mean_dissimilarity()? * 100.0);
+
+    // The forecasting model: 2-layer GCN (spatial) + LSTM (temporal).
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: FEATURES,
+        gnn_hidden: 16,
+        gnn_layers: 2,
+        rnn_hidden: 16,
+        activation: Activation::Relu,
+        normalization: Normalization::Symmetric,
+        seed: 99,
+        rnn_kernel: Default::default(),
+    })?;
+
+    // Real-time check: does each interval fit a 10 ms budget on a small
+    // edge-deployment accelerator?
+    let accel = IdgnnAccelerator::new(AcceleratorConfig::paper_default().scaled_down(64))?;
+    println!("\n{:<16} {:>12} {:>14} {:>12}", "algorithm", "cycles", "ms/interval", "DRAM MiB");
+    for alg in [Algorithm::Recompute, Algorithm::OnePass] {
+        let report = accel.simulate(
+            &model,
+            &dg,
+            &SimOptions { algorithm: Some(alg), ..Default::default() },
+        )?;
+        let ms_per_interval =
+            report.seconds(accel.config().frequency_hz) * 1e3 / (INTERVALS + 1) as f64;
+        println!(
+            "{:<16} {:>12.0} {:>14.3} {:>12.2}",
+            alg.label(),
+            report.total_cycles,
+            ms_per_interval,
+            report.dram_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\nThe one-pass kernel processes each interval's delta without replaying");
+    println!("the full GCN pipeline — the headroom above is the real-time margin.");
+    Ok(())
+}

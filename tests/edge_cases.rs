@@ -1,0 +1,191 @@
+//! Edge-case and failure-injection tests across the stack: degenerate
+//! graphs, single-snapshot streams, conflicting deltas mid-stream, and
+//! extreme configurations.
+
+use idgnn::core::{IdgnnAccelerator, SimOptions};
+use idgnn::graph::{
+    adjacency_from_edges, DynamicGraph, GraphDelta, GraphSnapshot, Normalization,
+};
+use idgnn::hw::AcceleratorConfig;
+use idgnn::model::{
+    exec, Activation, Algorithm, DgnnModel, MemoryModel, ModelConfig, ALL_ALGORITHMS,
+};
+use idgnn::sparse::DenseMatrix;
+
+fn tiny_model(k: usize) -> DgnnModel {
+    DgnnModel::from_config(&ModelConfig {
+        input_dim: k,
+        gnn_hidden: 3,
+        gnn_layers: 2,
+        rnn_hidden: 2,
+        activation: Activation::Relu,
+        normalization: Normalization::Symmetric,
+        seed: 1,
+        rnn_kernel: Default::default(),
+    })
+    .expect("model builds")
+}
+
+#[test]
+fn single_snapshot_stream_works_everywhere() {
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(
+            adjacency_from_edges(6, &[(0, 1), (2, 3)]).unwrap(),
+            DenseMatrix::filled(6, 4, 0.5),
+        )
+        .unwrap(),
+    );
+    let model = tiny_model(4);
+    let mem = MemoryModel::paper_default();
+    for alg in ALL_ALGORITHMS {
+        let r = exec::run(alg, &model, &dg, &mem).unwrap();
+        assert_eq!(r.outputs.len(), 1, "{alg}");
+        assert_eq!(r.costs.len(), 1);
+    }
+    let accel = IdgnnAccelerator::new(AcceleratorConfig::paper_default().scaled_down(256))
+        .unwrap();
+    let report = accel.simulate(&model, &dg, &SimOptions::default()).unwrap();
+    assert!(report.total_cycles > 0.0);
+}
+
+#[test]
+fn edgeless_graph_is_handled() {
+    // Isolated vertices only: aggregation sees self-loops from the
+    // normalization, nothing else.
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(
+            idgnn::sparse::CsrMatrix::zeros(5, 5),
+            DenseMatrix::filled(5, 3, 1.0),
+        )
+        .unwrap(),
+    )
+    .with_delta(GraphDelta::builder().add_edge(0, 1).build());
+    let model = tiny_model(3);
+    let mem = MemoryModel::paper_default();
+    for alg in ALL_ALGORITHMS {
+        let r = exec::run(alg, &model, &dg, &mem).unwrap();
+        assert_eq!(r.outputs.len(), 2, "{alg}");
+        assert!(r.outputs[1].z.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn single_vertex_graph_is_handled() {
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(idgnn::sparse::CsrMatrix::zeros(1, 1), DenseMatrix::filled(1, 2, 1.0))
+            .unwrap(),
+    );
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 2,
+        gnn_hidden: 2,
+        gnn_layers: 1,
+        rnn_hidden: 2,
+        activation: Activation::Linear,
+        normalization: Normalization::Symmetric,
+        seed: 2,
+        rnn_kernel: Default::default(),
+    })
+    .unwrap();
+    let r = exec::run(Algorithm::OnePass, &model, &dg, &MemoryModel::paper_default()).unwrap();
+    assert!(r.outputs[0].z.get(0, 0).is_finite());
+}
+
+#[test]
+fn conflicting_delta_mid_stream_fails_cleanly() {
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(
+            adjacency_from_edges(4, &[(0, 1)]).unwrap(),
+            DenseMatrix::zeros(4, 2),
+        )
+        .unwrap(),
+    )
+    .with_delta(GraphDelta::builder().remove_edge(0, 1).build())
+    .with_delta(GraphDelta::builder().remove_edge(0, 1).build()); // already gone
+    let model = tiny_model(2);
+    let mem = MemoryModel::paper_default();
+    for alg in ALL_ALGORITHMS {
+        assert!(exec::run(alg, &model, &dg, &mem).is_err(), "{alg} should fail");
+    }
+    let accel = IdgnnAccelerator::new(AcceleratorConfig::paper_default().scaled_down(512))
+        .unwrap();
+    assert!(accel
+        .simulate(&model, &dg, &SimOptions::default())
+        .is_err());
+}
+
+#[test]
+fn mismatched_feature_width_fails_cleanly() {
+    // Model expects K=4, graph provides K=2.
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(
+            adjacency_from_edges(4, &[(0, 1)]).unwrap(),
+            DenseMatrix::zeros(4, 2),
+        )
+        .unwrap(),
+    );
+    let model = tiny_model(4);
+    let mem = MemoryModel::paper_default();
+    for alg in ALL_ALGORITHMS {
+        assert!(exec::run(alg, &model, &dg, &mem).is_err(), "{alg} should fail");
+    }
+}
+
+#[test]
+fn zero_capacity_memory_still_simulates() {
+    let dg = DynamicGraph::new(
+        GraphSnapshot::new(
+            adjacency_from_edges(8, &[(0, 1), (1, 2), (2, 3)]).unwrap(),
+            DenseMatrix::filled(8, 3, 0.25),
+        )
+        .unwrap(),
+    )
+    .with_delta(GraphDelta::builder().add_edge(3, 4).build());
+    let model = tiny_model(3);
+    let mem = MemoryModel { onchip_bytes: 0 };
+    for alg in ALL_ALGORITHMS {
+        let r = exec::run(alg, &model, &dg, &mem).unwrap();
+        // Everything spills: DRAM traffic must be strictly positive.
+        assert!(r.total_dram().total() > 0, "{alg}");
+    }
+}
+
+#[test]
+fn feature_only_evolution_is_supported() {
+    // Structure frozen, features churn every snapshot (a pure time-series
+    // workload — the RNN-dominant corner).
+    let g0 = GraphSnapshot::new(
+        adjacency_from_edges(10, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap(),
+        DenseMatrix::filled(10, 4, 0.1),
+    )
+    .unwrap();
+    let mut dg = DynamicGraph::new(g0);
+    for t in 0..3 {
+        let mut b = GraphDelta::builder();
+        for v in 0..10 {
+            b = b.update_feature(v, vec![t as f32; 4]);
+        }
+        dg.push_delta(b.build());
+    }
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 4,
+        gnn_hidden: 3,
+        gnn_layers: 2,
+        rnn_hidden: 2,
+        activation: Activation::Linear,
+        normalization: Normalization::Symmetric,
+        seed: 4,
+        rnn_kernel: Default::default(),
+    })
+    .unwrap();
+    let mem = MemoryModel::paper_default();
+    let op = exec::run(Algorithm::OnePass, &model, &dg, &mem).unwrap();
+    let re = exec::run(Algorithm::Recompute, &model, &dg, &mem).unwrap();
+    for (a, b) in op.outputs.iter().zip(&re.outputs) {
+        assert!(a.z.approx_eq(&b.z, 2e-3), "diff {}", a.z.max_abs_diff(&b.z).unwrap());
+    }
+    // One-pass never touches the graph-structure delta (ΔA = 0): its AComb
+    // ops must be zero after warmup.
+    for c in &op.costs[1..] {
+        assert_eq!(c.ops_of(idgnn::model::Phase::AComb).total(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Cross-crate integration tests: mathematical equivalence of the three
+//! execution algorithms across the whole stack (graph → model → executors),
+//! covering the paper's central correctness claims.
+
+use idgnn::graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
+use idgnn::graph::{DynamicGraph, Normalization};
+use idgnn::model::{
+    exec, Activation, Algorithm, DgnnModel, MemoryModel, ModelConfig, ALL_ALGORITHMS,
+};
+
+fn workload(
+    vertices: usize,
+    edges: usize,
+    dissim: f64,
+    activation: Activation,
+    normalization: Normalization,
+    layers: usize,
+    seed: u64,
+) -> (DgnnModel, DynamicGraph) {
+    let dg = generate_dynamic_graph(
+        &GraphConfig::power_law(vertices, edges, 12),
+        &StreamConfig {
+            deltas: 3,
+            dissimilarity: dissim,
+            addition_fraction: 0.7,
+            feature_update_fraction: 0.05,
+        },
+        seed,
+    )
+    .expect("generation succeeds");
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 12,
+        gnn_hidden: 7,
+        gnn_layers: layers,
+        rnn_hidden: 5,
+        activation,
+        normalization,
+        seed: seed.wrapping_add(1),
+        rnn_kernel: Default::default(),
+    })
+    .expect("model builds");
+    (model, dg)
+}
+
+#[test]
+fn all_three_algorithms_agree_for_linear_gcn() {
+    // Eq. 10's exactness: with a linear GCN the one-pass outputs match the
+    // full pipeline bit-for-bit (up to float reassociation).
+    for seed in [1u64, 2, 3] {
+        let (model, dg) =
+            workload(120, 360, 0.05, Activation::Linear, Normalization::Symmetric, 3, seed);
+        let mem = MemoryModel::paper_default();
+        let results: Vec<_> = ALL_ALGORITHMS
+            .iter()
+            .map(|&a| exec::run(a, &model, &dg, &mem).expect("runs"))
+            .collect();
+        for t in 0..dg.num_snapshots() {
+            for pair in results.windows(2) {
+                let a = &pair[0].outputs[t];
+                let b = &pair[1].outputs[t];
+                assert!(
+                    a.z.approx_eq(&b.z, 5e-3),
+                    "seed {seed} snapshot {t}: Z diverged by {}",
+                    a.z.max_abs_diff(&b.z).unwrap()
+                );
+                assert!(a.state.h.approx_eq(&b.state.h, 5e-3));
+                assert!(a.state.c.approx_eq(&b.state.c, 5e-3));
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_recompute_under_relu_and_symmetric_norm() {
+    // Incremental computing is exact for ANY activation (unaffected rows are
+    // provably unchanged) — the strongest equivalence in the suite.
+    let (model, dg) =
+        workload(150, 500, 0.08, Activation::Relu, Normalization::Symmetric, 3, 9);
+    let mem = MemoryModel::paper_default();
+    let inc = exec::run(Algorithm::Incremental, &model, &dg, &mem).expect("runs");
+    let rec = exec::run(Algorithm::Recompute, &model, &dg, &mem).expect("runs");
+    for (a, b) in inc.outputs.iter().zip(&rec.outputs) {
+        assert!(a.z.approx_eq(&b.z, 1e-4), "diff {}", a.z.max_abs_diff(&b.z).unwrap());
+        assert!(a.state.h.approx_eq(&b.state.h, 1e-4));
+    }
+}
+
+#[test]
+fn onepass_exact_for_relu_with_nonnegative_model() {
+    // With non-negative weights and features ReLU never clips, so even the
+    // fused path matches the layered pipeline exactly.
+    use idgnn::model::{GcnLayer, GcnStack, LstmCell};
+    let dg = generate_dynamic_graph(
+        &GraphConfig::power_law(80, 240, 6),
+        &StreamConfig {
+            deltas: 2,
+            dissimilarity: 0.05,
+            addition_fraction: 1.0, // only additions keep the operator non-negative
+            feature_update_fraction: 0.0,
+        },
+        4,
+    )
+    .expect("generation succeeds");
+    // Shift all features to be non-negative.
+    let (a0, x0) = dg.initial().clone().into_parts();
+    let x0 = x0.map(|v| v.abs());
+    let dg = {
+        let snap = idgnn::graph::GraphSnapshot::new(a0, x0).expect("valid");
+        let mut out = idgnn::graph::DynamicGraph::new(snap);
+        for d in dg.deltas() {
+            out.push_delta(d.clone());
+        }
+        out
+    };
+    let mk = |seed: u64, r: usize, c: usize| {
+        let l = GcnLayer::random(r, c, Activation::Relu, seed);
+        GcnLayer::new(l.weight().map(f32::abs), Activation::Relu)
+    };
+    let gcn = GcnStack::new(vec![mk(1, 6, 5), mk(2, 5, 5)]).expect("valid");
+    let lstm = LstmCell::random(5, 4, 3);
+    let model = DgnnModel::new(gcn, lstm, Normalization::SelfLoops).expect("valid");
+
+    let mem = MemoryModel::paper_default();
+    let onepass = exec::run(Algorithm::OnePass, &model, &dg, &mem).expect("runs");
+    let recompute = exec::run(Algorithm::Recompute, &model, &dg, &mem).expect("runs");
+    for (t, (a, b)) in onepass.outputs.iter().zip(&recompute.outputs).enumerate() {
+        assert!(
+            a.z.approx_eq(&b.z, 1e-3),
+            "snapshot {t}: diff {}",
+            a.z.max_abs_diff(&b.z).unwrap()
+        );
+    }
+}
+
+#[test]
+fn equivalence_holds_for_one_and_two_layer_models() {
+    for layers in [1usize, 2] {
+        let (model, dg) =
+            workload(100, 300, 0.06, Activation::Linear, Normalization::SelfLoops, layers, 11);
+        let mem = MemoryModel::paper_default();
+        let onepass = exec::run(Algorithm::OnePass, &model, &dg, &mem).expect("runs");
+        let recompute = exec::run(Algorithm::Recompute, &model, &dg, &mem).expect("runs");
+        for (a, b) in onepass.outputs.iter().zip(&recompute.outputs) {
+            assert!(
+                a.z.approx_eq(&b.z, 2e-3),
+                "L={layers}: diff {}",
+                a.z.max_abs_diff(&b.z).unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_survives_deletion_heavy_streams() {
+    let dg = generate_dynamic_graph(
+        &GraphConfig::power_law(130, 500, 10),
+        &StreamConfig {
+            deltas: 4,
+            dissimilarity: 0.10,
+            addition_fraction: 0.2, // deletion-heavy
+            feature_update_fraction: 0.1,
+        },
+        21,
+    )
+    .expect("generation succeeds");
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 10,
+        gnn_hidden: 6,
+        gnn_layers: 3,
+        rnn_hidden: 4,
+        activation: Activation::Linear,
+        normalization: Normalization::Symmetric,
+        seed: 5,
+        rnn_kernel: Default::default(),
+    })
+    .expect("model builds");
+    let mem = MemoryModel::paper_default();
+    let onepass = exec::run(Algorithm::OnePass, &model, &dg, &mem).expect("runs");
+    let recompute = exec::run(Algorithm::Recompute, &model, &dg, &mem).expect("runs");
+    for (t, (a, b)) in onepass.outputs.iter().zip(&recompute.outputs).enumerate() {
+        assert!(
+            a.z.approx_eq(&b.z, 5e-3),
+            "snapshot {t}: diff {}",
+            a.z.max_abs_diff(&b.z).unwrap()
+        );
+    }
+}
+
+#[test]
+fn row_stochastic_operator_preserves_equivalence() {
+    // GraphSAGE-mean style operator (asymmetric): the one-pass kernel falls
+    // back to the general ΔA_C expansion and must still agree with the full
+    // pipeline under a linear GCN.
+    let (model, dg) =
+        workload(90, 270, 0.06, Activation::Linear, Normalization::RowStochastic, 3, 31);
+    let mem = MemoryModel::paper_default();
+    let op = exec::run(Algorithm::OnePass, &model, &dg, &mem).expect("runs");
+    let rec = exec::run(Algorithm::Recompute, &model, &dg, &mem).expect("runs");
+    for (t, (a, b)) in op.outputs.iter().zip(&rec.outputs).enumerate() {
+        assert!(
+            a.z.approx_eq(&b.z, 5e-3),
+            "snapshot {t}: diff {}",
+            a.z.max_abs_diff(&b.z).unwrap()
+        );
+    }
+}
+
+#[test]
+fn gru_kernel_preserves_cross_algorithm_equivalence() {
+    // The paper (§II-B): the framework "can also be efficiently applied to
+    // other RNN variants, such as GRUs". All three algorithms must agree
+    // with the GRU kernel too (linear GCN).
+    use idgnn::model::RnnKernelKind;
+    let dg = generate_dynamic_graph(
+        &GraphConfig::power_law(100, 300, 10),
+        &StreamConfig {
+            deltas: 3,
+            dissimilarity: 0.05,
+            addition_fraction: 0.7,
+            feature_update_fraction: 0.05,
+        },
+        6,
+    )
+    .expect("generation succeeds");
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 10,
+        gnn_hidden: 6,
+        gnn_layers: 3,
+        rnn_hidden: 5,
+        activation: Activation::Linear,
+        normalization: Normalization::Symmetric,
+        seed: 17,
+        rnn_kernel: RnnKernelKind::Gru,
+    })
+    .expect("model builds");
+    assert_eq!(model.rnn().gate_count(), 3);
+    assert!(model.lstm().is_none());
+
+    let mem = MemoryModel::paper_default();
+    let results: Vec<_> = ALL_ALGORITHMS
+        .iter()
+        .map(|&a| exec::run(a, &model, &dg, &mem).expect("runs"))
+        .collect();
+    for t in 0..dg.num_snapshots() {
+        for pair in results.windows(2) {
+            let a = &pair[0].outputs[t];
+            let b = &pair[1].outputs[t];
+            assert!(a.z.approx_eq(&b.z, 5e-3));
+            assert!(a.state.h.approx_eq(&b.state.h, 5e-3));
+        }
+    }
+    // GRU has fewer weight bytes than an equal-sized LSTM.
+    let lstm_model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 10,
+        gnn_hidden: 6,
+        gnn_layers: 3,
+        rnn_hidden: 5,
+        activation: Activation::Linear,
+        normalization: Normalization::Symmetric,
+        seed: 17,
+        rnn_kernel: RnnKernelKind::Lstm,
+    })
+    .expect("model builds");
+    assert!(model.weight_bytes() < lstm_model.weight_bytes());
+}
+
+#[test]
+fn empty_deltas_are_stable_fixed_points() {
+    // A stream with zero structural churn and zero feature churn: the GNN
+    // output must be identical at every snapshot, while the LSTM state still
+    // evolves (it integrates over time).
+    let dg = generate_dynamic_graph(
+        &GraphConfig::power_law(60, 180, 8),
+        &StreamConfig {
+            deltas: 3,
+            dissimilarity: 0.0,
+            addition_fraction: 0.5,
+            feature_update_fraction: 0.0,
+        },
+        8,
+    )
+    .expect("generation succeeds");
+    let model = DgnnModel::from_config(&ModelConfig {
+        input_dim: 8,
+        gnn_hidden: 4,
+        gnn_layers: 2,
+        rnn_hidden: 4,
+        activation: Activation::Relu,
+        normalization: Normalization::Symmetric,
+        seed: 1,
+        rnn_kernel: Default::default(),
+    })
+    .expect("model builds");
+    let mem = MemoryModel::paper_default();
+    let r = exec::run(Algorithm::OnePass, &model, &dg, &mem).expect("runs");
+    for t in 1..r.outputs.len() {
+        assert!(r.outputs[t].z.approx_eq(&r.outputs[0].z, 1e-6), "Z changed at {t}");
+        assert!(
+            !r.outputs[t].state.h.approx_eq(&r.outputs[t - 1].state.h, 1e-9),
+            "H should keep evolving at {t}"
+        );
+    }
+}
