@@ -89,12 +89,12 @@ fn iterate(
             ranks.iter().zip(dangling).filter(|(_, &d)| d).map(|(r, _)| r).sum();
         let base = (1.0 - cfg.damping) * uniform + cfg.damping * dangling_mass * uniform;
         let mut next = vec![base; n];
-        for r in 0..n {
+        for (r, slot) in next.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             for (c, w) in p.row_iter(r) {
                 acc += w as f64 * ranks[c];
             }
-            next[r] += cfg.damping * acc;
+            *slot += cfg.damping * acc;
             ops.mults += p.row_nnz(r) as u64 + 1;
             ops.adds += p.row_nnz(r) as u64 + 1;
         }

@@ -46,6 +46,24 @@ impl Booster {
     ///
     /// Propagates functional or hardware-model errors.
     pub fn simulate(&self, model: &DgnnModel, dg: &DynamicGraph) -> Result<SimReport> {
+        self.simulate_with(model, dg, None)
+    }
+
+    /// Simulates the workload with an explicit host-kernel thread count
+    /// (`None` inherits the ambient selection, `Some(1)` forces the legacy
+    /// serial kernels; the report is bit-identical across settings).
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional or hardware-model errors.
+    pub fn simulate_with(
+        &self,
+        model: &DgnnModel,
+        dg: &DynamicGraph,
+        parallelism: Option<usize>,
+    ) -> Result<SimReport> {
+        let _kernel_scope = parallelism
+            .map(|n| idgnn_sparse::parallel::kernel_scope(idgnn_sparse::Parallelism::new(n)));
         let mem = MemoryModel { onchip_bytes: self.engine.config().total_onchip_bytes() };
         let result = exec::run(Algorithm::Recompute, model, dg, &mem)?;
         // Two pipeline stages, each with half the fabric.

@@ -1,19 +1,31 @@
 //! Runs the complete evaluation (every table and figure) and writes the
-//! JSON results under `results/` plus a combined text report.
+//! JSON results under `results/` plus a combined text report and a
+//! `timings.json` wall-clock sidecar.
 fn main() {
+    let par = idgnn_bench::cli::apply_parallelism_flag(std::env::args().skip(1));
     let ctx = idgnn_bench::cli::env_context().expect("context construction failed");
     std::env::set_var("IDGNN_JSON_DIR", "results");
     let mut combined = String::new();
+    let mut timings = Vec::new();
     for name in idgnn_bench::cli::EXPERIMENTS {
-        eprintln!("running {name}…");
-        let (text, json) =
-            idgnn_bench::cli::run_experiment(name, &ctx).expect("experiment failed");
+        eprintln!("running {name}… (parallelism={par})");
+        let (text, json, timing) =
+            idgnn_bench::cli::run_experiment_timed(name, &ctx).expect("experiment failed");
+        eprintln!("[timing] {name}: {:.1} ms", timing.wall_ms);
         println!("{text}");
         combined.push_str(&text);
         combined.push('\n');
+        timings.push(timing);
         std::fs::create_dir_all("results").expect("create results dir");
         std::fs::write(format!("results/{name}.json"), json).expect("write results");
     }
     std::fs::write("results/report.txt", combined).expect("write combined report");
-    eprintln!("wrote results/*.json and results/report.txt");
+    let report = idgnn_bench::report::TimingReport::new(par.threads(), timings);
+    let timings_json = serde_json::to_string_pretty(&report).expect("timings serialize");
+    std::fs::write("results/timings.json", timings_json).expect("write timings");
+    eprintln!(
+        "wrote results/*.json, results/report.txt and results/timings.json \
+         (total {:.1} ms)",
+        report.total_wall_ms
+    );
 }

@@ -3,10 +3,19 @@
 //! Every binary accepts the same environment knobs:
 //!
 //! * `IDGNN_SCALE=quick|standard` — workload scale (default `standard`);
-//! * `IDGNN_SEED=<u64>` — generation seed (default 42).
+//! * `IDGNN_SEED=<u64>` — generation seed (default 42);
+//! * `IDGNN_PARALLELISM=<n>` — driver/kernel worker threads (default: all
+//!   hardware threads; `1` forces the legacy serial path) — overridden by
+//!   the `--parallelism <n>` command-line flag.
+//!
+//! Parallelism only changes host wall-clock time: every figure's text and
+//! JSON output is byte-identical across settings.
+
+use idgnn_sparse::{parallel, Parallelism};
 
 use crate::context::{Context, ExperimentScale, Result};
 use crate::figures;
+use crate::report::ExperimentTiming;
 
 /// Reads the scale/seed knobs from the environment.
 pub fn env_context() -> Result<Context> {
@@ -53,20 +62,76 @@ pub fn run_experiment(name: &str, ctx: &Context) -> Result<(String, String)> {
     }
 }
 
+/// Runs one named experiment, measuring host wall-clock time. The timing
+/// goes in the returned sidecar, not the figure JSON, so the JSON stays
+/// byte-identical across parallelism settings.
+///
+/// # Errors
+///
+/// Propagates experiment failures.
+pub fn run_experiment_timed(
+    name: &str,
+    ctx: &Context,
+) -> Result<(String, String, ExperimentTiming)> {
+    let start = std::time::Instant::now();
+    let (text, json) = run_experiment(name, ctx)?;
+    let timing = ExperimentTiming {
+        experiment: name.to_string(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        parallelism: ctx.parallelism.threads(),
+    };
+    Ok((text, json, timing))
+}
+
 /// Names of all experiments, in paper order.
 pub const EXPERIMENTS: [&str; 13] = [
     "table1", "fig03", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
     "fig18", "fig19", "ablations",
 ];
 
-/// Entry point used by the single-figure binaries: builds the context from
-/// the environment, runs the experiment, prints the text report, and — when
+/// Applies a `--parallelism <n>` / `--parallelism=<n>` command-line flag (if
+/// present in `args`) as the process-wide default, overriding
+/// `IDGNN_PARALLELISM`. Returns the parsed worker count.
+///
+/// # Panics
+///
+/// Panics on a malformed flag value (these are developer-facing binaries).
+pub fn apply_parallelism_flag<I: Iterator<Item = String>>(args: I) -> Parallelism {
+    let mut args = args.peekable();
+    let mut selected = None;
+    while let Some(arg) = args.next() {
+        if arg == "--parallelism" {
+            let v = args.next().unwrap_or_else(|| panic!("--parallelism requires a value"));
+            selected = Some(v);
+        } else if let Some(v) = arg.strip_prefix("--parallelism=") {
+            selected = Some(v.to_string());
+        }
+    }
+    match selected {
+        Some(v) => {
+            let n: usize = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid --parallelism value: {v:?}"));
+            let par = Parallelism::new(n);
+            parallel::set_process_default(par);
+            par
+        }
+        None => parallel::current(),
+    }
+}
+
+/// Entry point used by the single-figure binaries: applies `--parallelism`,
+/// builds the context from the environment, runs the experiment, prints the
+/// text report (plus a wall-clock line on stderr), and — when
 /// `IDGNN_JSON_DIR` is set — writes the JSON next to it.
 pub fn figure_main(name: &str) {
+    let par = apply_parallelism_flag(std::env::args().skip(1));
     let ctx = env_context().unwrap_or_else(|e| panic!("context construction failed: {e}"));
-    let (text, json) =
-        run_experiment(name, &ctx).unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    let (text, json, timing) = run_experiment_timed(name, &ctx)
+        .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
     println!("{text}");
+    eprintln!("[timing] {name}: {:.1} ms (parallelism={par})", timing.wall_ms);
     if let Ok(dir) = std::env::var("IDGNN_JSON_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.json"));
         if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {

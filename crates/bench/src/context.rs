@@ -18,6 +18,7 @@ use idgnn_graph::generate::StreamConfig;
 use idgnn_graph::{DynamicGraph, Normalization};
 use idgnn_hw::AcceleratorConfig;
 use idgnn_model::{Activation, Algorithm, DgnnModel, MemoryModel, ModelConfig};
+use idgnn_sparse::Parallelism;
 
 /// Harness result alias.
 pub type Result<T> = std::result::Result<T, idgnn_core::CoreError>;
@@ -85,6 +86,11 @@ pub struct Context {
     pub dims: EvalDims,
     /// Number of snapshots per stream.
     pub snapshots: usize,
+    /// Worker threads for the experiment-grid fan-out ([`crate::driver`]).
+    /// Defaults to the ambient [`idgnn_sparse::parallel::current`] selection
+    /// (`IDGNN_PARALLELISM` / `--parallelism`); `1` runs the legacy serial
+    /// driver. Results are byte-identical across settings.
+    pub parallelism: Parallelism,
 }
 
 impl Context {
@@ -113,7 +119,22 @@ impl Context {
         // baseline paradigms still stage their intermediates through DRAM.
         let min_scale = workloads.iter().map(|w| w.scale).min().unwrap_or(1).max(1);
         let config = AcceleratorConfig::paper_default().scaled_down(min_scale);
-        Ok(Self { workloads, config, stream, dims, snapshots: stream.deltas + 1 })
+        Ok(Self {
+            workloads,
+            config,
+            stream,
+            dims,
+            snapshots: stream.deltas + 1,
+            parallelism: idgnn_sparse::parallel::current(),
+        })
+    }
+
+    /// Same context with an explicit driver worker count (used by the
+    /// serial-equivalence tests to pin both modes).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Builds a single dataset workload with explicit stream parameters

@@ -7,6 +7,7 @@
 use serde::Serialize;
 
 use crate::context::{Context, Result, ACCELERATORS};
+use crate::driver;
 use crate::report::{mean, reduction_pct, table};
 
 /// Cycle counts of the four accelerators on one dataset.
@@ -35,13 +36,23 @@ pub struct Fig12 {
 ///
 /// Propagates simulation errors.
 pub fn run(ctx: &Context) -> Result<Fig12> {
+    // Grid: (dataset × accelerator) cells in declared order; the driver fans
+    // them across workers and hands back results in the same order.
+    let cells: Vec<(usize, &str)> = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| ACCELERATORS.iter().map(move |name| (wi, *name)))
+        .collect();
+    let grid_cycles = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, name)| {
+        Ok(ctx.run_accelerator(name, &ctx.workloads[wi])?.total_cycles)
+    })?;
+
     let mut rows = Vec::new();
     let mut reds = [Vec::new(), Vec::new(), Vec::new()];
-    for w in &ctx.workloads {
+    for (wi, w) in ctx.workloads.iter().enumerate() {
         let mut cycles = [0.0f64; 4];
-        for (i, name) in ACCELERATORS.iter().enumerate() {
-            cycles[i] = ctx.run_accelerator(name, w)?.total_cycles;
-        }
+        cycles.copy_from_slice(&grid_cycles[wi * ACCELERATORS.len()..(wi + 1) * ACCELERATORS.len()]);
         let mut speedups = [0.0f64; 3];
         for b in 0..3 {
             speedups[b] = cycles[b + 1] / cycles[0].max(1e-9);

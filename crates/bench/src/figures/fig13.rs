@@ -8,6 +8,7 @@ use idgnn_model::{Algorithm, ALL_ALGORITHMS};
 use serde::Serialize;
 
 use crate::context::{Context, Result};
+use crate::driver;
 use crate::report::{mean, reduction_pct, table};
 
 /// Normalized execution time of each algorithm on one dataset.
@@ -36,15 +37,26 @@ pub struct Fig13 {
 ///
 /// Propagates simulation errors.
 pub fn run(ctx: &Context) -> Result<Fig13> {
+    // Grid: (dataset × algorithm) cells, fanned out in declared order.
+    let cells: Vec<(usize, Algorithm)> = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| ALL_ALGORITHMS.iter().map(move |&alg| (wi, alg)))
+        .collect();
+    let grid_cycles = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, alg)| {
+        let opts = SimOptions { algorithm: Some(alg), ..Default::default() };
+        Ok(ctx.run_idgnn(&ctx.workloads[wi], &opts)?.total_cycles)
+    })?;
+
     let mut rows = Vec::new();
     let mut red_re = Vec::new();
     let mut red_inc = Vec::new();
-    for w in &ctx.workloads {
+    for (wi, w) in ctx.workloads.iter().enumerate() {
         let mut cycles = [0.0f64; 3];
-        for (i, &alg) in ALL_ALGORITHMS.iter().enumerate() {
-            let opts = SimOptions { algorithm: Some(alg), ..Default::default() };
-            cycles[i] = ctx.run_idgnn(w, &opts)?.total_cycles;
-        }
+        cycles.copy_from_slice(
+            &grid_cycles[wi * ALL_ALGORITHMS.len()..(wi + 1) * ALL_ALGORITHMS.len()],
+        );
         let re = cycles[0].max(1e-9);
         rows.push(Fig13Row {
             dataset: w.spec.short.to_string(),

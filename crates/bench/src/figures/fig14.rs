@@ -10,6 +10,7 @@ use idgnn_model::{Algorithm, MemoryModel};
 use serde::Serialize;
 
 use crate::context::{Context, Result, ACCELERATORS};
+use crate::driver;
 use crate::report::{mean, reduction_pct, table};
 
 /// Energy breakdown of one accelerator on one dataset, normalized to
@@ -59,13 +60,21 @@ pub struct Fig14 {
 ///
 /// Propagates simulation errors.
 pub fn run(ctx: &Context) -> Result<Fig14> {
+    // Grid: (dataset × accelerator) cells, fanned out in declared order.
+    let cells: Vec<(usize, &str)> = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| ACCELERATORS.iter().map(move |name| (wi, *name)))
+        .collect();
+    let grid_reports = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, name)| {
+        ctx.run_accelerator(name, &ctx.workloads[wi])
+    })?;
+
     let mut rows = Vec::new();
     let mut reds = [Vec::new(), Vec::new(), Vec::new()];
-    for w in &ctx.workloads {
-        let reports: Vec<_> = ACCELERATORS
-            .iter()
-            .map(|name| ctx.run_accelerator(name, w))
-            .collect::<Result<_>>()?;
+    for (wi, w) in ctx.workloads.iter().enumerate() {
+        let reports = &grid_reports[wi * ACCELERATORS.len()..(wi + 1) * ACCELERATORS.len()];
         let base = reports[0].energy.total_pj().max(1e-9);
         for (i, name) in ACCELERATORS.iter().enumerate() {
             let e = &reports[i].energy;

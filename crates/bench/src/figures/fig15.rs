@@ -8,6 +8,7 @@ use idgnn_graph::generate::StreamConfig;
 use serde::Serialize;
 
 use crate::context::{Context, Result, ACCELERATORS};
+use crate::driver;
 use crate::report::table;
 
 /// The swept dissimilarity proportions.
@@ -43,8 +44,9 @@ pub fn run(ctx: &Context) -> Result<Fig15> {
     } else {
         crate::context::ExperimentScale::Standard
     };
-    let mut rows = Vec::new();
-    for &d in &SWEEP {
+    // One cell per sweep point: each worker builds its own workload and runs
+    // all four accelerators, so nothing is shared across cells.
+    let rows = driver::run_cells(ctx.parallelism, &SWEEP, |_, &d| {
         let stream = StreamConfig { dissimilarity: d, ..ctx.stream };
         let w = Context::build_workload(&spec, scale, &stream, ctx.dims, 41)?;
         let mut cycles = [0.0f64; 4];
@@ -52,12 +54,12 @@ pub fn run(ctx: &Context) -> Result<Fig15> {
             cycles[i] = ctx.run_accelerator(name, &w)?.total_cycles;
         }
         let base = cycles[0].max(1e-9);
-        rows.push(Fig15Row {
+        Ok(Fig15Row {
             dissimilarity: d,
             idgnn_cycles: cycles[0],
             normalized: [cycles[1] / base, cycles[2] / base, cycles[3] / base],
-        });
-    }
+        })
+    })?;
     Ok(Fig15 { rows })
 }
 

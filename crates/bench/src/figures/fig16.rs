@@ -8,6 +8,7 @@ use idgnn_graph::generate::StreamConfig;
 use serde::Serialize;
 
 use crate::context::{Context, Result};
+use crate::driver;
 use crate::report::table;
 
 /// The swept addition fractions (75/25, 50/50, 25/75).
@@ -42,18 +43,28 @@ pub fn run(ctx: &Context) -> Result<Fig16> {
     } else {
         crate::context::ExperimentScale::Standard
     };
+    // Grid: (dataset × addition-fraction) cells, fanned out in declared
+    // order; each cell generates its own sweep workload.
+    let cells: Vec<(usize, f64)> = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| SWEEP.iter().map(move |&add| (wi, add)))
+        .collect();
+    let grid_cycles = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, add)| {
+        let stream = StreamConfig {
+            addition_fraction: add,
+            dissimilarity: 0.08,
+            ..ctx.stream
+        };
+        let sweep_w = Context::build_workload(&ctx.workloads[wi].spec, scale, &stream, ctx.dims, 61)?;
+        Ok(ctx.run_idgnn(&sweep_w, &SimOptions::default())?.total_cycles)
+    })?;
+
     let mut rows = Vec::new();
-    for w in &ctx.workloads {
+    for (wi, w) in ctx.workloads.iter().enumerate() {
         let mut cycles = [0.0f64; 3];
-        for (i, &add) in SWEEP.iter().enumerate() {
-            let stream = StreamConfig {
-                addition_fraction: add,
-                dissimilarity: 0.08,
-                ..ctx.stream
-            };
-            let sweep_w = Context::build_workload(&w.spec, scale, &stream, ctx.dims, 61)?;
-            cycles[i] = ctx.run_idgnn(&sweep_w, &SimOptions::default())?.total_cycles;
-        }
+        cycles.copy_from_slice(&grid_cycles[wi * SWEEP.len()..(wi + 1) * SWEEP.len()]);
         let base = cycles[0].max(1e-9);
         rows.push(Fig16Row {
             dataset: w.spec.short.to_string(),

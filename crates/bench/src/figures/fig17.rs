@@ -7,6 +7,7 @@ use idgnn_core::{IdgnnAccelerator, SimOptions};
 use serde::Serialize;
 
 use crate::context::{Context, Result};
+use crate::driver;
 use crate::report::table;
 
 /// The swept PE grids (count = rows × cols).
@@ -48,17 +49,25 @@ pub struct Fig17 {
 /// Propagates simulation errors.
 pub fn run(ctx: &Context) -> Result<Fig17> {
     let pe_counts: Vec<usize> = GRIDS.iter().map(|(r, c)| r * c).collect();
+    // Grid: (dataset × PE grid) cells, fanned out in declared order.
+    let cells: Vec<(usize, (usize, usize))> = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| GRIDS.iter().map(move |&grid| (wi, grid)))
+        .collect();
+    let grid_cycles = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, (r, c))| {
+        let w = &ctx.workloads[wi];
+        let accel = IdgnnAccelerator::new(ctx.config.with_pe_grid(r, c))?;
+        Ok(accel.simulate(&w.model, &w.graph, &SimOptions::default())?.total_cycles)
+    })?;
+
     let mut rows = Vec::new();
     let mut analytical_rows = Vec::new();
     let full = idgnn_hw::AcceleratorConfig::paper_default();
     let full_mem = idgnn_model::MemoryModel::paper_default();
-    for w in &ctx.workloads {
-        let mut cycles = Vec::with_capacity(GRIDS.len());
-        for (r, c) in GRIDS {
-            let config = ctx.config.with_pe_grid(r, c);
-            let accel = IdgnnAccelerator::new(config)?;
-            cycles.push(accel.simulate(&w.model, &w.graph, &SimOptions::default())?.total_cycles);
-        }
+    for (wi, w) in ctx.workloads.iter().enumerate() {
+        let cycles: Vec<f64> = grid_cycles[wi * GRIDS.len()..(wi + 1) * GRIDS.len()].to_vec();
         let base = cycles[0].max(1e-9);
         let speedup = cycles.iter().map(|&cy| base / cy.max(1e-9)).collect();
         rows.push(Fig17Row { dataset: w.spec.short.to_string(), cycles, speedup });

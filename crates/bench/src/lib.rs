@@ -24,6 +24,7 @@
 
 pub mod cli;
 pub mod context;
+pub mod driver;
 pub mod figures;
 pub mod report;
 

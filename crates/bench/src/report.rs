@@ -1,5 +1,42 @@
 //! Plain-text table formatting and normalization helpers shared by the
-//! figure harnesses.
+//! figure harnesses, plus the wall-clock timing sidecar.
+
+use serde::Serialize;
+
+/// Host wall-clock timing of one experiment run.
+///
+/// Timing lives in this *sidecar* — never inside a figure's own result
+/// struct — so the figure JSON stays byte-identical across parallelism
+/// settings (the serial-equivalence tests compare it directly).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTiming {
+    /// Experiment name (e.g. `"fig12"`).
+    pub experiment: String,
+    /// Host wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Driver worker count the run used.
+    pub parallelism: usize,
+}
+
+/// Wall-clock timings of a whole evaluation sweep
+/// (written to `results/timings.json` by the `all` binary).
+#[derive(Debug, Clone, Serialize)]
+pub struct TimingReport {
+    /// Driver worker count of the sweep.
+    pub parallelism: usize,
+    /// Sum of the per-experiment wall times, milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-experiment timings, in run order.
+    pub experiments: Vec<ExperimentTiming>,
+}
+
+impl TimingReport {
+    /// Assembles the report from per-experiment timings.
+    pub fn new(parallelism: usize, experiments: Vec<ExperimentTiming>) -> Self {
+        let total_wall_ms = experiments.iter().map(|t| t.wall_ms).sum();
+        Self { parallelism, total_wall_ms, experiments }
+    }
+}
 
 /// Formats a text table with a header row.
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -76,7 +113,7 @@ pub fn human(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

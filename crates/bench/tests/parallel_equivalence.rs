@@ -1,0 +1,48 @@
+//! Serial-equivalence of the experiment driver: a figure's text report and
+//! JSON must be *byte-identical* whether the (dataset × accelerator) grid is
+//! executed serially or fanned across worker threads.
+//!
+//! This is the load-bearing guarantee of the parallel execution layer —
+//! parallelism is a host-side knob that may only change wall-clock time.
+
+use idgnn_bench::cli::run_experiment;
+use idgnn_bench::context::{Context, ExperimentScale};
+use idgnn_sparse::Parallelism;
+
+/// Runs `name` under the given driver parallelism and returns `(text, json)`.
+fn run_with(name: &str, threads: usize, seed: u64) -> (String, String) {
+    let ctx = Context::new(ExperimentScale::Quick, seed)
+        .expect("context")
+        .with_parallelism(Parallelism::new(threads));
+    run_experiment(name, &ctx).expect("experiment")
+}
+
+#[test]
+fn fig12_report_is_byte_identical_across_parallelism() {
+    let (text_serial, json_serial) = run_with("fig12", 1, 7);
+    let (text_par, json_par) = run_with("fig12", 4, 7);
+    assert_eq!(text_serial, text_par, "fig12 text differs across parallelism");
+    assert_eq!(json_serial, json_par, "fig12 JSON differs across parallelism");
+    // Sanity: the report is non-trivial, not two identically-empty strings.
+    assert!(json_serial.contains("mean_reductions"));
+}
+
+#[test]
+fn fig15_sweep_is_byte_identical_across_parallelism() {
+    // Fig. 15 is the sweep-style grid: each cell generates its own workload
+    // inside the worker, so this also covers graph generation off-thread.
+    let (text_serial, json_serial) = run_with("fig15", 1, 7);
+    let (text_par, json_par) = run_with("fig15", 3, 7);
+    assert_eq!(text_serial, text_par, "fig15 text differs across parallelism");
+    assert_eq!(json_serial, json_par, "fig15 JSON differs across parallelism");
+    assert!(json_serial.contains("dissimilarity"));
+}
+
+#[test]
+fn oversubscribed_driver_matches_serial() {
+    // More workers than grid cells: the driver must clamp, preserve cell
+    // order, and still produce identical bytes.
+    let (_, json_serial) = run_with("fig12", 1, 11);
+    let (_, json_over) = run_with("fig12", 64, 11);
+    assert_eq!(json_serial, json_over);
+}

@@ -88,10 +88,10 @@ fn scale_rows(a: &CsrMatrix, s: &[f32]) -> CsrMatrix {
     indptr.push(0usize);
     let mut indices = Vec::with_capacity(a.nnz());
     let mut values = Vec::with_capacity(a.nnz());
-    for r in 0..a.rows() {
+    for (r, &scale) in s.iter().enumerate().take(a.rows()) {
         for (c, v) in a.row_iter(r) {
             indices.push(c);
-            values.push(s[r] * v);
+            values.push(scale * v);
         }
         indptr.push(indices.len());
     }
@@ -105,10 +105,10 @@ fn scale_rows_cols(a: &CsrMatrix, s: &[f32]) -> CsrMatrix {
     indptr.push(0usize);
     let mut indices = Vec::with_capacity(a.nnz());
     let mut values = Vec::with_capacity(a.nnz());
-    for r in 0..a.rows() {
+    for (r, &scale) in s.iter().enumerate().take(a.rows()) {
         for (c, v) in a.row_iter(r) {
             indices.push(c);
-            values.push(s[r] * v * s[c]);
+            values.push(scale * v * s[c]);
         }
         indptr.push(indices.len());
     }

@@ -176,7 +176,7 @@ mod tests {
         let pe = PeMicrosim::paper_default();
         let small = pe.run(tile(16)).cycles;
         // One issue cycle + adder(4) + ppu(2) + wb(1) = 8.
-        assert!(small >= 7 && small <= 10, "cycles {small}");
+        assert!((7..=10).contains(&small), "cycles {small}");
     }
 
     #[test]

@@ -70,9 +70,8 @@ pub(crate) fn run(
     costs.push(cost0);
 
     // ---- Subsequent snapshots: affected-set propagation. ----
-    for t in 1..snaps.len() {
+    for (t, snap) in snaps.iter().enumerate().skip(1) {
         let mut cost = SnapshotCost::default();
-        let snap = &snaps[t];
         let a_next = model.normalization().apply(snap.adjacency());
         let d_op = ops::sp_sub(&a_next, &a_prev)?.pruned(0.0);
 

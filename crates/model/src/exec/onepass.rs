@@ -200,9 +200,8 @@ pub(crate) fn run(
     outputs.push(SnapshotOutput { z: x_c.clone(), state: state.clone() });
     costs.push(cost0);
 
-    for t in 1..snaps.len() {
+    for (t, snap) in snaps.iter().enumerate().skip(1) {
         let mut cost = SnapshotCost::default();
-        let snap = &snaps[t];
         let a_next = model.normalization().apply(snap.adjacency());
 
         // DIU: ΔA and ΔX_0.

@@ -107,7 +107,7 @@ impl CooMatrix {
     /// zeros; call [`CsrMatrix::pruned`] to drop them.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|e| (e.0, e.1));
 
         let mut indptr = vec![0usize; self.rows + 1];
         let mut indices = Vec::with_capacity(sorted.len());

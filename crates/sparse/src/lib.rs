@@ -46,6 +46,7 @@ mod dense;
 mod error;
 
 pub mod ops;
+pub mod parallel;
 pub mod stats;
 
 pub use coo::CooMatrix;
@@ -53,3 +54,4 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use ops::OpStats;
+pub use parallel::Parallelism;

@@ -4,9 +4,39 @@
 //! scalar multiply and add operations performed ([`OpStats`]). The accelerator
 //! model uses these counts directly — the paper's simulator "monitors the
 //! number of arithmetic operations" (§VI-A), and so do we.
+//!
+//! ## Execution modes
+//!
+//! Each kernel exists in three forms with **bit-identical** results:
+//!
+//! * `kernel(..)` / `kernel_with_stats(..)` — dispatching entry points: they
+//!   run the row-blocked parallel path when [`parallel::current`] selects
+//!   more than one thread *and* the output has at least
+//!   [`parallel::PARALLEL_MIN_ROWS`] rows, else the serial path;
+//! * `kernel_serial_with_stats(..)` — the legacy serial implementation,
+//!   always callable so equivalence stays testable;
+//! * `kernel_par_with_stats(.., par)` — the explicit row-blocked parallel
+//!   implementation (no size threshold).
+//!
+//! Determinism: rows are computed by the same per-row code in every mode and
+//! merged in ascending row-block order; the only cross-block reduction is the
+//! exact integer [`OpStats`] fold. See DESIGN.md §7.
 
 use crate::error::{Result, SparseError};
+use crate::parallel::{self, Parallelism};
 use crate::{CsrMatrix, DenseMatrix};
+
+/// The parallelism the dispatching entry points use for an output with
+/// `rows` rows: the ambient [`parallel::current`] selection, demoted to
+/// serial below the [`parallel::PARALLEL_MIN_ROWS`] threshold.
+fn auto_parallelism(rows: usize) -> Parallelism {
+    let par = parallel::current();
+    if par.is_serial() || rows < parallel::PARALLEL_MIN_ROWS {
+        Parallelism::serial()
+    } else {
+        par
+    }
+}
 
 /// Exact scalar-operation counts of a kernel invocation.
 ///
@@ -61,33 +91,48 @@ impl std::fmt::Display for OpStats {
     }
 }
 
-/// Sparse × sparse matrix product (Gustavson's row-wise SpGEMM).
-///
-/// # Errors
-///
-/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
-pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
-    spgemm_with_stats(a, b).map(|(m, _)| m)
+/// Per-row-block partial CSR output produced by a worker.
+struct CsrBlock {
+    /// nnz of each row in the block, in row order.
+    row_lens: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f32>,
+    stats: OpStats,
 }
 
-/// Sparse × sparse product together with exact op counts.
-///
-/// # Errors
-///
-/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
-pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpStats)> {
-    if a.cols() != b.rows() {
-        return Err(SparseError::DimensionMismatch {
-            op: "spgemm",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
+/// Concatenates per-block partial CSR outputs (in block order) into a full
+/// matrix. Deterministic: blocks arrive in ascending row order by
+/// construction ([`parallel::map_blocks`]).
+fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, OpStats) {
+    let total_nnz: usize = blocks.iter().map(|b| b.indices.len()).sum();
+    let mut indptr = Vec::with_capacity(rows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
     let mut stats = OpStats::default();
+    for block in blocks {
+        for len in block.row_lens {
+            indptr.push(indptr.last().expect("indptr non-empty") + len);
+        }
+        indices.extend_from_slice(&block.indices);
+        values.extend_from_slice(&block.values);
+        stats += block.stats;
+    }
+    let m = CsrMatrix::from_raw_parts(rows, cols, indptr, indices, values)
+        .expect("blocked CSR output is valid by construction");
+    (m, stats)
+}
+
+/// The Gustavson SpGEMM inner loop over one contiguous row block — the same
+/// code path in the serial and every parallel configuration.
+fn spgemm_block(a: &CsrMatrix, b: &CsrMatrix, rows: std::ops::Range<usize>) -> CsrBlock {
     let n_cols = b.cols();
-    let mut indptr = vec![0usize; a.rows() + 1];
-    let mut indices: Vec<usize> = Vec::new();
-    let mut values: Vec<f32> = Vec::new();
+    let mut block = CsrBlock {
+        row_lens: Vec::with_capacity(rows.len()),
+        indices: Vec::new(),
+        values: Vec::new(),
+        stats: OpStats::default(),
+    };
 
     // Dense accumulator (SPA) with a generation-stamped touched-list, the
     // classic Gustavson formulation: O(flops) time independent of n.
@@ -95,12 +140,12 @@ pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpS
     let mut stamp = vec![usize::MAX; n_cols];
     let mut touched: Vec<usize> = Vec::new();
 
-    for r in 0..a.rows() {
+    for r in rows {
         for (k, va) in a.row_iter(r) {
             for (c, vb) in b.row_iter(k) {
-                stats.mults += 1;
+                block.stats.mults += 1;
                 if stamp[c] == r {
-                    stats.adds += 1;
+                    block.stats.adds += 1;
                     acc[c] += va * vb;
                 } else {
                     stamp[c] = r;
@@ -111,23 +156,152 @@ pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpS
         }
         touched.sort_unstable();
         for &c in &touched {
-            indices.push(c);
-            values.push(acc[c]);
+            block.indices.push(c);
+            block.values.push(acc[c]);
         }
+        block.row_lens.push(touched.len());
         touched.clear();
-        indptr[r + 1] = indices.len();
     }
-    let m = CsrMatrix::from_raw_parts(a.rows(), n_cols, indptr, indices, values)
-        .expect("SpGEMM output is valid CSR by construction");
-    Ok((m, stats))
+    block
 }
 
-/// Linear combination of two sparse matrices: `alpha * a + beta * b`.
+/// Sparse × sparse matrix product (Gustavson's row-wise SpGEMM).
+///
+/// Dispatches between the serial and row-blocked parallel paths (see the
+/// module docs); both produce bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    spgemm_with_stats(a, b).map(|(m, _)| m)
+}
+
+/// Sparse × sparse product together with exact op counts (dispatching).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpStats)> {
+    spgemm_par_with_stats(a, b, auto_parallelism(a.rows()))
+}
+
+/// Sparse × sparse product on the legacy serial path.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm_serial_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpStats)> {
+    spgemm_par_with_stats(a, b, Parallelism::serial())
+}
+
+/// Sparse × sparse product with an explicit worker count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm_par_with_stats(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    par: Parallelism,
+) -> Result<(CsrMatrix, OpStats)> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let blocks = parallel::map_blocks(a.rows(), par, |range| spgemm_block(a, b, range));
+    Ok(assemble_csr(a.rows(), b.cols(), blocks))
+}
+
+/// The two-pointer row-merge inner loop of `sp_axpby` over one contiguous
+/// row block — the same code path in every execution mode.
+fn sp_axpby_block(
+    alpha: f32,
+    a: &CsrMatrix,
+    beta: f32,
+    b: &CsrMatrix,
+    rows: std::ops::Range<usize>,
+) -> CsrBlock {
+    let mut block = CsrBlock {
+        row_lens: Vec::with_capacity(rows.len()),
+        indices: Vec::new(),
+        values: Vec::new(),
+        stats: OpStats::default(),
+    };
+    for r in rows {
+        let start = block.indices.len();
+        let mut ia = a.row_iter(r).peekable();
+        let mut ib = b.row_iter(r).peekable();
+        loop {
+            match (ia.peek().copied(), ib.peek().copied()) {
+                (None, None) => break,
+                (Some((ca, va)), None) => {
+                    block.indices.push(ca);
+                    block.values.push(alpha * va);
+                    ia.next();
+                }
+                (None, Some((cb, vb))) => {
+                    block.indices.push(cb);
+                    block.values.push(beta * vb);
+                    ib.next();
+                }
+                (Some((ca, va)), Some((cb, vb))) => {
+                    if ca == cb {
+                        block.indices.push(ca);
+                        block.values.push(alpha * va + beta * vb);
+                        ia.next();
+                        ib.next();
+                    } else if ca < cb {
+                        block.indices.push(ca);
+                        block.values.push(alpha * va);
+                        ia.next();
+                    } else {
+                        block.indices.push(cb);
+                        block.values.push(beta * vb);
+                        ib.next();
+                    }
+                }
+            }
+        }
+        block.row_lens.push(block.indices.len() - start);
+    }
+    block
+}
+
+/// Linear combination of two sparse matrices: `alpha * a + beta * b`
+/// (dispatching; see the module docs).
 ///
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if shapes differ.
 pub fn sp_axpby(alpha: f32, a: &CsrMatrix, beta: f32, b: &CsrMatrix) -> Result<CsrMatrix> {
+    sp_axpby_par(alpha, a, beta, b, auto_parallelism(a.rows()))
+}
+
+/// Linear combination on the legacy serial path.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_axpby_serial(alpha: f32, a: &CsrMatrix, beta: f32, b: &CsrMatrix) -> Result<CsrMatrix> {
+    sp_axpby_par(alpha, a, beta, b, Parallelism::serial())
+}
+
+/// Linear combination with an explicit worker count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_axpby_par(
+    alpha: f32,
+    a: &CsrMatrix,
+    beta: f32,
+    b: &CsrMatrix,
+    par: Parallelism,
+) -> Result<CsrMatrix> {
     if a.shape() != b.shape() {
         return Err(SparseError::DimensionMismatch {
             op: "sp_axpby",
@@ -135,46 +309,9 @@ pub fn sp_axpby(alpha: f32, a: &CsrMatrix, beta: f32, b: &CsrMatrix) -> Result<C
             rhs: b.shape(),
         });
     }
-    let mut indptr = vec![0usize; a.rows() + 1];
-    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
-    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
-    for r in 0..a.rows() {
-        let mut ia = a.row_iter(r).peekable();
-        let mut ib = b.row_iter(r).peekable();
-        loop {
-            match (ia.peek().copied(), ib.peek().copied()) {
-                (None, None) => break,
-                (Some((ca, va)), None) => {
-                    indices.push(ca);
-                    values.push(alpha * va);
-                    ia.next();
-                }
-                (None, Some((cb, vb))) => {
-                    indices.push(cb);
-                    values.push(beta * vb);
-                    ib.next();
-                }
-                (Some((ca, va)), Some((cb, vb))) => {
-                    if ca == cb {
-                        indices.push(ca);
-                        values.push(alpha * va + beta * vb);
-                        ia.next();
-                        ib.next();
-                    } else if ca < cb {
-                        indices.push(ca);
-                        values.push(alpha * va);
-                        ia.next();
-                    } else {
-                        indices.push(cb);
-                        values.push(beta * vb);
-                        ib.next();
-                    }
-                }
-            }
-        }
-        indptr[r + 1] = indices.len();
-    }
-    CsrMatrix::from_raw_parts(a.rows(), a.cols(), indptr, indices, values)
+    let blocks =
+        parallel::map_blocks(a.rows(), par, |range| sp_axpby_block(alpha, a, beta, b, range));
+    Ok(assemble_csr(a.rows(), a.cols(), blocks).0)
 }
 
 /// Sparse matrix sum `a + b`.
@@ -206,12 +343,60 @@ pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix> {
     spmm_with_stats(a, x).map(|(m, _)| m)
 }
 
-/// Sparse × dense product together with exact op counts.
+/// The SpMM inner loop over one contiguous row block, returning the dense
+/// output rows of the block — the same code path in every execution mode.
+fn spmm_block(
+    a: &CsrMatrix,
+    x: &DenseMatrix,
+    rows: std::ops::Range<usize>,
+) -> (Vec<f32>, OpStats) {
+    let k = x.cols();
+    let base = rows.start;
+    let mut out = vec![0.0f32; rows.len() * k];
+    let mut stats = OpStats::default();
+    for r in rows {
+        let row_nnz = a.row_nnz(r) as u64;
+        for (c, v) in a.row_iter(r) {
+            let xrow = x.row(c);
+            let orow = &mut out[(r - base) * k..(r - base + 1) * k];
+            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                *o += v * xv;
+            }
+        }
+        stats.mults += row_nnz * k as u64;
+        stats.adds += row_nnz.saturating_sub(1) * k as u64;
+    }
+    (out, stats)
+}
+
+/// Sparse × dense product together with exact op counts (dispatching).
 ///
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
 pub fn spmm_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
+    spmm_par_with_stats(a, x, auto_parallelism(a.rows()))
+}
+
+/// Sparse × dense product on the legacy serial path.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+pub fn spmm_serial_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
+    spmm_par_with_stats(a, x, Parallelism::serial())
+}
+
+/// Sparse × dense product with an explicit worker count.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+pub fn spmm_par_with_stats(
+    a: &CsrMatrix,
+    x: &DenseMatrix,
+    par: Parallelism,
+) -> Result<(DenseMatrix, OpStats)> {
     if a.cols() != x.rows() {
         return Err(SparseError::DimensionMismatch {
             op: "spmm",
@@ -220,20 +405,15 @@ pub fn spmm_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, O
         });
     }
     let k = x.cols();
-    let mut out = DenseMatrix::zeros(a.rows(), k);
+    let blocks = parallel::map_blocks(a.rows(), par, |range| spmm_block(a, x, range));
+    let mut data = Vec::with_capacity(a.rows() * k);
     let mut stats = OpStats::default();
-    for r in 0..a.rows() {
-        let row_nnz = a.row_nnz(r) as u64;
-        for (c, v) in a.row_iter(r) {
-            let xrow = x.row(c);
-            let orow = &mut out.as_mut_slice()[r * k..(r + 1) * k];
-            for (o, &xv) in orow.iter_mut().zip(xrow) {
-                *o += v * xv;
-            }
-        }
-        stats.mults += row_nnz * k as u64;
-        stats.adds += row_nnz.saturating_sub(1) * k as u64;
+    for (chunk, s) in blocks {
+        data.extend_from_slice(&chunk);
+        stats += s;
     }
+    let out = DenseMatrix::from_vec(a.rows(), k, data)
+        .expect("blocked SpMM output has the declared shape");
     Ok((out, stats))
 }
 
@@ -437,6 +617,100 @@ mod tests {
         c += b;
         assert_eq!(c, a + b);
         assert!(format!("{c}").contains("mults: 11"));
+    }
+
+    /// Deterministic pseudo-random sparse matrix (LCG; no external deps).
+    fn random_sparse(n: usize, nnz: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut step = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for _ in 0..nnz {
+            let (r, c) = (step() % n, step() % n);
+            let v = (step() % 1000) as f32 / 250.0 - 2.0;
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    fn bits(values: &[f32]) -> Vec<u32> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn assert_csr_identical(a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(a.indptr(), b.indptr());
+        assert_eq!(a.indices(), b.indices());
+        assert_eq!(bits(a.values()), bits(b.values()));
+    }
+
+    #[test]
+    fn spgemm_parallel_is_bit_identical_to_serial() {
+        let a = random_sparse(97, 600, 1);
+        let b = random_sparse(97, 500, 2);
+        let (serial, st_s) = spgemm_serial_with_stats(&a, &b).unwrap();
+        for threads in [2, 3, 8, 97, 200] {
+            let (par, st_p) = spgemm_par_with_stats(&a, &b, Parallelism::new(threads)).unwrap();
+            assert_csr_identical(&serial, &par);
+            assert_eq!(st_s, st_p, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sp_axpby_parallel_is_bit_identical_to_serial() {
+        let a = random_sparse(80, 400, 3);
+        let b = random_sparse(80, 300, 4);
+        let serial = sp_axpby_serial(1.5, &a, -0.25, &b).unwrap();
+        for threads in [2, 5, 80] {
+            let par = sp_axpby_par(1.5, &a, -0.25, &b, Parallelism::new(threads)).unwrap();
+            assert_csr_identical(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn spmm_parallel_is_bit_identical_to_serial() {
+        let a = random_sparse(90, 700, 5);
+        let x = DenseMatrix::from_vec(
+            90,
+            7,
+            (0..90 * 7).map(|i| (i as f32 * 0.37).sin()).collect(),
+        )
+        .unwrap();
+        let (serial, st_s) = spmm_serial_with_stats(&a, &x).unwrap();
+        for threads in [2, 4, 90] {
+            let (par, st_p) = spmm_par_with_stats(&a, &x, Parallelism::new(threads)).unwrap();
+            assert_eq!(bits(serial.as_slice()), bits(par.as_slice()), "threads={threads}");
+            assert_eq!(st_s, st_p);
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_handle_empty_and_tiny_inputs() {
+        let empty = CsrMatrix::zeros(0, 0);
+        let (m, st) = spgemm_par_with_stats(&empty, &empty, Parallelism::new(4)).unwrap();
+        assert_eq!(m.shape(), (0, 0));
+        assert_eq!(st, OpStats::default());
+        let one = CsrMatrix::identity(1);
+        let (m, _) = spgemm_par_with_stats(&one, &one, Parallelism::new(4)).unwrap();
+        assert_eq!(m, one);
+    }
+
+    #[test]
+    fn dispatching_entry_points_respect_kernel_scope() {
+        // Under a serial scope the dispatcher must produce the serial result;
+        // under a 4-thread scope the same call must match it bit-for-bit.
+        let a = random_sparse(150, 900, 6);
+        let serial = {
+            let _guard = parallel::kernel_scope(Parallelism::serial());
+            spgemm_with_stats(&a, &a).unwrap()
+        };
+        let parallel = {
+            let _guard = parallel::kernel_scope(Parallelism::new(4));
+            spgemm_with_stats(&a, &a).unwrap()
+        };
+        assert_csr_identical(&serial.0, &parallel.0);
+        assert_eq!(serial.1, parallel.1);
     }
 
     #[test]

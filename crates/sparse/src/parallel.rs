@@ -1,0 +1,325 @@
+//! Deterministic parallel execution layer.
+//!
+//! Everything in this module is built on [`std::thread::scope`] — no external
+//! dependencies — and preserves **bit-identical results** with respect to the
+//! serial path:
+//!
+//! * work is split into *contiguous index blocks* whose per-item computation
+//!   is byte-for-byte the same code the serial path runs;
+//! * partial results are merged in **declared block order**, never in thread
+//!   completion order;
+//! * scalar accumulations that cross blocks are restricted to exact
+//!   (integer) reductions folded left-to-right.
+//!
+//! Two knobs pick the degree of parallelism (see [`Parallelism`]):
+//! a process-wide default (initialised from the `IDGNN_PARALLELISM`
+//! environment variable, falling back to [`std::thread::available_parallelism`])
+//! and a thread-local override installed with [`kernel_scope`] so nested
+//! fan-out (an experiment driver running simulations on worker threads)
+//! can force its kernels serial without oversubscribing the machine.
+//! `IDGNN_PARALLELISM=1` forces the legacy serial path everywhere.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable holding the process-wide default thread count.
+pub const PARALLELISM_ENV: &str = "IDGNN_PARALLELISM";
+
+/// Minimum number of rows before the dispatching kernel entry points
+/// ([`crate::ops::spgemm`] and friends) switch to the blocked parallel path.
+/// Explicit `*_par` calls ignore this threshold.
+pub const PARALLEL_MIN_ROWS: usize = 128;
+
+/// A worker-count selection (always ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// The legacy serial path: one thread, no pool.
+    pub const fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// `threads` workers; `0` resolves to [`Parallelism::available`].
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Self::available()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// One worker per hardware thread.
+    pub fn available() -> Self {
+        Self { threads: std::thread::available_parallelism().map_or(1, |n| n.get()) }
+    }
+
+    /// Reads [`PARALLELISM_ENV`]; unset, `0` or unparsable values resolve to
+    /// [`Parallelism::available`].
+    pub fn from_env() -> Self {
+        match std::env::var(PARALLELISM_ENV) {
+            Ok(v) => Self::new(v.trim().parse().unwrap_or(0)),
+            Err(_) => Self::available(),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Whether this selects the serial path.
+    pub fn is_serial(self) -> bool {
+        self.threads == 1
+    }
+
+    /// Workers actually useful for `items` units of work.
+    pub fn effective(self, items: usize) -> usize {
+        self.threads.min(items).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.threads)
+    }
+}
+
+/// Process-wide default (0 = not yet resolved from the environment).
+static PROCESS_DEFAULT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override (0 = inherit the process default).
+    static KERNEL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the process-wide default parallelism (the CLI layer calls this once
+/// at startup). Worker threads without a [`kernel_scope`] override inherit it.
+pub fn set_process_default(par: Parallelism) {
+    PROCESS_DEFAULT.store(par.threads(), Ordering::Relaxed);
+}
+
+/// The parallelism the *dispatching* kernel entry points use on this thread:
+/// the innermost [`kernel_scope`] override, else the process default
+/// (resolved from the environment on first use).
+pub fn current() -> Parallelism {
+    let local = KERNEL_THREADS.with(Cell::get);
+    if local != 0 {
+        return Parallelism::new(local);
+    }
+    let global = PROCESS_DEFAULT.load(Ordering::Relaxed);
+    if global != 0 {
+        return Parallelism::new(global);
+    }
+    let resolved = Parallelism::from_env();
+    // Benign race: concurrent first reads resolve the same env value.
+    PROCESS_DEFAULT.store(resolved.threads(), Ordering::Relaxed);
+    resolved
+}
+
+/// RAII guard restoring the previous thread-local parallelism on drop.
+#[derive(Debug)]
+pub struct KernelScope {
+    previous: usize,
+}
+
+/// Overrides [`current`] for the calling thread until the guard drops.
+///
+/// Used by drivers that fan work out at a coarser granularity (one simulation
+/// per worker) to force their inner kernels serial, and by equivalence tests
+/// to pin both modes regardless of the ambient configuration.
+#[must_use = "the override lasts only while the guard is alive"]
+pub fn kernel_scope(par: Parallelism) -> KernelScope {
+    let previous = KERNEL_THREADS.with(|c| c.replace(par.threads()));
+    KernelScope { previous }
+}
+
+impl Drop for KernelScope {
+    fn drop(&mut self) {
+        KERNEL_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+/// Splits `0..items` into at most `blocks` contiguous, balanced, non-empty
+/// ranges, in ascending order.
+pub fn partition(items: usize, blocks: usize) -> Vec<Range<usize>> {
+    let blocks = blocks.min(items).max(1);
+    if items == 0 {
+        // One empty block: callers always get at least one range to run.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let base = items / blocks;
+    let extra = items % blocks;
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over contiguous index blocks on scoped worker threads and returns
+/// the per-block results **in block order** (deterministic regardless of
+/// thread scheduling). With one effective worker the closure runs inline on
+/// the calling thread — the legacy serial path, no pool.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread.
+pub fn map_blocks<R, F>(items: usize, par: Parallelism, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let workers = par.effective(items);
+    if workers <= 1 {
+        return vec![f(0..items)];
+    }
+    let ranges = partition(items, workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Runs `f(index, &item)` for every item on a scoped worker pool fed by an
+/// atomic work queue (good load balance for heterogeneous items, e.g. one
+/// simulation per cell) and returns results **in item order**. With one
+/// effective worker the items run inline, in order — the legacy serial path.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread.
+pub fn map_items<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = par.effective(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_disjointly() {
+        for items in [0usize, 1, 7, 64, 1000] {
+            for blocks in [1usize, 2, 3, 8, 200] {
+                let ranges = partition(items, blocks);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "{items}/{blocks}");
+                    expect = r.end;
+                }
+                assert_eq!(expect, items);
+                if items > 0 {
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                    let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "balanced: {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_blocks_preserves_block_order() {
+        let got = map_blocks(100, Parallelism::new(7), |r| r.clone());
+        assert_eq!(got, partition(100, 7));
+        let serial = map_blocks(100, Parallelism::serial(), |r| r.clone());
+        assert_eq!(serial, vec![0..100]);
+    }
+
+    #[test]
+    fn map_items_preserves_item_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let par = map_items(&items, Parallelism::new(5), |i, &x| (i, x * 2));
+        let ser = map_items(&items, Parallelism::serial(), |i, &x| (i, x * 2));
+        assert_eq!(par, ser);
+        assert!(par.iter().enumerate().all(|(i, &(j, v))| i == j && v == 2 * i));
+    }
+
+    #[test]
+    fn map_items_handles_empty_input() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_items(&empty, Parallelism::new(4), |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn kernel_scope_overrides_and_restores() {
+        let outer = current();
+        {
+            let _guard = kernel_scope(Parallelism::new(3));
+            assert_eq!(current().threads(), 3);
+            {
+                let _inner = kernel_scope(Parallelism::serial());
+                assert!(current().is_serial());
+            }
+            assert_eq!(current().threads(), 3);
+        }
+        assert_eq!(current(), outer);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(0), Parallelism::available());
+        assert_eq!(Parallelism::new(8).effective(3), 3);
+        assert_eq!(Parallelism::new(2).effective(0), 1);
+        assert_eq!(format!("{}", Parallelism::new(4)), "4");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = map_blocks(10, Parallelism::new(2), |r| {
+            assert!(!r.contains(&9), "boom");
+            r.len()
+        });
+    }
+}

@@ -112,6 +112,63 @@ proptest! {
     }
 
     #[test]
+    fn sp_add_is_commutative(a in sparse_square(8, 24), b in sparse_square(8, 24)) {
+        let ab = ops::sp_add(&a, &b).unwrap();
+        let ba = ops::sp_add(&b, &a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-5));
+    }
+
+    #[test]
+    fn spgemm_is_associative(
+        a in sparse_square(6, 15),
+        b in sparse_square(6, 15),
+        c in sparse_square(6, 15),
+    ) {
+        // A·(B·C) = (A·B)·C within tolerance — justifies reassociating the
+        // receptive-field product chain when fusing layers.
+        let lhs = ops::spgemm(&a, &ops::spgemm(&b, &c).unwrap()).unwrap();
+        let rhs = ops::spgemm(&ops::spgemm(&a, &b).unwrap(), &c).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn fused_dissimilarity_l3_matches_five_product_kernel(
+        a in symmetric_square(6, 10),
+        d in symmetric_square(6, 6),
+    ) {
+        // ΔA_C = (A+ΔA)³ − A³ (Eq. 13 for L=3) equals the five-product
+        // transpose-reuse evaluation (Eq. 15): with B = A+ΔA and symmetric
+        // A, ΔA,  ΔA_C = ΔA·B² + A·(ΔA·B) + (ΔA·A²)ᵀ — five SpGEMMs and one
+        // transpose instead of the naive seven-product expansion.
+        let b = ops::sp_add(&a, &d).unwrap();
+        let lhs = ops::sp_sub(&ops::sp_pow(&b, 3).unwrap(), &ops::sp_pow(&a, 3).unwrap()).unwrap();
+        let db = ops::spgemm(&d, &b).unwrap();     // product 1: ΔA·B
+        let dbb = ops::spgemm(&db, &b).unwrap();   // product 2: ΔA·B²
+        let adb = ops::spgemm(&a, &db).unwrap();   // product 3: A·ΔA·B
+        let da = ops::spgemm(&d, &a).unwrap();     // product 4: ΔA·A
+        let daa = ops::spgemm(&da, &a).unwrap();   // product 5: ΔA·A²
+        let rhs = ops::sp_add(&ops::sp_add(&dbb, &adb).unwrap(), &daa.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial_on_random_inputs(
+        a in sparse_square(10, 40),
+        b in sparse_square(10, 40),
+        threads in 2usize..6,
+    ) {
+        let par = idgnn_sparse::Parallelism::new(threads);
+        let (s, s_st) = ops::spgemm_serial_with_stats(&a, &b).unwrap();
+        let (p, p_st) = ops::spgemm_par_with_stats(&a, &b, par).unwrap();
+        prop_assert_eq!(s.indptr(), p.indptr());
+        prop_assert_eq!(s.indices(), p.indices());
+        let sv: Vec<u32> = s.values().iter().map(|v| v.to_bits()).collect();
+        let pv: Vec<u32> = p.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sv, pv);
+        prop_assert_eq!(s_st, p_st);
+    }
+
+    #[test]
     fn pruned_never_increases_nnz(a in sparse_square(8, 30), tol in 0.0f32..2.0) {
         let p = a.pruned(tol);
         prop_assert!(p.nnz() <= a.nnz());

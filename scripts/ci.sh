@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint, run locally before every merge:
+#   scripts/ci.sh
+#
+# 1. release build of the whole workspace;
+# 2. full test suite (unit, integration, proptests, equivalence suites);
+# 3. clippy over every target with warnings denied.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

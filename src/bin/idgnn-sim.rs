@@ -10,9 +10,14 @@
 //!           [snapshots=T] [dissim=0.02] [addfrac=0.75]
 //!           [layers=3] [hidden=32] [rnn=32] [rnn-kernel=lstm|gru]
 //!           [pes=64] [scale=16] [seed=42] [algorithm=onepass|inc|re]
+//!           [parallelism=N]                # host threads; 1 = legacy serial
 //!
 //! cargo run --release --bin idgnn-sim -- dataset=WD accel=all
 //! ```
+//!
+//! `parallelism` (or the `IDGNN_PARALLELISM` environment variable) only
+//! changes host wall-clock time — every report is bit-identical across
+//! settings.
 
 use std::collections::HashMap;
 
@@ -142,31 +147,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("inc") | Some("incremental") => Some(Algorithm::Incremental),
         _ => None, // OnePass
     };
-    let opts = SimOptions { algorithm, ..Default::default() };
+    let parallelism = args.get("parallelism").map(|v| v.parse::<usize>()).transpose()?;
+    if let Some(n) = parallelism {
+        println!("parallelism: {} host threads", idgnn::sparse::Parallelism::new(n));
+    }
+    let opts = SimOptions { algorithm, parallelism, ..Default::default() };
 
     let which = args.get("accel").cloned().unwrap_or_else(|| "idgnn".into());
     let idgnn_report = IdgnnAccelerator::new(config)?.simulate(&model, &dg, &opts)?;
     match which.as_str() {
         "idgnn" => print_report("I-DGNN", &idgnn_report, config.frequency_hz, None),
         "ready" => {
-            let r = Ready::new(config)?.simulate(&model, &dg)?;
+            let r = Ready::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("ReaDy", &r, config.frequency_hz, Some(&idgnn_report));
         }
         "booster" => {
-            let r = Booster::new(config)?.simulate(&model, &dg)?;
+            let r = Booster::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("DGNN-Booster", &r, config.frequency_hz, Some(&idgnn_report));
         }
         "race" => {
-            let r = Race::new(config)?.simulate(&model, &dg)?;
+            let r = Race::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("RACE", &r, config.frequency_hz, Some(&idgnn_report));
         }
         "all" => {
             print_report("I-DGNN", &idgnn_report, config.frequency_hz, None);
-            let r = Ready::new(config)?.simulate(&model, &dg)?;
+            let r = Ready::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("ReaDy", &r, config.frequency_hz, Some(&idgnn_report));
-            let r = Booster::new(config)?.simulate(&model, &dg)?;
+            let r = Booster::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("DGNN-Booster", &r, config.frequency_hz, Some(&idgnn_report));
-            let r = Race::new(config)?.simulate(&model, &dg)?;
+            let r = Race::new(config)?.simulate_with(&model, &dg, parallelism)?;
             print_report("RACE", &r, config.frequency_hz, Some(&idgnn_report));
         }
         other => return Err(format!("unknown accel {other}").into()),

@@ -1,0 +1,138 @@
+//! Offline vendored stub of the `proptest` surface this workspace uses.
+//!
+//! The crates.io `proptest` is unreachable in this build environment, so this
+//! crate re-implements the subset the test suites rely on: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range/tuple/collection
+//! strategies, `prop_map`, `any::<T>()` and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a fixed deterministic seed per case index —
+//!   every run explores the same inputs (CI-stable, bisectable);
+//! * there is **no shrinking**: a failing case panics with the case index, and
+//!   re-running reproduces it exactly (determinism substitutes for shrinking);
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of recording
+//!   a rejection.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the upstream `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares deterministic property tests (stub of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut runner_rng = $crate::test_runner::TestRng::for_case(case);
+                $(let $parm = $crate::strategy::Strategy::generate(
+                    &($strategy), &mut runner_rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Stub of `prop_assert!`: panics on failure (no rejection bookkeeping).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Stub of `prop_assert_eq!`: panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Stub of `prop_assert_ne!`: panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -2.0f32..2.0, z in 1u8..=3) {
+            prop_assert!(x < 10);
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=3).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0usize..5, 2..=4)) {
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0usize..4, 0usize..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(s <= 6);
+        }
+
+        #[test]
+        fn any_bool_is_generated(b in any::<bool>()) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn just_yields_constant(k in Just(7usize)) {
+            prop_assert_eq!(k, 7);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0usize..100, 0..10);
+        let one: Vec<Vec<usize>> = (0..8)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        let two: Vec<Vec<usize>> = (0..8)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(one, two);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline vendored `#[derive(Serialize)]` companion to the `serde` stub.
+//!
+//! Implemented directly on the `proc_macro` token API (no `syn`/`quote`
+//! available offline). Supports exactly what the workspace uses: plain,
+//! non-generic structs with named fields. Anything else produces a
+//! `compile_error!` naming the limitation, so a future use of an unsupported
+//! shape fails loudly at the definition site rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stub's `to_value` form) for a
+/// named-field struct, serializing fields in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_named_struct(input) {
+        Ok((name, fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error token parses"),
+    }
+}
+
+/// Extracts `(struct_name, field_names)` from the derive input.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match it.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "vendored derive(Serialize) supports only structs, found {other:?}"
+            ))
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "vendored derive(Serialize) supports only non-generic named-field \
+                 structs; `struct {name}` continues with {other:?}"
+            ))
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name in {name}, found {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after {name}.{field}, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma. Angle brackets are
+        // not token groups, so track their depth to ignore commas inside
+        // generic arguments.
+        let mut angle_depth = 0usize;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    Ok((name, fields))
+}

@@ -1,0 +1,170 @@
+//! Offline vendored stub of the `serde_json` surface this workspace uses:
+//! [`to_string`] and [`to_string_pretty`] over the serde stub's
+//! [`serde::Value`] tree.
+//!
+//! Output is deterministic: object keys keep declaration order and float
+//! formatting is Rust's shortest-round-trip form (with a trailing `.0` forced
+//! on integral floats, matching upstream serde_json). The parallel-equivalence
+//! tests compare these strings byte-for-byte across thread counts.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the stub's rendering is total, so this is never
+/// produced; it exists to keep call sites source-compatible with upstream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders a value as 2-space-indented JSON (upstream pretty format).
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&format_f64(*x)),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, |o, it, i, d| {
+            write_value(o, it, i, d);
+        }, '[', ']'),
+        Value::Object(fields) => {
+            write_seq(out, fields.iter(), fields.len(), indent, depth, |o, (k, val), i, d| {
+                write_string(o, k);
+                o.push(':');
+                if i.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, i, d);
+            }, '{', '}');
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn format_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::F64(1.5), Value::Null])),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(to_string(&Wrap(v)).unwrap(), r#"{"a":1,"b":[1.5,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents_two_spaces() {
+        let got = to_string_pretty(&vec![1u64, 2]).unwrap();
+        assert_eq!(got, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}
