@@ -127,7 +127,7 @@ impl KhopEngine {
             });
         }
         let a_next = self.normalization.apply(next.adjacency());
-        let delta = ops::sp_sub(&a_next, &self.operator)?.pruned(0.0);
+        let delta = ops::sp_sub_pruned(&a_next, &self.operator)?;
 
         // Dispatcher estimate: chained ΔA-anchored products saturate at V².
         let v = self.operator.rows() as f64;

@@ -1,0 +1,499 @@
+//! The `kernels` microbenchmark: wall-clock timing of the sparse kernels
+//! (SpGEMM, SpMM, sparse add) and of the cross-snapshot power chain —
+//! cold vs warm [`PowerCache`] — on the Fig. 12 datasets at several kernel
+//! thread counts.
+//!
+//! Unlike the figure harnesses (which report *modelled* ops/cycles and must
+//! stay byte-identical across hosts), this report measures the host itself,
+//! so its numbers vary run to run. The driver is the vendored criterion
+//! stub: each timing is the minimum over [`KernelBenchConfig::samples`]
+//! samples, and the warm power-chain samples re-prime their cache in an
+//! untimed `iter_batched` setup so only steady-state snapshots are timed.
+//!
+//! The binary `src/bin/kernels.rs` writes the report to
+//! `BENCH_kernels.json` at the repository root (see README).
+
+use criterion::{black_box, BatchSize, Criterion};
+use serde::Serialize;
+
+use idgnn_graph::Normalization;
+use idgnn_model::onepass::{fused_dissimilarity, fused_dissimilarity_cached, DissimilarityStrategy};
+use idgnn_model::PowerCache;
+use idgnn_sparse::{ops, parallel, CsrMatrix, OpStats, Parallelism};
+
+use crate::context::{Context, ExperimentScale, Result};
+use crate::report::table;
+
+/// What the `kernels` benchmark runs.
+#[derive(Debug, Clone)]
+pub struct KernelBenchConfig {
+    /// Workload scale (smoke runs use [`ExperimentScale::Quick`]).
+    pub scale: ExperimentScale,
+    /// Dataset-generation seed.
+    pub seed: u64,
+    /// Kernel thread counts to sweep (each timed region runs under a
+    /// [`parallel::kernel_scope`] pinning this count).
+    pub thread_counts: Vec<usize>,
+    /// Samples per benchmark; the minimum is reported.
+    pub samples: usize,
+    /// How many Fig. 12 datasets to bench (in Table-I order).
+    pub datasets: usize,
+    /// Power-chain depth `L`.
+    pub layers: u32,
+}
+
+impl KernelBenchConfig {
+    /// The full configuration behind the committed `BENCH_kernels.json`:
+    /// all six datasets at standard scale, 1/4/8 threads.
+    pub fn full() -> Self {
+        Self {
+            scale: ExperimentScale::Standard,
+            seed: 42,
+            thread_counts: vec![1, 4, 8],
+            samples: 5,
+            datasets: usize::MAX,
+            // L = 4: the warm chain skips three of the six power products
+            // per snapshot (Â¹ is free either way), which is where the
+            // cold/warm gap is widest relative to the fixed term-product
+            // cost.
+            layers: 4,
+        }
+    }
+
+    /// The CI smoke configuration: two quick-scale datasets, two thread
+    /// counts, two samples — seconds, not minutes.
+    pub fn smoke() -> Self {
+        Self {
+            scale: ExperimentScale::Quick,
+            seed: 42,
+            thread_counts: vec![1, 2],
+            samples: 2,
+            datasets: 2,
+            layers: 3,
+        }
+    }
+}
+
+/// Minimum wall time of one kernel on one dataset at one thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelTiming {
+    /// Kernel name (`spgemm` | `spmm` | `sp_add`).
+    pub kernel: String,
+    /// Dataset short code.
+    pub dataset: String,
+    /// Kernel threads the timed region was pinned to.
+    pub threads: usize,
+    /// Minimum wall time across the samples, milliseconds.
+    pub wall_ms: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Cold vs warm power-chain timing on one dataset at one thread count.
+///
+/// Both runs evaluate the same snapshot sequence with the resident operator
+/// advanced by `Â ← Â + ΔÂ`; the warm run keeps a [`PowerCache`] across
+/// snapshots (primed untimed on the first delta), the cold run recomputes
+/// every power chain. The outputs are bit-identical — only the time differs.
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerChainTiming {
+    /// Dataset short code.
+    pub dataset: String,
+    /// Kernel threads the timed region was pinned to.
+    pub threads: usize,
+    /// Chain depth `L`.
+    pub layers: u32,
+    /// Snapshot deltas in the timed region (the priming delta is excluded).
+    pub timed_deltas: usize,
+    /// Cold (cache-less) wall time, milliseconds.
+    pub cold_ms: f64,
+    /// Warm (cached) wall time, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub warm_speedup: f64,
+    /// Cache hits across the timed deltas (equals `timed_deltas`).
+    pub cache_hits: u64,
+    /// Multiplies avoided by cache hits across the timed deltas.
+    pub saved_mults: u64,
+    /// Additions avoided by cache hits across the timed deltas.
+    pub saved_adds: u64,
+}
+
+/// The whole kernel-benchmark report (serialized to `BENCH_kernels.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBenchReport {
+    /// Workload scale the operands were generated at.
+    pub scale: String,
+    /// Samples per benchmark (minimum reported).
+    pub samples: usize,
+    /// Thread counts swept.
+    pub thread_counts: Vec<usize>,
+    /// Per-kernel timings, dataset-major then thread-major.
+    pub kernels: Vec<KernelTiming>,
+    /// Power-chain cold/warm comparison per dataset and thread count.
+    pub power_chain: Vec<PowerChainTiming>,
+    /// Best observed warm speedup across `power_chain`.
+    pub max_warm_speedup: f64,
+    /// Workspace-pool buffer reuses during the run (informational; the pool
+    /// is process-global, so this includes operand setup).
+    pub pool_hits: u64,
+    /// Workspace-pool buffer allocations during the run (informational).
+    pub pool_misses: u64,
+}
+
+/// One dataset's benchmark operands.
+struct Operands {
+    short: String,
+    /// Resident operator at the first snapshot.
+    a: CsrMatrix,
+    /// Initial feature matrix.
+    x: idgnn_sparse::DenseMatrix,
+    /// `(resident operator, ΔÂ)` per snapshot delta, with the resident
+    /// operator advanced exactly as the kernel advances it internally
+    /// (`Â ← sp_add(Â, ΔÂ)`) so warm calls hit the cache bit-exactly.
+    chain: Vec<(CsrMatrix, CsrMatrix)>,
+}
+
+fn operands(ctx: &Context, datasets: usize) -> Result<Vec<Operands>> {
+    let mut out = Vec::new();
+    for w in ctx.workloads.iter().take(datasets) {
+        let snaps = w.graph.materialize()?;
+        let a = Normalization::SelfLoops.apply(snaps[0].adjacency());
+        let mut chain = Vec::with_capacity(snaps.len() - 1);
+        let mut resident = a.clone();
+        for s in &snaps[1..] {
+            let a_next = Normalization::SelfLoops.apply(s.adjacency());
+            let d = ops::sp_sub_pruned(&a_next, &resident)?;
+            let advanced = ops::sp_add(&resident, &d)?;
+            chain.push((resident, d));
+            resident = advanced;
+        }
+        out.push(Operands {
+            short: w.spec.short.to_string(),
+            a,
+            x: snaps[0].features().clone(),
+            chain,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the benchmark and assembles the report.
+///
+/// # Errors
+///
+/// Propagates operand-construction and kernel errors.
+///
+/// # Panics
+///
+/// Panics if the criterion driver returns measurements out of registration
+/// order (programming error).
+pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
+    let ctx = Context::new(cfg.scale, cfg.seed)?;
+    let sets = operands(&ctx, cfg.datasets)?;
+    let strategy = DissimilarityStrategy::General;
+
+    let mut crit = Criterion::default();
+    let mut kernels = Vec::new();
+    let mut power_chain = Vec::new();
+
+    for set in &sets {
+        // Instrumented (untimed) warm pass: hit/saved accounting is
+        // thread-independent, so one pass per dataset suffices.
+        let mut cache = PowerCache::new();
+        let mut saved = OpStats::default();
+        for (i, (rs, d)) in set.chain.iter().enumerate() {
+            let dis = fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut cache)?;
+            if i > 0 {
+                saved += dis.saved;
+            }
+        }
+        let cache_hits = cache.hits();
+
+        for &t in &cfg.thread_counts {
+            let par = Parallelism::new(t);
+            let mut g = crit.benchmark_group(&format!("{}/t{t}", set.short));
+            g.sample_size(cfg.samples);
+            g.bench_function("spgemm", |b| {
+                let _scope = parallel::kernel_scope(par);
+                b.iter(|| ops::spgemm(black_box(&set.a), black_box(&set.a)).expect("square"));
+            });
+            g.bench_function("spmm", |b| {
+                let _scope = parallel::kernel_scope(par);
+                b.iter(|| ops::spmm(black_box(&set.a), black_box(&set.x)).expect("shapes match"));
+            });
+            g.bench_function("sp_add", |b| {
+                let _scope = parallel::kernel_scope(par);
+                b.iter(|| {
+                    ops::sp_add(black_box(&set.a), black_box(&set.chain[0].1))
+                        .expect("same shape")
+                });
+            });
+            g.bench_function("power_chain_cold", |b| {
+                let _scope = parallel::kernel_scope(par);
+                b.iter(|| {
+                    for (rs, d) in &set.chain[1..] {
+                        black_box(fused_dissimilarity(rs, d, cfg.layers, strategy).expect("valid"));
+                    }
+                });
+            });
+            g.bench_function("power_chain_warm", |b| {
+                let _scope = parallel::kernel_scope(par);
+                b.iter_batched(
+                    || {
+                        // Prime on the first delta, outside the timed region:
+                        // the timed deltas then all hit the cache.
+                        let mut c = PowerCache::new();
+                        let (rs, d) = &set.chain[0];
+                        fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                            .expect("valid");
+                        c
+                    },
+                    |mut c| {
+                        for (rs, d) in &set.chain[1..] {
+                            black_box(
+                                fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                                    .expect("valid"),
+                            );
+                        }
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+            g.finish();
+
+            let mut cold_ms = 0.0;
+            let mut warm_ms = 0.0;
+            for m in crit.take_measurements() {
+                let kernel = m.name.rsplit('/').next().expect("non-empty name");
+                match kernel {
+                    "power_chain_cold" => cold_ms = m.wall_ms,
+                    "power_chain_warm" => warm_ms = m.wall_ms,
+                    _ => kernels.push(KernelTiming {
+                        kernel: kernel.to_string(),
+                        dataset: set.short.clone(),
+                        threads: t,
+                        wall_ms: m.wall_ms,
+                        samples: m.samples,
+                    }),
+                }
+            }
+            power_chain.push(PowerChainTiming {
+                dataset: set.short.clone(),
+                threads: t,
+                layers: cfg.layers,
+                timed_deltas: set.chain.len().saturating_sub(1),
+                cold_ms,
+                warm_ms,
+                warm_speedup: if warm_ms > 0.0 { cold_ms / warm_ms } else { 0.0 },
+                cache_hits,
+                saved_mults: saved.mults,
+                saved_adds: saved.adds,
+            });
+        }
+    }
+
+    let (pool_hits, pool_misses) = idgnn_sparse::workspace::pool_counters();
+    let max_warm_speedup =
+        power_chain.iter().map(|p| p.warm_speedup).fold(0.0f64, f64::max);
+    Ok(KernelBenchReport {
+        scale: match cfg.scale {
+            ExperimentScale::Quick => "quick".to_string(),
+            ExperimentScale::Standard => "standard".to_string(),
+        },
+        samples: cfg.samples,
+        thread_counts: cfg.thread_counts.clone(),
+        kernels,
+        power_chain,
+        max_warm_speedup,
+        pool_hits,
+        pool_misses,
+    })
+}
+
+impl std::fmt::Display for KernelBenchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                vec![
+                    k.dataset.clone(),
+                    k.kernel.clone(),
+                    k.threads.to_string(),
+                    format!("{:.3}", k.wall_ms),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            table(
+                "Kernel wall-clock (min of samples, ms)",
+                &["dataset", "kernel", "threads", "ms"],
+                &rows,
+            )
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .power_chain
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dataset.clone(),
+                    p.threads.to_string(),
+                    format!("{:.3}", p.cold_ms),
+                    format!("{:.3}", p.warm_ms),
+                    format!("{:.2}x", p.warm_speedup),
+                    p.cache_hits.to_string(),
+                    p.saved_mults.to_string(),
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            table(
+                &format!("Power chain L={} — cold vs warm PowerCache",
+                    self.power_chain.first().map_or(0, |p| p.layers)),
+                &["dataset", "threads", "cold ms", "warm ms", "speedup", "hits", "saved mults"],
+                &rows,
+            )
+        )?;
+        writeln!(f, "best warm speedup: {:.2}x", self.max_warm_speedup)
+    }
+}
+
+/// Checks that `text` is one syntactically well-formed JSON document and
+/// contains the report's required top-level keys.
+///
+/// The vendored `serde_json` is serialize-only, so the `kernels` binary (and
+/// CI) validate what they wrote with this scanner: strings with escapes,
+/// balanced `{}`/`[]` nesting, and exactly one top-level value. It accepts a
+/// superset of JSON scalars (any non-structural run), which is fine — the
+/// writer is our own serializer; the check guards truncation and
+/// interleaved-output corruption, not adversarial input.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut saw_value = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                saw_value = true;
+            }
+            '{' | '[' => {
+                stack.push(c);
+                saw_value = true;
+            }
+            '}' => {
+                if stack.pop() != Some('{') {
+                    return Err(format!("unmatched '}}' at byte {i}"));
+                }
+            }
+            ']' => {
+                if stack.pop() != Some('[') {
+                    return Err(format!("unmatched ']' at byte {i}"));
+                }
+            }
+            _ => {
+                if !c.is_whitespace() && !",:".contains(c) {
+                    saw_value = true;
+                }
+            }
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_string());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed bracket(s)", stack.len()));
+    }
+    if !saw_value {
+        return Err("empty document".to_string());
+    }
+    for key in ["\"kernels\"", "\"power_chain\"", "\"thread_counts\"", "\"max_warm_speedup\""] {
+        if !text.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_complete_report() {
+        let mut cfg = KernelBenchConfig::smoke();
+        cfg.datasets = 1;
+        cfg.thread_counts = vec![1];
+        cfg.samples = 1;
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.kernels.len(), 3, "spgemm/spmm/sp_add for one dataset x one thread count");
+        assert_eq!(r.power_chain.len(), 1);
+        let p = &r.power_chain[0];
+        assert_eq!(p.cache_hits, p.timed_deltas as u64);
+        assert!(p.cache_hits > 0);
+        assert!(p.saved_mults > 0, "warm hits must avoid real multiplies");
+        assert!(p.cold_ms > 0.0 && p.warm_ms > 0.0);
+        let text = r.to_string();
+        assert!(text.contains("Power chain"));
+        assert!(text.contains("spgemm"));
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        validate_report_json(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report_json("").is_err());
+        assert!(validate_report_json("{\"kernels\": [").is_err());
+        assert!(validate_report_json("{\"kernels\": \"unterminated").is_err());
+        assert!(validate_report_json("{}]").is_err());
+        // Well-formed but missing required keys.
+        assert!(validate_report_json("{\"kernels\": []}").is_err());
+        let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
+                  \"max_warm_speedup\": 1.0}";
+        validate_report_json(ok).unwrap();
+    }
+
+    #[test]
+    fn warm_chain_outputs_match_cold_bitwise() {
+        // The timing harness must compare identical computations: replay one
+        // dataset's chain both ways and require bit-equal results.
+        let ctx = Context::new(ExperimentScale::Quick, 42).unwrap();
+        let sets = operands(&ctx, 1).unwrap();
+        let set = &sets[0];
+        let mut cache = PowerCache::new();
+        for (rs, d) in &set.chain {
+            let warm = fused_dissimilarity_cached(
+                rs, d, 3, DissimilarityStrategy::General, &mut cache,
+            )
+            .unwrap();
+            let cold = fused_dissimilarity(rs, d, 3, DissimilarityStrategy::General).unwrap();
+            assert_eq!(warm.delta_ac.indptr(), cold.delta_ac.indptr());
+            assert_eq!(warm.delta_ac.indices(), cold.delta_ac.indices());
+            let wv: Vec<u32> = warm.delta_ac.values().iter().map(|v| v.to_bits()).collect();
+            let cv: Vec<u32> = cold.delta_ac.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wv, cv);
+            assert_eq!(warm.ops, cold.ops);
+        }
+        assert_eq!(cache.hits(), set.chain.len() as u64 - 1);
+    }
+}

@@ -26,6 +26,7 @@ pub mod cli;
 pub mod context;
 pub mod driver;
 pub mod figures;
+pub mod kernels;
 pub mod report;
 
 use context::{Context, Result};

@@ -67,7 +67,7 @@ impl Diu {
         }
         let a_prev = self.normalization.apply(prev.adjacency());
         let a_next = self.normalization.apply(next.adjacency());
-        let delta_operator = ops::sp_sub(&a_next, &a_prev)?.pruned(0.0);
+        let delta_operator = ops::sp_sub_pruned(&a_next, &a_prev)?;
 
         let delta_features = next.features().sub(prev.features())?;
         let changed_feature_rows: Vec<usize> = (0..next.num_vertices())

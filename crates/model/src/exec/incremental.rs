@@ -73,7 +73,7 @@ pub(crate) fn run(
     for (t, snap) in snaps.iter().enumerate().skip(1) {
         let mut cost = SnapshotCost::default();
         let a_next = model.normalization().apply(snap.adjacency());
-        let d_op = ops::sp_sub(&a_next, &a_prev)?.pruned(0.0);
+        let d_op = ops::sp_sub_pruned(&a_next, &a_prev)?;
 
         // DIU: read the structural delta, the changed input features, and
         // (every snapshot, per the paper) the weights.

@@ -10,7 +10,7 @@
 //! snapshots) while the fused adjacency `A_C^t = (Â^t)^L` is maintained
 //! incrementally by the one-pass kernel ([`crate::onepass`]).
 
-use idgnn_sparse::{ops, CsrMatrix, DenseMatrix, OpStats};
+use idgnn_sparse::{ops, workspace, CsrMatrix, DenseMatrix, OpStats};
 
 use crate::error::Result;
 use crate::gcn::GcnStack;
@@ -38,6 +38,10 @@ pub fn fuse_weights(stack: &GcnStack) -> Result<(DenseMatrix, OpStats)> {
 /// Fuses the adjacency operator into `A_C = Â^L` (Eq. 7), with op counts —
 /// the **AComb** cost of a from-scratch (initial) snapshot.
 ///
+/// The power chain starts at `Â` itself, so this costs exactly `L − 1`
+/// SpGEMMs, each intermediate recycled into the workspace buffer pool
+/// (see `idgnn_sparse::workspace`).
+///
 /// # Errors
 ///
 /// Returns an error if `a_norm` is not square.
@@ -63,6 +67,9 @@ pub fn fused_forward(
 ) -> Result<(FusedOutput, OpStats, OpStats)> {
     let (agg, ag_ops) = ops::spmm_with_stats(a_c, x0)?;
     let (pre, cb_ops) = ops::gemm_with_stats(&agg, w_c)?;
+    // The aggregation buffer came from the pool (spmm draws its value
+    // storage there); hand it back so per-snapshot forwards stop allocating.
+    workspace::recycle_dense(agg);
     let out = activation.apply(&pre);
     Ok((FusedOutput { pre_activation: pre, output: out }, ag_ops, cb_ops))
 }

@@ -62,4 +62,4 @@ pub use exec::{Algorithm, ExecutionResult, SnapshotOutput, ALL_ALGORITHMS};
 pub use gcn::{GcnLayer, GcnStack};
 pub use gru::{GruCell, GruPrecomp};
 pub use lstm::{Gate, LstmCell, LstmState, RnnAOutput, GATES};
-pub use onepass::DissimilarityStrategy;
+pub use onepass::{DissimilarityStrategy, PowerCache};

@@ -14,8 +14,22 @@
 //! unit (Eq. 15). [`DissimilarityStrategy`] selects between the naive
 //! expansion and the transpose-optimized form; the ablation bench
 //! (`ablation_transpose`) quantifies the savings.
+//!
+//! ## Cross-snapshot power caching
+//!
+//! The general path builds the powers `A^1..A^{L−1}` and `(A+ΔA)^1..` every
+//! snapshot, yet the next snapshot's `A` is exactly this snapshot's `A+ΔA`:
+//! the powers flow across snapshots. [`PowerCache`] retains the
+//! `(A+ΔA)`-side powers keyed by the operator they belong to, and
+//! [`fused_dissimilarity_cached`] reuses them as the `A`-side powers of the
+//! following call when the operator matches *bit-for-bit* (the invalidation
+//! rule — any mismatch, including a depth change, recomputes from scratch).
+//! On a hit the recorded per-product [`OpStats`] are replayed into the
+//! result, so reported operation counts (and every figure derived from them)
+//! are identical to a cold evaluation; the actually-avoided work is
+//! accounted separately in [`Dissimilarity::saved`].
 
-use idgnn_sparse::{ops, CsrMatrix, DenseMatrix, OpStats};
+use idgnn_sparse::{ops, workspace, CsrMatrix, DenseMatrix, OpStats};
 
 use crate::error::{ModelError, Result};
 
@@ -38,13 +52,105 @@ pub enum DissimilarityStrategy {
 pub struct Dissimilarity {
     /// The fused graph dissimilarity matrix `ΔA_C`.
     pub delta_ac: CsrMatrix,
-    /// Exact multiply/add counts of the evaluation.
+    /// Exact multiply/add counts of the evaluation. Work avoided by reuse
+    /// (cache hits, transpose substitution) is still *included* here at its
+    /// recorded cost so figures stay comparable across configurations; the
+    /// avoided share is reported in [`Self::saved`].
     pub ops: OpStats,
     /// Number of SpGEMM products performed.
     pub products: u32,
     /// Number of whole-matrix transposes performed (PPU index swaps —
     /// essentially free on the accelerator, counted separately).
     pub transposes: u32,
+    /// Work avoided by reuse: power products served from a [`PowerCache`]
+    /// hit (replayed into [`Self::ops`] but not executed), and the mirror
+    /// products the Eq. 15 transposes substitute for (never entered `ops`;
+    /// costed at their twin's recorded cost, exact by operand symmetry).
+    pub saved: OpStats,
+}
+
+/// Cross-snapshot cache of operator powers `[I, A, …, A^{L−1}]` for the
+/// [`DissimilarityStrategy::General`] path.
+///
+/// Each [`fused_dissimilarity_cached`] call installs the `(A+ΔA)`-side
+/// powers it just built, keyed by the `A+ΔA` operator itself; the next call
+/// whose `A` is bit-identical to that key (the steady state of a delta-fed
+/// stream whose resident operator evolves as `A ← A+ΔA`) reuses them as its
+/// `A`-side powers. Invalidation is by exact mismatch: different structure,
+/// different value bits, or a different power depth all miss and recompute —
+/// there is no tolerance and therefore no way for a stale power to survive.
+#[derive(Debug, Default)]
+pub struct PowerCache {
+    base: Option<CsrMatrix>,
+    powers: Vec<CsrMatrix>,
+    /// `stats[i]` is the recorded cost of the product that built
+    /// `powers[i + 1]`, replayed into `ops` on a hit.
+    stats: Vec<OpStats>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PowerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to recompute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops the cached powers (next lookup recomputes).
+    pub fn invalidate(&mut self) {
+        self.base = None;
+        self.powers.clear();
+        self.stats.clear();
+    }
+
+    /// Moves the cached powers out if they belong to `a` at depth `l`
+    /// (`powers.len() == l`, i.e. `[I, a, …, a^{l−1}]`).
+    fn take(&mut self, a: &CsrMatrix, l: usize) -> Option<(Vec<CsrMatrix>, Vec<OpStats>)> {
+        let hit = self.powers.len() == l
+            && self.base.as_ref().is_some_and(|base| same_matrix(base, a));
+        if hit {
+            self.hits += 1;
+            self.base = None;
+            Some((std::mem::take(&mut self.powers), std::mem::take(&mut self.stats)))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Replaces the cache contents with the powers of `base`, recycling any
+    /// stale entries into the workspace buffer pool.
+    fn install(&mut self, base: CsrMatrix, powers: Vec<CsrMatrix>, stats: Vec<OpStats>) {
+        if let Some(old) = self.base.take() {
+            workspace::recycle(old);
+        }
+        for p in self.powers.drain(..) {
+            workspace::recycle(p);
+        }
+        self.base = Some(base);
+        self.powers = powers;
+        self.stats = stats;
+    }
+}
+
+/// Structural plus bitwise-value equality — stricter than `PartialEq`
+/// (which would accept `-0.0 == 0.0` and reject `NaN == NaN`); this is the
+/// cache invalidation predicate, so it must guarantee bit-identical reuse.
+fn same_matrix(x: &CsrMatrix, y: &CsrMatrix) -> bool {
+    x.shape() == y.shape()
+        && x.indptr() == y.indptr()
+        && x.indices() == y.indices()
+        && x.values().iter().zip(y.values()).all(|(a, b)| a.to_bits() == b.to_bits())
 }
 
 /// Computes `ΔA_C = (A + ΔA)^L − A^L`.
@@ -62,6 +168,37 @@ pub fn fused_dissimilarity(
     num_layers: u32,
     strategy: DissimilarityStrategy,
 ) -> Result<Dissimilarity> {
+    dissimilarity_impl(a, da, num_layers, strategy, None)
+}
+
+/// [`fused_dissimilarity`] with a cross-snapshot [`PowerCache`].
+///
+/// Bit-identical to the uncached call in every field (a hit replays the
+/// recorded stats, a miss computes them) except [`Dissimilarity::saved`],
+/// which reports the work a hit avoided. Only the
+/// [`DissimilarityStrategy::General`] power chain consults the cache; the
+/// `TransposeOptimized` `L ≤ 3` forms never materialize reusable powers.
+///
+/// # Errors
+///
+/// Same conditions as [`fused_dissimilarity`].
+pub fn fused_dissimilarity_cached(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    num_layers: u32,
+    strategy: DissimilarityStrategy,
+    cache: &mut PowerCache,
+) -> Result<Dissimilarity> {
+    dissimilarity_impl(a, da, num_layers, strategy, Some(cache))
+}
+
+fn dissimilarity_impl(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    num_layers: u32,
+    strategy: DissimilarityStrategy,
+    cache: Option<&mut PowerCache>,
+) -> Result<Dissimilarity> {
     if a.shape() != da.shape() {
         return Err(ModelError::Sparse(idgnn_sparse::SparseError::DimensionMismatch {
             op: "fused_dissimilarity",
@@ -75,51 +212,104 @@ pub fn fused_dissimilarity(
             ops: OpStats::default(),
             products: 0,
             transposes: 0,
+            saved: OpStats::default(),
         }),
         (_, 1) => Ok(Dissimilarity {
             delta_ac: da.clone(),
             ops: OpStats::default(),
             products: 0,
             transposes: 0,
+            saved: OpStats::default(),
         }),
         (DissimilarityStrategy::TransposeOptimized, 2) => optimized_l2(a, da),
         (DissimilarityStrategy::TransposeOptimized, 3) => optimized_l3(a, da),
-        _ => general(a, da, num_layers),
+        _ => general(a, da, num_layers, cache),
     }
 }
 
-/// Eq. 13 evaluated directly for arbitrary `L`.
-fn general(a: &CsrMatrix, da: &CsrMatrix, l: u32) -> Result<Dissimilarity> {
+/// Eq. 13 evaluated directly for arbitrary `L`, optionally consulting a
+/// [`PowerCache`] for the `A`-side powers and installing the freshly built
+/// `(A+ΔA)`-side powers for the next snapshot.
+fn general(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    l: u32,
+    mut cache: Option<&mut PowerCache>,
+) -> Result<Dissimilarity> {
     let mut ops = OpStats::default();
     let mut products = 0u32;
+    let mut saved = OpStats::default();
+    let l_us = l as usize;
     let a_next = ops::sp_add(a, da)?;
     ops.adds += da.nnz() as u64;
 
-    // Powers A^0..A^{L-1} and (A+ΔA)^0..(A+ΔA)^{L-1}.
-    let mut pow_a = vec![CsrMatrix::identity(a.rows())];
+    // Powers A^0..A^{L-1}: from the cache when it holds exactly these
+    // (bit-identical base, same depth), else computed fresh.
+    let pow_a = match cache.as_mut().and_then(|c| c.take(a, l_us)) {
+        Some((powers, stats)) => {
+            // Warm hit: replay the recorded per-product stats so `ops` and
+            // `products` match a cold evaluation exactly; the replayed share
+            // is the work actually avoided.
+            for &s in &stats {
+                ops += s;
+                saved += s;
+                products += 1;
+            }
+            powers
+        }
+        None => {
+            let mut powers = vec![CsrMatrix::identity(a.rows())];
+            for i in 1..l_us {
+                let (pa, sa) = ops::spgemm_with_stats(&powers[i - 1], a)?;
+                ops += sa;
+                products += 1;
+                powers.push(pa);
+            }
+            powers
+        }
+    };
+
+    // Powers (A+ΔA)^0..(A+ΔA)^{L-1}, always computed — they key the next
+    // snapshot's cache hit, so their per-product stats are recorded.
     let mut pow_n = vec![CsrMatrix::identity(a.rows())];
-    for i in 1..l as usize {
-        let (pa, sa) = ops::spgemm_with_stats(&pow_a[i - 1], a)?;
+    let mut pn_stats = Vec::with_capacity(l_us.saturating_sub(1));
+    for i in 1..l_us {
         let (pn, sn) = ops::spgemm_with_stats(&pow_n[i - 1], &a_next)?;
-        ops += sa;
         ops += sn;
-        products += 2;
-        pow_a.push(pa);
+        products += 1;
         pow_n.push(pn);
+        pn_stats.push(sn);
     }
 
     let mut acc = CsrMatrix::zeros(a.rows(), a.cols());
-    for i in 0..l as usize {
+    for i in 0..l_us {
         let (left, s1) = ops::spgemm_with_stats(&pow_a[i], da)?;
         ops += s1;
         products += 1;
-        let (term, s2) = ops::spgemm_with_stats(&left, &pow_n[l as usize - 1 - i])?;
+        let (term, s2) = ops::spgemm_with_stats(&left, &pow_n[l_us - 1 - i])?;
+        workspace::recycle(left);
         ops += s2;
         products += 1;
         ops.adds += term.nnz().min(acc.nnz()) as u64;
-        acc = ops::sp_add(&acc, &term)?;
+        let next = ops::sp_add(&acc, &term)?;
+        workspace::recycle(std::mem::replace(&mut acc, next));
+        workspace::recycle(term);
     }
-    Ok(Dissimilarity { delta_ac: acc.pruned(0.0), ops, products, transposes: 0 })
+    for p in pow_a {
+        workspace::recycle(p);
+    }
+    let delta_ac = acc.pruned(0.0);
+    workspace::recycle(acc);
+    match cache {
+        Some(c) => c.install(a_next, pow_n, pn_stats),
+        None => {
+            workspace::recycle(a_next);
+            for p in pow_n {
+                workspace::recycle(p);
+            }
+        }
+    }
+    Ok(Dissimilarity { delta_ac, ops, products, transposes: 0, saved })
 }
 
 /// `L = 2`: `ΔA·A + (ΔA·A)ᵀ + ΔA·ΔA` — two products and one transpose
@@ -134,7 +324,14 @@ fn optimized_l2(a: &CsrMatrix, da: &CsrMatrix) -> Result<Dissimilarity> {
     ops += s2;
     let sum = ops::sp_add(&ops::sp_add(&p, &pt)?, &dd)?;
     ops.adds += (p.nnz() + dd.nnz()) as u64;
-    Ok(Dissimilarity { delta_ac: sum.pruned(0.0), ops, products: 2, transposes: 1 })
+    for m in [p, pt, dd] {
+        workspace::recycle(m);
+    }
+    let delta_ac = sum.pruned(0.0);
+    workspace::recycle(sum);
+    // The transpose substitutes for the mirror product A·ΔA, costed at its
+    // twin's recorded cost (exact by symmetry of the operands).
+    Ok(Dissimilarity { delta_ac, ops, products: 2, transposes: 1, saved: s1 })
 }
 
 /// `L = 3`, the paper's worked example (Eqs. 14–15):
@@ -150,27 +347,35 @@ fn optimized_l3(a: &CsrMatrix, da: &CsrMatrix) -> Result<Dissimilarity> {
     debug_assert!(a.is_symmetric(1e-5) && da.is_symmetric(1e-5));
     let mut ops = OpStats::default();
     let mut products = 0u32;
-    let mut mm = |x: &CsrMatrix, y: &CsrMatrix| -> Result<CsrMatrix> {
+    let mut mm = |x: &CsrMatrix, y: &CsrMatrix| -> Result<(CsrMatrix, OpStats)> {
         let (m, s) = ops::spgemm_with_stats(x, y)?;
         ops += s;
         products += 1;
-        Ok(m)
+        Ok((m, s))
     };
 
-    let p = mm(da, a)?; // P = ΔA·A (shared)
-    let ada_a = mm(&p.transpose(), a)?; // A·ΔA·A   (palindrome, self-transpose)
-    let da_a_da = mm(&p, da)?; // ΔA·A·ΔA (palindrome)
-    let dd = mm(da, da)?; // ΔA²
-    let dda = mm(&dd, a)?; // ΔA·ΔA·A  → its T gives A·ΔA·ΔA
-    let daa = mm(&p, a)?; // ΔA·A·A   → its T gives A·A·ΔA
-    let ddd = mm(&dd, da)?; // ΔA³
+    let (p, _) = mm(da, a)?; // P = ΔA·A (shared)
+    let (ada_a, _) = mm(&p.transpose(), a)?; // A·ΔA·A   (palindrome, self-transpose)
+    let (da_a_da, _) = mm(&p, da)?; // ΔA·A·ΔA (palindrome)
+    let (dd, _) = mm(da, da)?; // ΔA²
+    let (dda, s_dda) = mm(&dd, a)?; // ΔA·ΔA·A  → its T gives A·ΔA·ΔA
+    let (daa, s_daa) = mm(&p, a)?; // ΔA·A·A   → its T gives A·A·ΔA
+    let (ddd, _) = mm(&dd, da)?; // ΔA³
 
     let mut acc = ops::sp_add(&ada_a, &da_a_da)?;
     for term in [&dda, &dda.transpose(), &daa, &daa.transpose(), &ddd] {
         ops.adds += term.nnz().min(acc.nnz().max(1)) as u64;
-        acc = ops::sp_add(&acc, term)?;
+        let next = ops::sp_add(&acc, term)?;
+        workspace::recycle(std::mem::replace(&mut acc, next));
     }
-    Ok(Dissimilarity { delta_ac: acc.pruned(0.0), ops, products, transposes: 2 })
+    for m in [p, ada_a, da_a_da, dd, dda, daa, ddd] {
+        workspace::recycle(m);
+    }
+    let delta_ac = acc.pruned(0.0);
+    workspace::recycle(acc);
+    // The two transposes substitute for the mirror products A·ΔA·ΔA and
+    // A·A·ΔA, costed at their twins' recorded cost (exact by symmetry).
+    Ok(Dissimilarity { delta_ac, ops, products, transposes: 2, saved: s_dda + s_daa })
 }
 
 /// The aggregation half of Eq. 10:
@@ -348,6 +553,91 @@ mod tests {
         m.set(3, 1, -2.0);
         assert_eq!(nonzero_rows(&m, 0.0), vec![1, 3]);
         assert_eq!(nonzero_rows(&m, 1.0), vec![3]);
+    }
+
+    /// Bitwise CSR equality (indptr, indices, value bits).
+    fn assert_identical(a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(a.indptr(), b.indptr());
+        assert_eq!(a.indices(), b.indices());
+        let bits = |m: &CsrMatrix| m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a), bits(b));
+    }
+
+    #[test]
+    fn power_cache_miss_then_hit_is_bit_identical_to_cold() {
+        let (a, _, d) = setup(Normalization::Symmetric);
+        let mut cache = PowerCache::new();
+
+        // First call: cold in both worlds.
+        let cold = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).unwrap();
+        let warm = fused_dissimilarity_cached(&a, &d, 3, DissimilarityStrategy::General, &mut cache)
+            .unwrap();
+        assert_identical(&cold.delta_ac, &warm.delta_ac);
+        assert_eq!(cold.ops, warm.ops);
+        assert_eq!(cold.products, warm.products);
+        assert_eq!(warm.saved, OpStats::default());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+
+        // Next snapshot: the resident operator advances by ΔA (exactly the
+        // matrix the cache keyed its install on), the delta shrinks to a
+        // sub-delta — the lookup must hit and stay bit-identical.
+        let a2 = ops::sp_add(&a, &d).unwrap();
+        let d2 = d.scale(0.5);
+        let cold2 = fused_dissimilarity(&a2, &d2, 3, DissimilarityStrategy::General).unwrap();
+        let warm2 =
+            fused_dissimilarity_cached(&a2, &d2, 3, DissimilarityStrategy::General, &mut cache)
+                .unwrap();
+        assert_identical(&cold2.delta_ac, &warm2.delta_ac);
+        assert_eq!(cold2.ops, warm2.ops);
+        assert_eq!(cold2.products, warm2.products);
+        assert_eq!(cache.hits(), 1);
+        assert!(warm2.saved.mults > 0, "a hit must report avoided work");
+        assert_eq!(cold2.saved, OpStats::default());
+    }
+
+    #[test]
+    fn power_cache_invalidates_on_operator_or_depth_change() {
+        // Each call installs powers of its *advanced* operator A+ΔA, so a
+        // follow-up call hits only when passed exactly that matrix.
+        let (a, _, d) = setup(Normalization::Symmetric);
+        let mut cache = PowerCache::new();
+        let cached = |a: &CsrMatrix, l: u32, cache: &mut PowerCache| {
+            fused_dissimilarity_cached(a, &d, l, DissimilarityStrategy::General, cache).unwrap()
+        };
+
+        let _ = cached(&a, 3, &mut cache); // cold: miss
+        let a2 = ops::sp_add(&a, &d).unwrap();
+        let r = cached(&a2, 4, &mut cache); // depth changed 3 → 4: miss
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(r.saved, OpStats::default());
+
+        let a3 = ops::sp_add(&a2, &d).unwrap();
+        let _ = cached(&a3, 4, &mut cache); // matching operator and depth: hit
+        assert_eq!(cache.hits(), 1);
+
+        // Perturbed operator (same structure, different value bits): miss.
+        let perturbed = ops::sp_add(&a3, &d).unwrap().scale(2.0);
+        let _ = cached(&perturbed, 4, &mut cache);
+        assert_eq!(cache.hits(), 1);
+
+        // Explicit invalidation turns a would-be hit into a miss.
+        let a5 = ops::sp_add(&perturbed, &d).unwrap();
+        cache.invalidate();
+        let _ = cached(&a5, 4, &mut cache);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn transpose_substitution_reports_saved_ops() {
+        let (a, _, d) = setup(Normalization::Symmetric);
+        let l2 = fused_dissimilarity(&a, &d, 2, DissimilarityStrategy::TransposeOptimized).unwrap();
+        assert!(l2.saved.mults > 0);
+        let l3 = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::TransposeOptimized).unwrap();
+        assert!(l3.saved.mults > 0);
+        // The general path performs every product itself.
+        let g = fused_dissimilarity(&a, &d, 3, DissimilarityStrategy::General).unwrap();
+        assert_eq!(g.saved, OpStats::default());
     }
 
     #[test]

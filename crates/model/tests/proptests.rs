@@ -5,7 +5,9 @@
 use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
 use idgnn_graph::Normalization;
 use idgnn_model::exec::{CombinationOrder, OnePassOptions};
-use idgnn_model::onepass::{fused_dissimilarity, DissimilarityStrategy};
+use idgnn_model::onepass::{
+    fused_dissimilarity, fused_dissimilarity_cached, DissimilarityStrategy, PowerCache,
+};
 use idgnn_model::{
     exec, fusion, Activation, Algorithm, DgnnModel, DissimilarityStrategy as Strat, MemoryModel,
     ModelConfig,
@@ -174,6 +176,57 @@ proptest! {
         for (x, y) in a.outputs.iter().zip(&b.outputs) {
             prop_assert!(x.z.approx_eq(&y.z, 1e-3));
         }
+    }
+
+    #[test]
+    fn power_cache_warm_hit_matches_cold_recompute_bitwise(
+        v in 8usize..24,
+        e_mult in 1usize..4,
+        dissim in 0.01f64..0.12,
+        layers in 2u32..5,
+        seed in 0u64..200,
+    ) {
+        // Prime the cache on one delta, advance the resident operator with
+        // the same sp_add the kernel performs internally, then apply a second
+        // random ΔA: the warm call must hit the cache and still be
+        // bit-identical — structure, value bits, and op counts — to a cold
+        // recompute on the same operands.
+        let dg = generate_dynamic_graph(
+            &GraphConfig::power_law(v, v * e_mult, 3),
+            &StreamConfig { deltas: 2, dissimilarity: dissim, ..Default::default() },
+            seed,
+        )
+        .unwrap();
+        let snaps = dg.materialize().unwrap();
+        let a = Normalization::Symmetric.apply(snaps[0].adjacency());
+        let a1 = Normalization::Symmetric.apply(snaps[1].adjacency());
+        let a2 = Normalization::Symmetric.apply(snaps[2].adjacency());
+        let d1 = ops::sp_sub_pruned(&a1, &a).unwrap();
+
+        let mut cache = PowerCache::new();
+        fused_dissimilarity_cached(&a, &d1, layers, Strat::General, &mut cache).unwrap();
+        // The operator the cache keyed its powers on: base advanced by sp_add,
+        // exactly as the kernel computes it internally.
+        let resident = ops::sp_add(&a, &d1).unwrap();
+        let d2 = ops::sp_sub_pruned(&a2, &resident).unwrap();
+
+        let warm = fused_dissimilarity_cached(&resident, &d2, layers, Strat::General, &mut cache)
+            .unwrap();
+        let cold = fused_dissimilarity(&resident, &d2, layers, Strat::General).unwrap();
+
+        prop_assert_eq!(cache.hits(), 1, "second call must reuse the cached power chain");
+        prop_assert_eq!(warm.delta_ac.indptr(), cold.delta_ac.indptr());
+        prop_assert_eq!(warm.delta_ac.indices(), cold.delta_ac.indices());
+        let wv: Vec<u32> = warm.delta_ac.values().iter().map(|x| x.to_bits()).collect();
+        let cv: Vec<u32> = cold.delta_ac.values().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(wv, cv);
+        prop_assert_eq!(warm.ops, cold.ops);
+        prop_assert_eq!(warm.products, cold.products);
+        if layers >= 3 {
+            // (Â)² and above are genuinely skipped on a hit.
+            prop_assert!(warm.saved.mults > 0, "hit at L≥3 must save real multiplies");
+        }
+        prop_assert_eq!(cold.saved, Default::default());
     }
 
     #[test]

@@ -116,6 +116,15 @@ impl CsrMatrix {
         Ok(Self { rows, cols, indptr, indices, values })
     }
 
+    /// Decomposes the matrix into `(rows, cols, indptr, indices, values)`.
+    ///
+    /// The inverse of [`CsrMatrix::from_raw_parts`]; used by the workspace
+    /// pool ([`crate::workspace::recycle`]) to reclaim the backing storage of
+    /// consumed intermediates.
+    pub fn into_raw_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<f32>) {
+        (self.rows, self.cols, self.indptr, self.indices, self.values)
+    }
+
     /// Builds a CSR matrix from a dense one, dropping exact zeros.
     pub fn from_dense(dense: &DenseMatrix) -> Self {
         let mut coo = CooMatrix::with_capacity(

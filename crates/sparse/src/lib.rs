@@ -48,6 +48,7 @@ mod error;
 pub mod ops;
 pub mod parallel;
 pub mod stats;
+pub mod workspace;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
@@ -55,3 +56,4 @@ pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use ops::OpStats;
 pub use parallel::Parallelism;
+pub use workspace::Workspace;

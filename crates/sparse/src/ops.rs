@@ -21,9 +21,22 @@
 //! Determinism: rows are computed by the same per-row code in every mode and
 //! merged in ascending row-block order; the only cross-block reduction is the
 //! exact integer [`OpStats`] fold. See DESIGN.md §7.
+//!
+//! ## Allocation discipline
+//!
+//! SpGEMM runs in two phases over a reusable [`Workspace`] arena: a
+//! *symbolic* pass that computes each row's exact output structure (sorted
+//! column indices and per-row lengths), then a *numeric* pass that fills an
+//! exactly-sized value buffer in the same accumulation order as the legacy
+//! single-pass kernel — so results stay bit-identical while `indices` /
+//! `values` never re-grow. Dense scratch and CSR output buffers come from the
+//! global pool in [`crate::workspace`]; consumed intermediates are handed
+//! back with [`workspace::recycle`], making repeated same-shape products
+//! allocation-free in steady state. See DESIGN.md §8.
 
 use crate::error::{Result, SparseError};
 use crate::parallel::{self, Parallelism};
+use crate::workspace::{self, Workspace};
 use crate::{CsrMatrix, DenseMatrix};
 
 /// The parallelism the dispatching entry points use for an output with
@@ -105,64 +118,109 @@ struct CsrBlock {
 /// construction ([`parallel::map_blocks`]).
 fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, OpStats) {
     let total_nnz: usize = blocks.iter().map(|b| b.indices.len()).sum();
-    let mut indptr = Vec::with_capacity(rows + 1);
+    let mut indptr = workspace::take_index_buffer(rows + 1);
     indptr.push(0usize);
-    let mut indices = Vec::with_capacity(total_nnz);
-    let mut values = Vec::with_capacity(total_nnz);
     let mut stats = OpStats::default();
-    for block in blocks {
-        for len in block.row_lens {
+    let (indices, values) = if blocks.len() == 1 {
+        // Single block (the serial path): the block's buffers already hold
+        // the full output — move them instead of copying.
+        let CsrBlock { row_lens, indices, values, stats: s } = blocks
+            .into_iter()
+            .next()
+            .expect("length checked above");
+        for len in &row_lens {
             indptr.push(indptr.last().expect("indptr non-empty") + len);
         }
-        indices.extend_from_slice(&block.indices);
-        values.extend_from_slice(&block.values);
-        stats += block.stats;
-    }
+        stats += s;
+        workspace::recycle_index_buffer(row_lens);
+        (indices, values)
+    } else {
+        let mut indices = workspace::take_index_buffer(total_nnz);
+        let mut values = workspace::take_value_buffer(total_nnz);
+        for block in blocks {
+            for len in &block.row_lens {
+                indptr.push(indptr.last().expect("indptr non-empty") + len);
+            }
+            indices.extend_from_slice(&block.indices);
+            values.extend_from_slice(&block.values);
+            stats += block.stats;
+            workspace::recycle_index_buffer(block.row_lens);
+            workspace::recycle_index_buffer(block.indices);
+            workspace::recycle_value_buffer(block.values);
+        }
+        (indices, values)
+    };
     let m = CsrMatrix::from_raw_parts(rows, cols, indptr, indices, values)
         .expect("blocked CSR output is valid by construction");
     (m, stats)
 }
 
 /// The Gustavson SpGEMM inner loop over one contiguous row block — the same
-/// code path in the serial and every parallel configuration.
+/// code path in the serial and every parallel configuration. Checks a
+/// [`Workspace`] out of the global pool for the duration of the block.
 fn spgemm_block(a: &CsrMatrix, b: &CsrMatrix, rows: std::ops::Range<usize>) -> CsrBlock {
-    let n_cols = b.cols();
-    let mut block = CsrBlock {
-        row_lens: Vec::with_capacity(rows.len()),
-        indices: Vec::new(),
-        values: Vec::new(),
-        stats: OpStats::default(),
-    };
+    workspace::with_workspace(|ws| spgemm_block_in(a, b, rows, ws))
+}
 
-    // Dense accumulator (SPA) with a generation-stamped touched-list, the
-    // classic Gustavson formulation: O(flops) time independent of n.
-    let mut acc = vec![0.0f32; n_cols];
-    let mut stamp = vec![usize::MAX; n_cols];
-    let mut touched: Vec<usize> = Vec::new();
+/// Two-phase (symbolic then numeric) Gustavson SpGEMM over one row block,
+/// using a caller-provided workspace arena.
+///
+/// The symbolic pass stamps each row's reachable columns once, writing the
+/// sorted output structure and exact per-row lengths; the numeric pass then
+/// accumulates into the dense SPA in the *same visit order* as the legacy
+/// single-pass kernel and emits values into an exactly-sized buffer — the
+/// output (and [`OpStats`]) is bit-identical to the legacy path.
+fn spgemm_block_in(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    rows: std::ops::Range<usize>,
+    ws: &mut Workspace,
+) -> CsrBlock {
+    ws.ensure_width(b.cols());
+    let mut row_lens = workspace::take_index_buffer(rows.len());
+    let mut indices = workspace::take_index_buffer(0);
 
-    for r in rows {
-        for (k, va) in a.row_iter(r) {
-            for (c, vb) in b.row_iter(k) {
-                block.stats.mults += 1;
-                if stamp[c] == r {
-                    block.stats.adds += 1;
-                    acc[c] += va * vb;
-                } else {
-                    stamp[c] = r;
-                    touched.push(c);
-                    acc[c] = va * vb;
+    // Symbolic phase: structure only — no multiplies, no value traffic.
+    for r in rows.clone() {
+        let generation = ws.next_generation();
+        let start = indices.len();
+        for (k, _) in a.row_iter(r) {
+            for (c, _) in b.row_iter(k) {
+                if ws.stamp[c] != generation {
+                    ws.stamp[c] = generation;
+                    indices.push(c);
                 }
             }
         }
-        touched.sort_unstable();
-        for &c in &touched {
-            block.indices.push(c);
-            block.values.push(acc[c]);
-        }
-        block.row_lens.push(touched.len());
-        touched.clear();
+        indices[start..].sort_unstable();
+        row_lens.push(indices.len() - start);
     }
-    block
+
+    // Numeric phase: the value buffer is sized exactly by the symbolic pass.
+    let mut values = workspace::take_value_buffer(indices.len());
+    let mut stats = OpStats::default();
+    let mut emitted = 0usize;
+    for (i, r) in rows.enumerate() {
+        let generation = ws.next_generation();
+        for (k, va) in a.row_iter(r) {
+            for (c, vb) in b.row_iter(k) {
+                stats.mults += 1;
+                if ws.stamp[c] == generation {
+                    stats.adds += 1;
+                    ws.acc[c] += va * vb;
+                } else {
+                    ws.stamp[c] = generation;
+                    ws.acc[c] = va * vb;
+                }
+            }
+        }
+        let row_end = emitted + row_lens[i];
+        for &c in &indices[emitted..row_end] {
+            values.push(ws.acc[c]);
+        }
+        emitted = row_end;
+    }
+    CsrBlock { row_lens, indices, values, stats }
 }
 
 /// Sparse × sparse matrix product (Gustavson's row-wise SpGEMM).
@@ -216,20 +274,60 @@ pub fn spgemm_par_with_stats(
     Ok(assemble_csr(a.rows(), b.cols(), blocks))
 }
 
+/// Sparse × sparse product on the serial path with a caller-owned
+/// [`Workspace`], bypassing the global workspace pool.
+///
+/// Bit-identical to every other `spgemm` entry point regardless of what the
+/// workspace was previously used for (property-tested); lets a tight loop
+/// keep one arena hot without pool round-trips.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spgemm_with_workspace(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    ws: &mut Workspace,
+) -> Result<(CsrMatrix, OpStats)> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let block = spgemm_block_in(a, b, 0..a.rows(), ws);
+    Ok(assemble_csr(a.rows(), b.cols(), vec![block]))
+}
+
 /// The two-pointer row-merge inner loop of `sp_axpby` over one contiguous
 /// row block — the same code path in every execution mode.
-fn sp_axpby_block(
+///
+/// With `PRUNE` the merge drops entries whose combined value fails
+/// `v.abs() > 0.0` (exact zeros of either sign, and NaN) as it goes, matching
+/// [`CsrMatrix::pruned`]`(0.0)` applied to the unpruned result without a
+/// second pass over the output.
+fn sp_axpby_block<const PRUNE: bool>(
     alpha: f32,
     a: &CsrMatrix,
     beta: f32,
     b: &CsrMatrix,
     rows: std::ops::Range<usize>,
 ) -> CsrBlock {
+    // Upper bound on the block's output nnz: every merged entry survives.
+    let cap = (a.indptr()[rows.end] - a.indptr()[rows.start])
+        + (b.indptr()[rows.end] - b.indptr()[rows.start]);
     let mut block = CsrBlock {
-        row_lens: Vec::with_capacity(rows.len()),
-        indices: Vec::new(),
-        values: Vec::new(),
+        row_lens: workspace::take_index_buffer(rows.len()),
+        indices: workspace::take_index_buffer(cap),
+        values: workspace::take_value_buffer(cap),
         stats: OpStats::default(),
+    };
+    let push = |block: &mut CsrBlock, c: usize, v: f32| {
+        if !PRUNE || v.abs() > 0.0 {
+            block.indices.push(c);
+            block.values.push(v);
+        }
     };
     for r in rows {
         let start = block.indices.len();
@@ -239,28 +337,23 @@ fn sp_axpby_block(
             match (ia.peek().copied(), ib.peek().copied()) {
                 (None, None) => break,
                 (Some((ca, va)), None) => {
-                    block.indices.push(ca);
-                    block.values.push(alpha * va);
+                    push(&mut block, ca, alpha * va);
                     ia.next();
                 }
                 (None, Some((cb, vb))) => {
-                    block.indices.push(cb);
-                    block.values.push(beta * vb);
+                    push(&mut block, cb, beta * vb);
                     ib.next();
                 }
                 (Some((ca, va)), Some((cb, vb))) => {
                     if ca == cb {
-                        block.indices.push(ca);
-                        block.values.push(alpha * va + beta * vb);
+                        push(&mut block, ca, alpha * va + beta * vb);
                         ia.next();
                         ib.next();
                     } else if ca < cb {
-                        block.indices.push(ca);
-                        block.values.push(alpha * va);
+                        push(&mut block, ca, alpha * va);
                         ia.next();
                     } else {
-                        block.indices.push(cb);
-                        block.values.push(beta * vb);
+                        push(&mut block, cb, beta * vb);
                         ib.next();
                     }
                 }
@@ -302,6 +395,16 @@ pub fn sp_axpby_par(
     b: &CsrMatrix,
     par: Parallelism,
 ) -> Result<CsrMatrix> {
+    sp_axpby_par_impl::<false>(alpha, a, beta, b, par)
+}
+
+fn sp_axpby_par_impl<const PRUNE: bool>(
+    alpha: f32,
+    a: &CsrMatrix,
+    beta: f32,
+    b: &CsrMatrix,
+    par: Parallelism,
+) -> Result<CsrMatrix> {
     if a.shape() != b.shape() {
         return Err(SparseError::DimensionMismatch {
             op: "sp_axpby",
@@ -309,8 +412,9 @@ pub fn sp_axpby_par(
             rhs: b.shape(),
         });
     }
-    let blocks =
-        parallel::map_blocks(a.rows(), par, |range| sp_axpby_block(alpha, a, beta, b, range));
+    let blocks = parallel::map_blocks(a.rows(), par, |range| {
+        sp_axpby_block::<PRUNE>(alpha, a, beta, b, range)
+    });
     Ok(assemble_csr(a.rows(), a.cols(), blocks).0)
 }
 
@@ -330,6 +434,20 @@ pub fn sp_add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 /// Returns [`SparseError::DimensionMismatch`] if shapes differ.
 pub fn sp_sub(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
     sp_axpby(1.0, a, -1.0, b)
+}
+
+/// Sparse matrix difference `a - b` with explicit zeros dropped during the
+/// merge — bit-identical to `sp_sub(a, b)?.pruned(0.0)` without the second
+/// pass over the output.
+///
+/// This is the DIU kernel (§IV-B): `ΔA = Â^{t+1} − Â^t` where unchanged
+/// entries cancel to exact zeros that must not be stored.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn sp_sub_pruned(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    sp_axpby_par_impl::<true>(1.0, a, -1.0, b, auto_parallelism(a.rows()))
 }
 
 /// Sparse × dense product (SpMM): `a * x` where `x` is dense.
@@ -352,7 +470,8 @@ fn spmm_block(
 ) -> (Vec<f32>, OpStats) {
     let k = x.cols();
     let base = rows.start;
-    let mut out = vec![0.0f32; rows.len() * k];
+    let mut out = workspace::take_value_buffer(rows.len() * k);
+    out.resize(rows.len() * k, 0.0);
     let mut stats = OpStats::default();
     for r in rows {
         let row_nnz = a.row_nnz(r) as u64;
@@ -405,13 +524,20 @@ pub fn spmm_par_with_stats(
         });
     }
     let k = x.cols();
-    let blocks = parallel::map_blocks(a.rows(), par, |range| spmm_block(a, x, range));
-    let mut data = Vec::with_capacity(a.rows() * k);
-    let mut stats = OpStats::default();
-    for (chunk, s) in blocks {
-        data.extend_from_slice(&chunk);
-        stats += s;
-    }
+    let mut blocks = parallel::map_blocks(a.rows(), par, |range| spmm_block(a, x, range));
+    let (data, stats) = if blocks.len() == 1 {
+        // Single block (the serial path): the chunk *is* the output — move it.
+        blocks.pop().expect("length checked above")
+    } else {
+        let mut data = workspace::take_value_buffer(a.rows() * k);
+        let mut stats = OpStats::default();
+        for (chunk, s) in blocks {
+            data.extend_from_slice(&chunk);
+            stats += s;
+            workspace::recycle_value_buffer(chunk);
+        }
+        (data, stats)
+    };
     let out = DenseMatrix::from_vec(a.rows(), k, data)
         .expect("blocked SpMM output has the declared shape");
     Ok((out, stats))
@@ -432,7 +558,10 @@ pub fn sp_pow(a: &CsrMatrix, l: u32) -> Result<CsrMatrix> {
 ///
 /// Uses the naive left-to-right chain (`A·A·…·A`) rather than
 /// square-and-multiply: the chain matches the layer-by-layer receptive-field
-/// semantics of the paper and keeps intermediate sparsity realistic.
+/// semantics of the paper and keeps intermediate sparsity realistic. The
+/// chain starts at `A` itself, so `pow(a, l)` costs exactly `l − 1` SpGEMMs
+/// (the former `I·A` warm-up product is gone); each replaced intermediate is
+/// recycled into the workspace buffer pool.
 ///
 /// # Errors
 ///
@@ -441,11 +570,14 @@ pub fn sp_pow_with_stats(a: &CsrMatrix, l: u32) -> Result<(CsrMatrix, OpStats)> 
     if a.rows() != a.cols() {
         return Err(SparseError::NotSquare { shape: a.shape() });
     }
+    if l == 0 {
+        return Ok((CsrMatrix::identity(a.rows()), OpStats::default()));
+    }
     let mut stats = OpStats::default();
-    let mut acc = CsrMatrix::identity(a.rows());
-    for _ in 0..l {
+    let mut acc = a.clone();
+    for _ in 1..l {
         let (next, s) = spgemm_with_stats(&acc, a)?;
-        acc = next;
+        workspace::recycle(std::mem::replace(&mut acc, next));
         stats += s;
     }
     Ok((acc, stats))
@@ -711,6 +843,63 @@ mod tests {
         };
         assert_csr_identical(&serial.0, &parallel.0);
         assert_eq!(serial.1, parallel.1);
+    }
+
+    #[test]
+    fn sp_sub_pruned_matches_sub_then_prune() {
+        for seed in 0..6 {
+            let a = random_sparse(60, 300, seed);
+            let b = random_sparse(60, 250, seed + 100);
+            let reference = sp_sub(&a, &b).unwrap().pruned(0.0);
+            let fused = sp_sub_pruned(&a, &b).unwrap();
+            assert_csr_identical(&reference, &fused);
+            // Subtracting a matrix from itself must yield an empty result.
+            let zero = sp_sub_pruned(&a, &a).unwrap();
+            assert_eq!(zero.nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn sp_sub_pruned_parallel_matches_serial_composition() {
+        let a = random_sparse(200, 1500, 42);
+        let b = random_sparse(200, 1400, 43);
+        let reference = sp_sub(&a, &b).unwrap().pruned(0.0);
+        let _guard = parallel::kernel_scope(Parallelism::new(4));
+        assert_csr_identical(&reference, &sp_sub_pruned(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn spgemm_with_workspace_matches_pooled_path() {
+        let a = random_sparse(70, 500, 9);
+        let b = random_sparse(70, 450, 10);
+        let (reference, st_ref) = spgemm_serial_with_stats(&a, &b).unwrap();
+        let mut ws = Workspace::new();
+        // Reuse the same arena across calls of different shapes in between.
+        let small = random_sparse(5, 10, 11);
+        for _ in 0..3 {
+            let (m, st) = spgemm_with_workspace(&a, &b, &mut ws).unwrap();
+            assert_csr_identical(&reference, &m);
+            assert_eq!(st, st_ref);
+            let _ = spgemm_with_workspace(&small, &small, &mut ws).unwrap();
+        }
+    }
+
+    #[test]
+    fn sp_pow_one_is_a_copy_with_no_ops() {
+        let a = path_graph(5);
+        let (p, st) = sp_pow_with_stats(&a, 1).unwrap();
+        assert_csr_identical(&a, &p);
+        assert_eq!(st, OpStats::default());
+    }
+
+    #[test]
+    fn sp_pow_stats_equal_chained_spgemm_stats() {
+        let a = random_sparse(40, 200, 12);
+        let (p3, st3) = sp_pow_with_stats(&a, 3).unwrap();
+        let (step2, s2) = spgemm_serial_with_stats(&a, &a).unwrap();
+        let (step3, s3) = spgemm_serial_with_stats(&step2, &a).unwrap();
+        assert_csr_identical(&p3, &step3);
+        assert_eq!(st3, s2 + s3);
     }
 
     #[test]

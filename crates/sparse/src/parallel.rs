@@ -176,6 +176,12 @@ pub fn partition(items: usize, blocks: usize) -> Vec<Range<usize>> {
 /// thread scheduling). With one effective worker the closure runs inline on
 /// the calling thread — the legacy serial path, no pool.
 ///
+/// Worker threads are freshly spawned per call and carry no thread-local
+/// state, which is why the kernel closures check their scratch
+/// [`Workspace`](crate::Workspace) out of the global
+/// [`workspace`](crate::workspace) pool (one checkout per block) instead of
+/// relying on thread-locals that would die with the scope.
+///
 /// # Panics
 ///
 /// Re-raises a worker panic on the calling thread.

@@ -1,0 +1,254 @@
+//! Reusable kernel workspaces and pooled output buffers.
+//!
+//! The sparse kernels in [`crate::ops`] are called thousands of times per
+//! simulated stream (the Eq. 13/15 five-product chain runs every snapshot),
+//! and the dominant allocation cost is not the output itself but the dense
+//! scratch each SpGEMM needs: an `n`-wide accumulator, an `n`-wide stamp
+//! array, and the output `indices`/`values` vectors that re-grow from empty
+//! on every call. This module removes that cost:
+//!
+//! * [`Workspace`] owns the dense accumulator (SPA) and generation-stamped
+//!   array a Gustavson SpGEMM block needs. It is checked out of a global
+//!   pool per row-block invocation ([`with_workspace`]) and returned
+//!   afterwards, so the `O(n)` scratch is written once and reused across
+//!   calls — including across the fresh scoped threads
+//!   [`crate::parallel::map_blocks`] spawns per kernel call.
+//! * A global buffer pool recycles `Vec<usize>` / `Vec<f32>` storage for CSR
+//!   outputs. Kernels draw exactly-sized buffers via
+//!   [`take_index_buffer`] / [`take_value_buffer`]; callers that consume an
+//!   intermediate matrix hand its storage back with [`recycle`] (or
+//!   [`recycle_dense`] for SpMM outputs). In steady state a repeated
+//!   same-shape product allocates no new memory.
+//!
+//! Reuse is *bit-invisible*: a pooled buffer is cleared before use and a
+//! workspace's stamp generation never collides, so every kernel result is
+//! bit-identical to a fresh-allocation run (property-tested in
+//! `tests/proptests.rs`). See DESIGN.md §8 for the lifecycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{CsrMatrix, DenseMatrix};
+
+/// Upper bound on pooled workspaces (each holds `O(n)` scratch).
+const MAX_POOLED_WORKSPACES: usize = 64;
+/// Upper bound on pooled buffers per kind.
+const MAX_POOLED_BUFFERS: usize = 256;
+
+/// Dense scratch owned by one SpGEMM worker: accumulator, stamp array, and
+/// the current stamp generation.
+///
+/// The stamp array marks which accumulator slots belong to the current row:
+/// `stamp[c] == generation` means `acc[c]` is live. Bumping the generation
+/// (`O(1)`) invalidates the whole row, so neither array is ever re-zeroed
+/// between rows or between calls.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub(crate) acc: Vec<f32>,
+    pub(crate) stamp: Vec<usize>,
+    generation: usize,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the accumulator and stamp arrays to at least `cols` slots.
+    pub(crate) fn ensure_width(&mut self, cols: usize) {
+        if self.stamp.len() < cols {
+            self.acc.resize(cols, 0.0);
+            self.stamp.resize(cols, usize::MAX);
+        }
+    }
+
+    /// Starts a new stamp generation and returns it. The fresh generation
+    /// matches no existing stamp, which is what makes reuse bit-invisible.
+    pub(crate) fn next_generation(&mut self) -> usize {
+        // usize::MAX is the "never stamped" sentinel; wrap long before it.
+        if self.generation >= usize::MAX - 1 {
+            self.stamp.fill(usize::MAX);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+}
+
+/// The global recycling pool. A plain mutex is fine here: kernels lock it a
+/// handful of times per row *block* (not per row), so contention is dwarfed
+/// by the block's arithmetic.
+struct Pool {
+    workspaces: Vec<Workspace>,
+    index_buffers: Vec<Vec<usize>>,
+    value_buffers: Vec<Vec<f32>>,
+}
+
+static POOL: Mutex<Pool> = Mutex::new(Pool {
+    workspaces: Vec::new(),
+    index_buffers: Vec::new(),
+    value_buffers: Vec::new(),
+});
+
+/// Buffer-pool hits (a `take_*` call served from the pool).
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Buffer-pool misses (a `take_*` call that had to allocate).
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` with a workspace checked out of the global pool, returning the
+/// workspace to the pool afterwards (dropped instead if the pool is full).
+pub fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = POOL
+        .lock()
+        .ok()
+        .and_then(|mut p| p.workspaces.pop())
+        .unwrap_or_default();
+    let out = f(&mut ws);
+    if let Ok(mut p) = POOL.lock() {
+        if p.workspaces.len() < MAX_POOLED_WORKSPACES {
+            p.workspaces.push(ws);
+        }
+    }
+    out
+}
+
+/// Takes a cleared index buffer with capacity for at least `cap` entries.
+pub(crate) fn take_index_buffer(cap: usize) -> Vec<usize> {
+    match POOL.lock().ok().and_then(|mut p| p.index_buffers.pop()) {
+        Some(mut v) => {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.reserve_exact(cap);
+            v
+        }
+        None => {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// Takes a cleared value buffer with capacity for at least `cap` entries.
+pub(crate) fn take_value_buffer(cap: usize) -> Vec<f32> {
+    match POOL.lock().ok().and_then(|mut p| p.value_buffers.pop()) {
+        Some(mut v) => {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.reserve_exact(cap);
+            v
+        }
+        None => {
+            POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// Returns an index buffer to the pool.
+pub(crate) fn recycle_index_buffer(buf: Vec<usize>) {
+    if let Ok(mut p) = POOL.lock() {
+        if p.index_buffers.len() < MAX_POOLED_BUFFERS {
+            p.index_buffers.push(buf);
+        }
+    }
+}
+
+/// Returns a value buffer to the pool.
+pub(crate) fn recycle_value_buffer(buf: Vec<f32>) {
+    if let Ok(mut p) = POOL.lock() {
+        if p.value_buffers.len() < MAX_POOLED_BUFFERS {
+            p.value_buffers.push(buf);
+        }
+    }
+}
+
+/// Reclaims a consumed CSR matrix's storage into the buffer pool.
+///
+/// Call this on intermediates that are about to be dropped (chained products,
+/// replaced accumulators): their `indptr`/`indices`/`values` vectors then
+/// back the next kernel's output instead of fresh allocations.
+pub fn recycle(m: CsrMatrix) {
+    let (_, _, indptr, indices, values) = m.into_raw_parts();
+    recycle_index_buffer(indptr);
+    recycle_index_buffer(indices);
+    recycle_value_buffer(values);
+}
+
+/// Reclaims a consumed dense matrix's storage into the buffer pool.
+pub fn recycle_dense(m: DenseMatrix) {
+    recycle_value_buffer(m.into_vec());
+}
+
+/// `(hits, misses)` of the global buffer pool since process start.
+///
+/// Informational (reported by `bench kernels`); tests must not assert on it
+/// because the pool is shared across concurrently running tests.
+pub fn pool_counters() -> (u64, u64) {
+    (POOL_HITS.load(Ordering::Relaxed), POOL_MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_grows_and_stamps() {
+        let mut ws = Workspace::new();
+        ws.ensure_width(8);
+        assert_eq!(ws.acc.len(), 8);
+        assert!(ws.stamp.iter().all(|&s| s == usize::MAX));
+        let g1 = ws.next_generation();
+        let g2 = ws.next_generation();
+        assert_ne!(g1, g2);
+        assert_ne!(g2, usize::MAX);
+        // Growing keeps existing slots and extends with the sentinel.
+        ws.stamp[0] = g2;
+        ws.ensure_width(16);
+        assert_eq!(ws.stamp[0], g2);
+        assert_eq!(ws.stamp[15], usize::MAX);
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps() {
+        let mut ws = Workspace::new();
+        ws.ensure_width(4);
+        ws.generation = usize::MAX - 1;
+        ws.stamp[2] = usize::MAX - 1;
+        let g = ws.next_generation();
+        assert_eq!(g, 1);
+        assert_eq!(ws.stamp[2], usize::MAX);
+    }
+
+    #[test]
+    fn take_returns_cleared_buffer_with_capacity() {
+        recycle_index_buffer(vec![7, 8, 9]);
+        let buf = take_index_buffer(10);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 10);
+        let vals = take_value_buffer(3);
+        assert!(vals.is_empty());
+        assert!(vals.capacity() >= 3);
+    }
+
+    #[test]
+    fn recycle_roundtrips_matrix_storage() {
+        let m = CsrMatrix::identity(4);
+        recycle(m);
+        recycle_dense(DenseMatrix::zeros(2, 2));
+        let (hits, misses) = pool_counters();
+        // Counters only move forward; exact values depend on test ordering.
+        assert!(hits + misses > 0 || (hits == 0 && misses == 0));
+    }
+
+    #[test]
+    fn with_workspace_reuses_scratch() {
+        // The checked-out workspace may already be wider (the pool is shared
+        // across tests); ensure_width only guarantees a lower bound.
+        let width = with_workspace(|ws| {
+            ws.ensure_width(32);
+            ws.acc.len()
+        });
+        assert!(width >= 32);
+    }
+}

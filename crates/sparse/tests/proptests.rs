@@ -4,7 +4,7 @@
 //! (distributivity, transpose-of-product, power expansion) on randomly
 //! generated sparse matrices, with the dense implementation as the oracle.
 
-use idgnn_sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix};
+use idgnn_sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix, OpStats, Workspace};
 use proptest::prelude::*;
 
 /// Strategy: random sparse n×n matrix with up to `max_nnz` entries.
@@ -181,6 +181,56 @@ proptest! {
         let bt_nnz_per_row: Vec<u64> = (0..6).map(|k| b.row_nnz(k) as u64).collect();
         let expected: u64 = a.iter().map(|(_, k, _)| bt_nnz_per_row[k]).sum();
         prop_assert_eq!(st.mults, expected);
+    }
+
+    #[test]
+    fn sp_pow_matches_chained_spgemm_with_identical_stats(
+        a in sparse_square(7, 22),
+        l in 1u32..5,
+    ) {
+        // pow(a, l) is defined as the left-to-right chain starting at A
+        // itself: l − 1 SpGEMMs, bit-identical values AND identical op
+        // counts to spelling the chain out by hand.
+        let (pow, pow_st) = ops::sp_pow_with_stats(&a, l).unwrap();
+        let mut acc = a.clone();
+        let mut chain_st = OpStats::default();
+        for _ in 1..l {
+            let (next, s) = ops::spgemm_with_stats(&acc, &a).unwrap();
+            acc = next;
+            chain_st += s;
+        }
+        prop_assert_eq!(pow.indptr(), acc.indptr());
+        prop_assert_eq!(pow.indices(), acc.indices());
+        let pv: Vec<u32> = pow.values().iter().map(|v| v.to_bits()).collect();
+        let cv: Vec<u32> = acc.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(pv, cv);
+        prop_assert_eq!(pow_st, chain_st);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation(
+        pairs in prop::collection::vec((sparse_square(7, 20), sparse_square(7, 20)), 1..5),
+    ) {
+        // One arena recycled across an arbitrary call sequence must produce
+        // exactly what a fresh arena per call (and the pooled dispatch path)
+        // produces — structure, value bits, and stats — regardless of what
+        // the arena held before.
+        let mut shared = Workspace::new();
+        for (a, b) in &pairs {
+            let (reused, reused_st) = ops::spgemm_with_workspace(a, b, &mut shared).unwrap();
+            let mut fresh_ws = Workspace::new();
+            let (fresh, fresh_st) = ops::spgemm_with_workspace(a, b, &mut fresh_ws).unwrap();
+            let (pooled, pooled_st) = ops::spgemm_with_stats(a, b).unwrap();
+            for other in [&fresh, &pooled] {
+                prop_assert_eq!(reused.indptr(), other.indptr());
+                prop_assert_eq!(reused.indices(), other.indices());
+                let rv: Vec<u32> = reused.values().iter().map(|v| v.to_bits()).collect();
+                let ov: Vec<u32> = other.values().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(rv, ov);
+            }
+            prop_assert_eq!(reused_st, fresh_st);
+            prop_assert_eq!(reused_st, pooled_st);
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 #
 # 1. release build of the whole workspace;
 # 2. full test suite (unit, integration, proptests, equivalence suites);
-# 3. clippy over every target with warnings denied.
+# 3. kernel-benchmark smoke run (panics and malformed JSON fail the gate);
+# 4. clippy over every target with warnings denied.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,16 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> bench kernels --smoke"
+# The binary re-reads and validates its own JSON (exit != 0 on corruption);
+# the grep re-checks the required section from the outside.
+smoke_json="target/BENCH_kernels_smoke.json"
+cargo run --release -q -p idgnn-bench --bin kernels -- --smoke --out "$smoke_json"
+grep -q '"power_chain"' "$smoke_json" || {
+  echo "ci: $smoke_json is missing the power_chain section" >&2
+  exit 1
+}
 
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

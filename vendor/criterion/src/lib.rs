@@ -1,50 +1,91 @@
 //! Offline vendored stub of the `criterion` surface this workspace uses.
 //!
 //! crates.io is unreachable in this build environment, so the `[[bench]]`
-//! targets link against this minimal re-implementation. It runs every
-//! registered benchmark **once** per invocation and reports the wall time —
-//! the behaviour upstream criterion exhibits in its "test mode" (which is
-//! also how `cargo test` exercises `harness = false` bench targets). There is
-//! no sampling, statistics, or HTML report; the benches remain compilable,
-//! runnable smoke tests and coarse timers.
+//! targets link against this minimal re-implementation. By default it runs
+//! every registered benchmark **once** per invocation and reports the wall
+//! time — the behaviour upstream criterion exhibits in its "test mode"
+//! (which is also how `cargo test` exercises `harness = false` bench
+//! targets). There is no statistics engine or HTML report; what the stub
+//! does provide beyond smoke-running is:
+//!
+//! * per-group sample counts ([`BenchmarkGroup::sample_size`]) — each
+//!   benchmark runs that many times and the **minimum** wall time is kept
+//!   (the standard microbenchmark estimator: the fastest observed run is the
+//!   least-noise one);
+//! * recorded [`Measurement`]s retrievable from the driver
+//!   ([`Criterion::take_measurements`]) so harness binaries — e.g. the
+//!   `idgnn-bench` `kernels` binary — can emit machine-readable timing
+//!   reports instead of scraping stderr;
+//! * [`Bencher::iter_batched`] for routines that need untimed per-sample
+//!   setup (warm-cache benchmarks re-priming state between samples).
 
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
 
+/// One recorded benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark path: `group/name` for grouped benches, `name`
+    /// otherwise.
+    pub name: String,
+    /// Minimum observed wall time across the samples, in milliseconds.
+    pub wall_ms: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
 /// Benchmark registry/driver (stub of `criterion::Criterion`).
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
 
 impl Criterion {
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         eprintln!("group {name}");
-        BenchmarkGroup { _criterion: self }
+        BenchmarkGroup { criterion: self, prefix: name.to_string(), samples: 1 }
     }
 
     /// Runs one ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, f);
+        let m = run_one(name, 1, f);
+        self.measurements.push(m);
         self
+    }
+
+    /// All measurements recorded so far, in registration order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Drains the recorded measurements (registration order preserved).
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
     }
 }
 
 /// A named collection of benchmarks (stub of `criterion::BenchmarkGroup`).
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
+    prefix: String,
+    samples: usize,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for source compatibility; the stub always runs one sample.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Sets how many samples each benchmark in this group takes; the
+    /// recorded time is the minimum across them. Defaults to 1.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
         self
     }
 
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, f);
+        let m = run_one(&format!("{}/{name}", self.prefix), self.samples, f);
+        self.criterion.measurements.push(m);
         self
     }
 
@@ -53,7 +94,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&id.0, |b| f(b, input));
+        let m = run_one(&format!("{}/{}", self.prefix, id.0), self.samples, |b| f(b, input));
+        self.criterion.measurements.push(m);
         self
     }
 
@@ -72,6 +114,18 @@ impl BenchmarkId {
     }
 }
 
+/// Upstream-compatible batch-size hint (ignored by the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// One setup per timed routine call (the only mode the stub runs).
+    #[default]
+    PerIteration,
+    /// Accepted for source compatibility; treated as `PerIteration`.
+    SmallInput,
+    /// Accepted for source compatibility; treated as `PerIteration`.
+    LargeInput,
+}
+
 /// Timer handle passed to benchmark closures.
 #[derive(Debug)]
 pub struct Bencher {
@@ -86,12 +140,33 @@ impl Bencher {
         self.elapsed_ns = start.elapsed().as_nanos();
         drop(out);
     }
+
+    /// Times one execution of `routine` on a freshly `setup` input; the
+    /// setup runs outside the timed region (stub of criterion's
+    /// `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed_ns = start.elapsed().as_nanos();
+        drop(out);
+    }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
-    let mut b = Bencher { elapsed_ns: 0 };
-    f(&mut b);
-    eprintln!("  bench {name}: {:.3} ms (single sample)", b.elapsed_ns as f64 / 1.0e6);
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> Measurement {
+    let mut best_ns = u128::MAX;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher { elapsed_ns: 0 };
+        f(&mut b);
+        best_ns = best_ns.min(b.elapsed_ns);
+    }
+    let wall_ms = best_ns as f64 / 1.0e6;
+    eprintln!("  bench {name}: {:.3} ms (min of {} sample(s))", wall_ms, samples.max(1));
+    Measurement { name: name.to_string(), wall_ms, samples: samples.max(1) }
 }
 
 /// Opaque value barrier (re-export of `std::hint::black_box`).
@@ -130,11 +205,40 @@ mod tests {
         let mut ran = 0;
         {
             let mut g = c.benchmark_group("g");
-            g.sample_size(10);
             g.bench_function("one", |b| b.iter(|| ran += 1));
             g.bench_with_input(BenchmarkId::new("two", 7), &3, |b, &x| b.iter(|| ran += x));
             g.finish();
         }
         assert_eq!(ran, 4);
+        let names: Vec<&str> = c.measurements().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["g/one", "g/two/7"]);
+    }
+
+    #[test]
+    fn sample_size_reruns_and_keeps_minimum() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("s");
+            g.sample_size(5);
+            g.bench_function("counted", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 5);
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].samples, 5);
+        assert!(ms[0].wall_ms >= 0.0);
+        assert!(c.measurements().is_empty());
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_setup_output() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 41, |x| seen.push(x + 1), BatchSize::PerIteration)
+        });
+        assert_eq!(seen, [42]);
     }
 }
