@@ -6,7 +6,9 @@
 //! ```
 
 use idgnn_bench::cli::env_context;
+use idgnn_bench::report::ExecAccounting;
 use idgnn_core::SimOptions;
+use idgnn_model::Algorithm;
 
 fn main() {
     let ctx = env_context().expect("context builds");
@@ -39,5 +41,19 @@ fn main() {
                 s.schedule.alpha
             );
         }
+    }
+
+    // Per-snapshot op accounting sidecar, including the work the one-pass
+    // algorithm *avoided* (cache hits + dirty-row patches).
+    let exec = ctx.run_algorithm(Algorithm::OnePass, w).expect("one-pass executes");
+    let acct = ExecAccounting::from_result(&w.spec.short.to_ascii_uppercase(), &exec);
+    match acct.write("breakdown") {
+        Ok(path) => println!(
+            "\nop accounting → {} (saved {} mults / {} adds by reuse)",
+            path.display(),
+            acct.total_saved_mults,
+            acct.total_saved_adds
+        ),
+        Err(e) => eprintln!("warning: could not write op accounting: {e}"),
     }
 }

@@ -16,12 +16,16 @@
 use criterion::{black_box, BatchSize, Criterion};
 use serde::Serialize;
 
-use idgnn_graph::Normalization;
-use idgnn_model::onepass::{fused_dissimilarity, fused_dissimilarity_cached, DissimilarityStrategy};
+use idgnn_graph::datasets::ALL_DATASETS;
+use idgnn_graph::generate::StreamConfig;
+use idgnn_graph::{DynamicGraph, Normalization};
+use idgnn_model::onepass::{
+    advance_power_chains, fused_dissimilarity, fused_dissimilarity_cached, DissimilarityStrategy,
+};
 use idgnn_model::PowerCache;
 use idgnn_sparse::{ops, parallel, CsrMatrix, OpStats, Parallelism};
 
-use crate::context::{Context, ExperimentScale, Result};
+use crate::context::{Context, EvalDims, ExperimentScale, Result};
 use crate::report::table;
 
 /// What the `kernels` benchmark runs.
@@ -32,7 +36,10 @@ pub struct KernelBenchConfig {
     /// Dataset-generation seed.
     pub seed: u64,
     /// Kernel thread counts to sweep (each timed region runs under a
-    /// [`parallel::kernel_scope`] pinning this count).
+    /// [`parallel::kernel_scope`] pinning this count). The presets clamp
+    /// these to the host's [`std::thread::available_parallelism`] — timing a
+    /// count the host cannot actually run in parallel only measures
+    /// oversubscription noise.
     pub thread_counts: Vec<usize>,
     /// Samples per benchmark; the minimum is reported.
     pub samples: usize,
@@ -40,16 +47,36 @@ pub struct KernelBenchConfig {
     pub datasets: usize,
     /// Power-chain depth `L`.
     pub layers: u32,
+    /// Edge-churn rates for the incremental power-patch sweep: each rate is
+    /// the stream `dissimilarity` of a regenerated snapshot chain, timed
+    /// full-rebuild vs dirty-row incremental patch.
+    pub delta_rates: Vec<f64>,
+    /// How many Fig. 12 datasets the delta-rate sweep covers (in Table-I
+    /// order).
+    pub delta_datasets: usize,
+}
+
+/// Drops requested thread counts the host cannot provide, keeping at least
+/// `[1]` so the sweep never ends up empty.
+fn clamp_threads(counts: Vec<usize>) -> Vec<usize> {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let kept: Vec<usize> = counts.into_iter().filter(|&t| t <= host).collect();
+    if kept.is_empty() {
+        vec![1]
+    } else {
+        kept
+    }
 }
 
 impl KernelBenchConfig {
     /// The full configuration behind the committed `BENCH_kernels.json`:
-    /// all six datasets at standard scale, 1/4/8 threads.
+    /// all six datasets at standard scale, 1/4/8 threads (clamped to the
+    /// host), and the 0.1%/1%/10% churn sweep over every Fig. 12 dataset.
     pub fn full() -> Self {
         Self {
             scale: ExperimentScale::Standard,
             seed: 42,
-            thread_counts: vec![1, 4, 8],
+            thread_counts: clamp_threads(vec![1, 4, 8]),
             samples: 5,
             datasets: usize::MAX,
             // L = 4: the warm chain skips three of the six power products
@@ -57,6 +84,8 @@ impl KernelBenchConfig {
             // cold/warm gap is widest relative to the fixed term-product
             // cost.
             layers: 4,
+            delta_rates: vec![0.001, 0.01, 0.1],
+            delta_datasets: usize::MAX,
         }
     }
 
@@ -66,10 +95,12 @@ impl KernelBenchConfig {
         Self {
             scale: ExperimentScale::Quick,
             seed: 42,
-            thread_counts: vec![1, 2],
+            thread_counts: clamp_threads(vec![1, 2]),
             samples: 2,
             datasets: 2,
             layers: 3,
+            delta_rates: vec![0.01],
+            delta_datasets: 2,
         }
     }
 }
@@ -119,6 +150,52 @@ pub struct PowerChainTiming {
     pub saved_adds: u64,
 }
 
+/// Full-rebuild vs dirty-row incremental patch on one controlled-churn
+/// stream at one thread count.
+///
+/// The stream is regenerated per rate with `dissimilarity = delta_rate` and
+/// no feature churn, so the knob isolates *edge* churn. The headline
+/// columns (`full_rebuild_ms` / `incremental_ms`) time the power-chain
+/// production phase — [`advance_power_chains`] without vs with a
+/// [`PowerCache`] — which is exactly the work the dirty-row patch
+/// replaces. The `fused_*` columns time the whole fused kernel on the same
+/// transitions for end-to-end context: the Eq. 13 term products are common
+/// to both paths and dilute the ratio there. Both paths evaluate the
+/// identical snapshot sequence; before timing, every incremental result is
+/// checked bitwise against the full rebuild (the harness panics on
+/// divergence, so a published row implies bit-identity held).
+#[derive(Debug, Clone, Serialize)]
+pub struct DeltaRateTiming {
+    /// Dataset short code.
+    pub dataset: String,
+    /// Stream edge-churn rate (fraction of edges perturbed per delta).
+    pub delta_rate: f64,
+    /// Kernel threads the timed region was pinned to.
+    pub threads: usize,
+    /// Chain depth `L`.
+    pub layers: u32,
+    /// Snapshot deltas in the timed region (the priming delta is excluded).
+    pub timed_deltas: usize,
+    /// Cache-less chain production (both power chains from scratch), ms.
+    pub full_rebuild_ms: f64,
+    /// Incremental chain production (cache hit + dirty-row patch), ms.
+    pub incremental_ms: f64,
+    /// `full_rebuild_ms / incremental_ms`.
+    pub incremental_speedup: f64,
+    /// Whole fused kernel, cache-less, on the same transitions, ms.
+    pub fused_full_ms: f64,
+    /// Whole fused kernel with cache + patching, ms.
+    pub fused_incremental_ms: f64,
+    /// `fused_full_ms / fused_incremental_ms`.
+    pub fused_speedup: f64,
+    /// Transitions served by the dirty-row patch (vs threshold fallback).
+    pub patches: u64,
+    /// Multiplies avoided by reuse across the timed deltas.
+    pub saved_mults: u64,
+    /// Additions avoided by reuse across the timed deltas.
+    pub saved_adds: u64,
+}
+
 /// The whole kernel-benchmark report (serialized to `BENCH_kernels.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelBenchReport {
@@ -132,6 +209,12 @@ pub struct KernelBenchReport {
     pub kernels: Vec<KernelTiming>,
     /// Power-chain cold/warm comparison per dataset and thread count.
     pub power_chain: Vec<PowerChainTiming>,
+    /// Full-rebuild vs incremental-patch sweep per (dataset, churn rate,
+    /// thread count).
+    pub delta_rates: Vec<DeltaRateTiming>,
+    /// Total ops (mults + adds) avoided by reuse across the delta-rate
+    /// sweep's instrumented passes.
+    pub delta_saved_total: u64,
     /// Best observed warm speedup across `power_chain`.
     pub max_warm_speedup: f64,
     /// Workspace-pool buffer reuses during the run (informational; the pool
@@ -154,28 +237,65 @@ struct Operands {
     chain: Vec<(CsrMatrix, CsrMatrix)>,
 }
 
+fn graph_operands(short: &str, graph: &DynamicGraph) -> Result<Operands> {
+    let snaps = graph.materialize()?;
+    let a = Normalization::SelfLoops.apply(snaps[0].adjacency());
+    let mut chain = Vec::with_capacity(snaps.len() - 1);
+    let mut resident = a.clone();
+    for s in &snaps[1..] {
+        let a_next = Normalization::SelfLoops.apply(s.adjacency());
+        let d = ops::sp_sub_pruned(&a_next, &resident)?;
+        let advanced = ops::sp_add(&resident, &d)?;
+        chain.push((resident, d));
+        resident = advanced;
+    }
+    Ok(Operands { short: short.to_string(), a, x: snaps[0].features().clone(), chain })
+}
+
 fn operands(ctx: &Context, datasets: usize) -> Result<Vec<Operands>> {
+    ctx.workloads
+        .iter()
+        .take(datasets)
+        .map(|w| graph_operands(w.spec.short, &w.graph))
+        .collect()
+}
+
+/// Regenerates the first `delta_datasets` streams with the given edge-churn
+/// rate (and no feature churn) and builds their benchmark chains.
+fn delta_operands(cfg: &KernelBenchConfig, rate: f64) -> Result<Vec<Operands>> {
+    let stream = StreamConfig {
+        deltas: 4,
+        dissimilarity: rate,
+        addition_fraction: 0.75,
+        feature_update_fraction: 0.0,
+    };
     let mut out = Vec::new();
-    for w in ctx.workloads.iter().take(datasets) {
-        let snaps = w.graph.materialize()?;
-        let a = Normalization::SelfLoops.apply(snaps[0].adjacency());
-        let mut chain = Vec::with_capacity(snaps.len() - 1);
-        let mut resident = a.clone();
-        for s in &snaps[1..] {
-            let a_next = Normalization::SelfLoops.apply(s.adjacency());
-            let d = ops::sp_sub_pruned(&a_next, &resident)?;
-            let advanced = ops::sp_add(&resident, &d)?;
-            chain.push((resident, d));
-            resident = advanced;
-        }
-        out.push(Operands {
-            short: w.spec.short.to_string(),
-            a,
-            x: snaps[0].features().clone(),
-            chain,
-        });
+    for (i, spec) in ALL_DATASETS.iter().take(cfg.delta_datasets).enumerate() {
+        let w = Context::build_workload(
+            spec,
+            cfg.scale,
+            &stream,
+            EvalDims::default(),
+            cfg.seed.wrapping_add(i as u64),
+        )?;
+        out.push(graph_operands(spec.short, &w.graph)?);
     }
     Ok(out)
+}
+
+/// Panics unless the incremental result is bitwise identical to the full
+/// rebuild — the correctness guard behind every published sweep row.
+fn assert_bit_identical(
+    warm: &idgnn_model::onepass::Dissimilarity,
+    cold: &idgnn_model::onepass::Dissimilarity,
+    context: &str,
+) {
+    assert_eq!(warm.delta_ac.indptr(), cold.delta_ac.indptr(), "{context}: indptr diverged");
+    assert_eq!(warm.delta_ac.indices(), cold.delta_ac.indices(), "{context}: indices diverged");
+    let wv: Vec<u32> = warm.delta_ac.values().iter().map(|v| v.to_bits()).collect();
+    let cv: Vec<u32> = cold.delta_ac.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(wv, cv, "{context}: values diverged");
+    assert_eq!(warm.ops, cold.ops, "{context}: reported op counts diverged");
 }
 
 /// Runs the benchmark and assembles the report.
@@ -187,7 +307,8 @@ fn operands(ctx: &Context, datasets: usize) -> Result<Vec<Operands>> {
 /// # Panics
 ///
 /// Panics if the criterion driver returns measurements out of registration
-/// order (programming error).
+/// order (programming error), or if the delta-rate sweep's incremental
+/// results diverge bitwise from the full rebuild (correctness guard).
 pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
     let ctx = Context::new(cfg.scale, cfg.seed)?;
     let sets = operands(&ctx, cfg.datasets)?;
@@ -293,6 +414,115 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         }
     }
 
+    // Delta-rate sweep: full rebuild vs the dirty-row incremental patch on
+    // controlled-churn streams (DESIGN.md §9).
+    let mut delta_rates = Vec::new();
+    let mut delta_saved_total = 0u64;
+    for &rate in &cfg.delta_rates {
+        let dsets = delta_operands(cfg, rate)?;
+        for set in &dsets {
+            // Instrumented pass: verify bit-identity delta by delta and
+            // collect the patch/saved accounting (thread-independent).
+            let mut cache = PowerCache::new();
+            let mut saved = OpStats::default();
+            for (i, (rs, d)) in set.chain.iter().enumerate() {
+                let warm = fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut cache)?;
+                if i == 0 {
+                    continue;
+                }
+                let cold = fused_dissimilarity(rs, d, cfg.layers, strategy)?;
+                assert_bit_identical(
+                    &warm,
+                    &cold,
+                    &format!("{} rate {rate} delta {i}", set.short),
+                );
+                saved += warm.saved;
+            }
+            let patches = cache.patches();
+            delta_saved_total += saved.total();
+
+            for &t in &cfg.thread_counts {
+                let par = Parallelism::new(t);
+                // Timed by hand rather than through the criterion stub: all
+                // four paths alternate inside every sample so slow windows of
+                // a shared host (frequency drift, co-tenants) hit them
+                // equally instead of biasing whichever group ran last. Each
+                // reported number is the minimum over the samples; warm
+                // passes re-prime their cache in untimed setup, exactly like
+                // the power-chain bench above.
+                let mut full_ms = f64::MAX;
+                let mut incremental_ms = f64::MAX;
+                let mut fused_full_ms = f64::MAX;
+                let mut fused_incremental_ms = f64::MAX;
+                let _scope = parallel::kernel_scope(par);
+                for _ in 0..cfg.samples.max(5) {
+                    // Headline pair: chain production only.
+                    let t0 = std::time::Instant::now();
+                    for (rs, d) in &set.chain[1..] {
+                        black_box(
+                            advance_power_chains(rs, d, cfg.layers, None).expect("valid"),
+                        );
+                    }
+                    full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+                    let mut c = PowerCache::new();
+                    let (rs, d) = &set.chain[0];
+                    advance_power_chains(rs, d, cfg.layers, Some(&mut c)).expect("valid");
+                    let t0 = std::time::Instant::now();
+                    for (rs, d) in &set.chain[1..] {
+                        black_box(
+                            advance_power_chains(rs, d, cfg.layers, Some(&mut c))
+                                .expect("valid"),
+                        );
+                    }
+                    incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+                    // Context pair: the whole fused kernel (chain phase plus
+                    // the Eq. 13 term products shared by both paths).
+                    let t0 = std::time::Instant::now();
+                    for (rs, d) in &set.chain[1..] {
+                        black_box(
+                            fused_dissimilarity(rs, d, cfg.layers, strategy).expect("valid"),
+                        );
+                    }
+                    fused_full_ms = fused_full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+                    let mut c = PowerCache::new();
+                    let (rs, d) = &set.chain[0];
+                    fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                        .expect("valid");
+                    let t0 = std::time::Instant::now();
+                    for (rs, d) in &set.chain[1..] {
+                        black_box(
+                            fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                                .expect("valid"),
+                        );
+                    }
+                    fused_incremental_ms =
+                        fused_incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                drop(_scope);
+                let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+                delta_rates.push(DeltaRateTiming {
+                    dataset: set.short.clone(),
+                    delta_rate: rate,
+                    threads: t,
+                    layers: cfg.layers,
+                    timed_deltas: set.chain.len().saturating_sub(1),
+                    full_rebuild_ms: full_ms,
+                    incremental_ms,
+                    incremental_speedup: ratio(full_ms, incremental_ms),
+                    fused_full_ms,
+                    fused_incremental_ms,
+                    fused_speedup: ratio(fused_full_ms, fused_incremental_ms),
+                    patches,
+                    saved_mults: saved.mults,
+                    saved_adds: saved.adds,
+                });
+            }
+        }
+    }
+
     let (pool_hits, pool_misses) = idgnn_sparse::workspace::pool_counters();
     let max_warm_speedup =
         power_chain.iter().map(|p| p.warm_speedup).fold(0.0f64, f64::max);
@@ -305,6 +535,8 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         thread_counts: cfg.thread_counts.clone(),
         kernels,
         power_chain,
+        delta_rates,
+        delta_saved_total,
         max_warm_speedup,
         pool_hits,
         pool_misses,
@@ -359,6 +591,37 @@ impl std::fmt::Display for KernelBenchReport {
                 &rows,
             )
         )?;
+        if !self.delta_rates.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .delta_rates
+                .iter()
+                .map(|d| {
+                    vec![
+                        d.dataset.clone(),
+                        format!("{:.1}%", d.delta_rate * 100.0),
+                        d.threads.to_string(),
+                        format!("{:.3}", d.full_rebuild_ms),
+                        format!("{:.3}", d.incremental_ms),
+                        format!("{:.2}x", d.incremental_speedup),
+                        format!("{:.2}x", d.fused_speedup),
+                        d.patches.to_string(),
+                        d.saved_mults.to_string(),
+                    ]
+                })
+                .collect();
+            writeln!(
+                f,
+                "{}",
+                table(
+                    "Edge-churn sweep — chain rebuild vs dirty-row incremental patch",
+                    &[
+                        "dataset", "churn", "threads", "chain full ms", "chain incr ms",
+                        "chain speedup", "fused speedup", "patches", "saved mults",
+                    ],
+                    &rows,
+                )
+            )?;
+        }
         writeln!(f, "best warm speedup: {:.2}x", self.max_warm_speedup)
     }
 }
@@ -427,7 +690,13 @@ pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
     if !saw_value {
         return Err("empty document".to_string());
     }
-    for key in ["\"kernels\"", "\"power_chain\"", "\"thread_counts\"", "\"max_warm_speedup\""] {
+    for key in [
+        "\"kernels\"",
+        "\"power_chain\"",
+        "\"thread_counts\"",
+        "\"delta_rates\"",
+        "\"max_warm_speedup\"",
+    ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
         }
@@ -445,6 +714,7 @@ mod tests {
         cfg.datasets = 1;
         cfg.thread_counts = vec![1];
         cfg.samples = 1;
+        cfg.delta_datasets = 1;
         let r = run(&cfg).unwrap();
         assert_eq!(r.kernels.len(), 3, "spgemm/spmm/sp_add for one dataset x one thread count");
         assert_eq!(r.power_chain.len(), 1);
@@ -453,11 +723,29 @@ mod tests {
         assert!(p.cache_hits > 0);
         assert!(p.saved_mults > 0, "warm hits must avoid real multiplies");
         assert!(p.cold_ms > 0.0 && p.warm_ms > 0.0);
+        assert_eq!(r.delta_rates.len(), 1, "one rate x one dataset x one thread count");
+        let d = &r.delta_rates[0];
+        assert!(d.full_rebuild_ms > 0.0 && d.incremental_ms > 0.0);
+        assert!(d.fused_full_ms > 0.0 && d.fused_incremental_ms > 0.0);
+        assert!(r.delta_saved_total > 0, "reuse must avoid real work in the sweep");
+        assert_eq!(d.saved_mults + d.saved_adds, r.delta_saved_total);
         let text = r.to_string();
         assert!(text.contains("Power chain"));
         assert!(text.contains("spgemm"));
+        assert!(text.contains("Edge-churn sweep"));
         let json = serde_json::to_string_pretty(&r).unwrap();
         validate_report_json(&json).unwrap();
+    }
+
+    #[test]
+    fn thread_counts_are_clamped_to_host() {
+        // No host can run usize::MAX threads; 1 always survives.
+        assert_eq!(clamp_threads(vec![1, usize::MAX]), vec![1]);
+        // A fully-oversubscribed request degrades to the serial baseline
+        // instead of an empty sweep.
+        assert_eq!(clamp_threads(vec![usize::MAX]), vec![1]);
+        assert!(KernelBenchConfig::full().thread_counts.contains(&1));
+        assert!(KernelBenchConfig::smoke().thread_counts.contains(&1));
     }
 
     #[test]
@@ -469,7 +757,7 @@ mod tests {
         // Well-formed but missing required keys.
         assert!(validate_report_json("{\"kernels\": []}").is_err());
         let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
-                  \"max_warm_speedup\": 1.0}";
+                  \"delta_rates\": [], \"max_warm_speedup\": 1.0}";
         validate_report_json(ok).unwrap();
     }
 

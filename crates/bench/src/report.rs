@@ -38,6 +38,82 @@ impl TimingReport {
     }
 }
 
+/// Per-snapshot one-pass execution accounting — the sidecar the `timeline`
+/// and `breakdown` diagnostics write under `results/`.
+///
+/// Until now [`idgnn_model::SnapshotCost::saved`] was computed by the
+/// executor and dropped on the floor by every reporting path; this surfaces
+/// the avoided work (power-cache hits, dirty-row patches, Eq. 15 transpose
+/// substitutions) next to the executed op counts it was excluded from.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecAccounting {
+    /// Dataset short code.
+    pub dataset: String,
+    /// Per-snapshot executed/avoided work, in stream order.
+    pub snapshots: Vec<SnapshotWork>,
+    /// Sum of `saved_mults` across snapshots.
+    pub total_saved_mults: u64,
+    /// Sum of `saved_adds` across snapshots.
+    pub total_saved_adds: u64,
+}
+
+/// One snapshot's executed and avoided work.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotWork {
+    /// Snapshot index in the stream.
+    pub snapshot: usize,
+    /// Executed multiplies (all phases).
+    pub mults: u64,
+    /// Executed additions (all phases).
+    pub adds: u64,
+    /// DRAM bytes moved (all phases, both directions).
+    pub dram_bytes: u64,
+    /// Multiplies avoided by reuse (already excluded from `mults`).
+    pub saved_mults: u64,
+    /// Additions avoided by reuse (already excluded from `adds`).
+    pub saved_adds: u64,
+}
+
+impl ExecAccounting {
+    /// Builds the accounting from an execution result.
+    pub fn from_result(dataset: &str, r: &idgnn_model::ExecutionResult) -> Self {
+        let snapshots: Vec<SnapshotWork> = r
+            .costs
+            .iter()
+            .enumerate()
+            .map(|(t, c)| {
+                let ops = c.total_ops();
+                SnapshotWork {
+                    snapshot: t,
+                    mults: ops.mults,
+                    adds: ops.adds,
+                    dram_bytes: c.total_dram().total(),
+                    saved_mults: c.saved.mults,
+                    saved_adds: c.saved.adds,
+                }
+            })
+            .collect();
+        let total_saved_mults = snapshots.iter().map(|s| s.saved_mults).sum();
+        let total_saved_adds = snapshots.iter().map(|s| s.saved_adds).sum();
+        Self { dataset: dataset.to_string(), snapshots, total_saved_mults, total_saved_adds }
+    }
+
+    /// Writes the accounting to `results/{name}_{dataset}.json` (creating
+    /// `results/` if needed) and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, name: &str) -> std::io::Result<std::path::PathBuf> {
+        let json = serde_json::to_string_pretty(self).expect("accounting serializes");
+        let path = std::path::Path::new("results")
+            .join(format!("{name}_{}.json", self.dataset.to_ascii_lowercase()));
+        std::fs::create_dir_all("results")?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
 /// Formats a text table with a header row.
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -159,5 +235,25 @@ mod tests {
         assert_eq!(human(1234567), "1,234,567");
         assert_eq!(human(12), "12");
         assert_eq!(human(0), "0");
+    }
+
+    #[test]
+    fn exec_accounting_surfaces_saved_work() {
+        use crate::context::{Context, ExperimentScale};
+        let ctx = Context::new(ExperimentScale::Quick, 7).unwrap();
+        let w = ctx.workload("PM");
+        let r = ctx.run_algorithm(idgnn_model::Algorithm::OnePass, w).unwrap();
+        let acct = ExecAccounting::from_result("PM", &r);
+        assert_eq!(acct.snapshots.len(), r.costs.len());
+        assert_eq!(
+            acct.total_saved_mults,
+            r.costs.iter().map(|c| c.saved.mults).sum::<u64>()
+        );
+        // The default strategy substitutes transposes for two of the Eq. 13
+        // term products per delta, so avoided work is always visible here.
+        assert!(acct.total_saved_mults > 0, "one-pass runs must report reused work");
+        let json = serde_json::to_string_pretty(&acct).unwrap();
+        assert!(json.contains("\"saved_mults\""));
+        assert!(json.contains("\"total_saved_adds\""));
     }
 }

@@ -228,12 +228,22 @@ impl PhaseCost {
 pub struct SnapshotCost {
     /// Per-phase costs in execution order.
     pub phases: Vec<PhaseCost>,
+    /// Work avoided by reuse (power-cache hits, incremental dirty-row
+    /// patches, Eq. 15 transpose substitutions). Already *included* in the
+    /// phase op counts at its recorded cost so figures stay comparable; this
+    /// field reports how much of that total never executed on the host.
+    pub saved: OpStats,
 }
 
 impl SnapshotCost {
     /// Adds a phase cost.
     pub fn push(&mut self, phase: Phase, ops: OpStats, dram: Traffic) {
         self.phases.push(PhaseCost::new(phase, ops, dram));
+    }
+
+    /// Accumulates avoided work into [`SnapshotCost::saved`].
+    pub fn add_saved(&mut self, saved: OpStats) {
+        self.saved += saved;
     }
 
     /// Total op counts across phases.
@@ -341,6 +351,10 @@ mod tests {
         assert_eq!(sc.total_dram().of(DataClass::InputFeature), 40);
         assert_eq!(sc.gnn_ops().total(), 15);
         assert_eq!(sc.rnn_ops().total(), 40);
+        assert_eq!(sc.saved, OpStats::default());
+        sc.add_saved(OpStats { mults: 3, adds: 1 });
+        sc.add_saved(OpStats { mults: 1, adds: 0 });
+        assert_eq!(sc.saved.total(), 5);
     }
 
     #[test]

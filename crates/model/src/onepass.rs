@@ -28,8 +28,28 @@
 //! result, so reported operation counts (and every figure derived from them)
 //! are identical to a cold evaluation; the actually-avoided work is
 //! accounted separately in [`Dissimilarity::saved`].
+//!
+//! ## Incremental power patching
+//!
+//! A hit also means the new `(A+ΔA)` powers differ from the cached `A`
+//! powers only near ΔA: row `r` of `(A+ΔA)^i` can differ from `A^i` only if
+//! `r` lies within `i−1` hops of ΔA's row support (DESIGN.md §9 derives this
+//! from Eq. 13). When the operands have symmetric support, each new power
+//! whose dirty frontier stays below [`PowerCache::patch_threshold`] is
+//! built by recomputing just the dirty rows
+//! ([`idgnn_sparse::ops::row_masked_spgemm_with_workspace`]) and splicing
+//! the rest out of the cache ([`CsrMatrix::splice_rows`]); powers whose
+//! frontier has saturated rebuild in full. Either way the result is
+//! bit-identical to the full rebuild, with the skipped work added to
+//! [`Dissimilarity::saved`] and full-cost stats replayed into
+//! [`Dissimilarity::ops`].
+//!
+//! The chain phase is also exposed on its own as [`advance_power_chains`]
+//! — the steady-state maintenance step of a delta-fed power chain (and the
+//! unit the `kernels` bench's churn sweep times against its cache-less
+//! rebuild baseline).
 
-use idgnn_sparse::{ops, workspace, CsrMatrix, DenseMatrix, OpStats};
+use idgnn_sparse::{frontier, ops, workspace, CsrMatrix, DenseMatrix, OpStats};
 
 use crate::error::{ModelError, Result};
 
@@ -79,7 +99,7 @@ pub struct Dissimilarity {
 /// `A`-side powers. Invalidation is by exact mismatch: different structure,
 /// different value bits, or a different power depth all miss and recompute —
 /// there is no tolerance and therefore no way for a stale power to survive.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PowerCache {
     base: Option<CsrMatrix>,
     powers: Vec<CsrMatrix>,
@@ -88,6 +108,26 @@ pub struct PowerCache {
     stats: Vec<OpStats>,
     hits: u64,
     misses: u64,
+    patches: u64,
+    patch_threshold: f64,
+}
+
+/// Default dirty-row fraction above which the incremental power patch falls
+/// back to the full `(A+ΔA)` chain rebuild (see [`PowerCache::patch_threshold`]).
+pub const DEFAULT_PATCH_THRESHOLD: f64 = 0.25;
+
+impl Default for PowerCache {
+    fn default() -> Self {
+        Self {
+            base: None,
+            powers: Vec::new(),
+            stats: Vec::new(),
+            hits: 0,
+            misses: 0,
+            patches: 0,
+            patch_threshold: DEFAULT_PATCH_THRESHOLD,
+        }
+    }
 }
 
 impl PowerCache {
@@ -104,6 +144,31 @@ impl PowerCache {
     /// Number of lookups that had to recompute.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of cache hits where at least one `(A+ΔA)` power was built by
+    /// the incremental dirty-row patch instead of the full chain rebuild.
+    pub fn patches(&self) -> u64 {
+        self.patches
+    }
+
+    /// The dirty-row fraction above which a power rebuilds in full instead
+    /// of patching (default [`DEFAULT_PATCH_THRESHOLD`]).
+    ///
+    /// Applied per power: the BFS levels are cumulative, so a hit patches
+    /// the chain up to the first power whose dirty set crosses this
+    /// fraction and rebuilds the rest. Beyond roughly this fraction the
+    /// masked recompute plus splice costs about as much host time as the
+    /// plain chain; the *reported* op counts are identical either way, so
+    /// the knob only trades wall-clock.
+    pub fn patch_threshold(&self) -> f64 {
+        self.patch_threshold
+    }
+
+    /// Sets [`PowerCache::patch_threshold`]; `0.0` disables patching so
+    /// every hit rebuilds the `(A+ΔA)` chain in full (the PR 2 behaviour).
+    pub fn set_patch_threshold(&mut self, threshold: f64) {
+        self.patch_threshold = threshold;
     }
 
     /// Drops the cached powers (next lookup recomputes).
@@ -227,24 +292,39 @@ fn dissimilarity_impl(
     }
 }
 
-/// Eq. 13 evaluated directly for arbitrary `L`, optionally consulting a
-/// [`PowerCache`] for the `A`-side powers and installing the freshly built
-/// `(A+ΔA)`-side powers for the next snapshot.
-fn general(
+/// Everything the chain phase of [`general`] produces: both power lists,
+/// the advanced operator, the per-product stats that key the next cache
+/// hit, and the aggregate accounting.
+struct ChainPhase {
+    a_next: CsrMatrix,
+    pow_a: Vec<CsrMatrix>,
+    pow_n: Vec<CsrMatrix>,
+    pn_stats: Vec<OpStats>,
+    ops: OpStats,
+    products: u32,
+    saved: OpStats,
+}
+
+/// The power-chain phase of Eq. 13 for one snapshot transition: produce
+/// `A^0..A^{L−1}` (from the cache on a hit, else cold) and
+/// `(A+ΔA)^0..(A+ΔA)^{L−1}` (dirty-row patched on a hit where the frontier
+/// allows, else rebuilt). Shared verbatim by [`general`] and
+/// [`advance_power_chains`] so the two can never drift.
+fn power_chain_phase(
     a: &CsrMatrix,
     da: &CsrMatrix,
-    l: u32,
-    mut cache: Option<&mut PowerCache>,
-) -> Result<Dissimilarity> {
+    l_us: usize,
+    cache: &mut Option<&mut PowerCache>,
+) -> Result<ChainPhase> {
     let mut ops = OpStats::default();
     let mut products = 0u32;
     let mut saved = OpStats::default();
-    let l_us = l as usize;
     let a_next = ops::sp_add(a, da)?;
     ops.adds += da.nnz() as u64;
 
     // Powers A^0..A^{L-1}: from the cache when it holds exactly these
     // (bit-identical base, same depth), else computed fresh.
+    let mut patch_threshold = 0.0;
     let pow_a = match cache.as_mut().and_then(|c| c.take(a, l_us)) {
         Some((powers, stats)) => {
             // Warm hit: replay the recorded per-product stats so `ops` and
@@ -255,6 +335,7 @@ fn general(
                 saved += s;
                 products += 1;
             }
+            patch_threshold = cache.as_deref().map_or(0.0, PowerCache::patch_threshold);
             powers
         }
         None => {
@@ -269,17 +350,144 @@ fn general(
         }
     };
 
-    // Powers (A+ΔA)^0..(A+ΔA)^{L-1}, always computed — they key the next
-    // snapshot's cache hit, so their per-product stats are recorded.
+    // Powers (A+ΔA)^0..(A+ΔA)^{L-1} — they key the next snapshot's cache
+    // hit, so their per-product stats are recorded at full-product cost.
+    // On a hit with a small dirty frontier the cached `A` powers are
+    // *patched*: only the dirty rows run the (unchanged) per-row SpGEMM
+    // routine, clean rows are spliced from `pow_a[i]` — bit-identical to the
+    // full chain (see DESIGN.md §9), with the skipped share added to `saved`.
     let mut pow_n = vec![CsrMatrix::identity(a.rows())];
     let mut pn_stats = Vec::with_capacity(l_us.saturating_sub(1));
-    for i in 1..l_us {
-        let (pn, sn) = ops::spgemm_with_stats(&pow_n[i - 1], &a_next)?;
-        ops += sn;
-        products += 1;
-        pow_n.push(pn);
-        pn_stats.push(sn);
+    match plan_patch(a, da, &a_next, l_us, patch_threshold) {
+        Some(levels) => {
+            // Gate power by power: the BFS levels are cumulative
+            // (D_1 ⊆ D_2 ⊆ …), so powers are patched up to the first level
+            // that crosses the threshold and rebuilt in full from there —
+            // low levels (often just the seed rows) stay patchable even
+            // when deep hops saturate a dense graph.
+            let budget = patch_threshold * a.rows() as f64;
+            workspace::with_workspace(|ws| -> Result<()> {
+                for i in 1..l_us {
+                    let dirty = &levels[i - 1];
+                    if dirty.len() as f64 > budget {
+                        let (pn, sn) = ops::spgemm_with_workspace(&pow_n[i - 1], &a_next, ws)?;
+                        ops += sn;
+                        products += 1;
+                        pn_stats.push(sn);
+                        pow_n.push(pn);
+                        continue;
+                    }
+                    let (repl, dirty_stats) =
+                        ops::row_masked_spgemm_with_workspace(&pow_n[i - 1], &a_next, dirty, ws)?;
+                    let patched = pow_a[i].splice_rows(dirty, &repl)?;
+                    workspace::recycle(repl);
+                    let full = ops::spgemm_replay_stats(&pow_n[i - 1], &a_next, patched.nnz());
+                    ops += full;
+                    products += 1;
+                    saved += OpStats {
+                        mults: full.mults.saturating_sub(dirty_stats.mults),
+                        adds: full.adds.saturating_sub(dirty_stats.adds),
+                    };
+                    pn_stats.push(full);
+                    pow_n.push(patched);
+                }
+                Ok(())
+            })?;
+            if let Some(c) = cache.as_mut() {
+                c.patches += 1;
+            }
+        }
+        None => {
+            for i in 1..l_us {
+                let (pn, sn) = ops::spgemm_with_stats(&pow_n[i - 1], &a_next)?;
+                ops += sn;
+                products += 1;
+                pow_n.push(pn);
+                pn_stats.push(sn);
+            }
+        }
     }
+    Ok(ChainPhase { a_next, pow_a, pow_n, pn_stats, ops, products, saved })
+}
+
+/// Aggregate accounting of one snapshot-transition power-chain production
+/// (see [`advance_power_chains`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainAdvance {
+    /// Reported multiply/add counts — on a cache hit the avoided products
+    /// are replayed at recorded cost, exactly as in [`Dissimilarity::ops`].
+    pub ops: OpStats,
+    /// SpGEMM products accounted (performed or replayed).
+    pub products: u32,
+    /// Work actually avoided by the cache hit and the dirty-row patch.
+    pub saved: OpStats,
+}
+
+/// Produces both Eq. 13 power chains for one snapshot transition —
+/// `A^0..A^{L−1}` and `(A+ΔA)^0..(A+ΔA)^{L−1}` — exactly as the fused
+/// kernel's [`DissimilarityStrategy::General`] path does, without forming
+/// the `ΔA` term products.
+///
+/// With a cache this is the steady-state chain-maintenance step of a
+/// delta-fed stream: a hit reuses the cached `A`-side powers, builds the
+/// `(A+ΔA)` side by dirty-row patching where the frontier allows, and
+/// installs it to key the next transition. Without a cache both chains are
+/// built from scratch — the full-rebuild baseline the `kernels` bench
+/// sweep times against. The produced powers are recycled into the
+/// workspace pool; callers get the exact accounting.
+///
+/// # Errors
+///
+/// [`ModelError::Sparse`] if `a` and `da` differ in shape.
+pub fn advance_power_chains(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    num_layers: u32,
+    mut cache: Option<&mut PowerCache>,
+) -> Result<ChainAdvance> {
+    if a.shape() != da.shape() {
+        return Err(ModelError::Sparse(idgnn_sparse::SparseError::DimensionMismatch {
+            op: "advance_power_chains",
+            lhs: a.shape(),
+            rhs: da.shape(),
+        }));
+    }
+    let l_us = num_layers as usize;
+    if l_us < 2 {
+        // No powers beyond the trivial `A^0`/`A^1` exist at L ≤ 1; the
+        // fused kernel short-circuits before its chain phase, so there is
+        // nothing to build or cache here either.
+        return Ok(ChainAdvance::default());
+    }
+    let phase = power_chain_phase(a, da, l_us, &mut cache)?;
+    let advance = ChainAdvance { ops: phase.ops, products: phase.products, saved: phase.saved };
+    for p in phase.pow_a {
+        workspace::recycle(p);
+    }
+    match cache {
+        Some(c) => c.install(phase.a_next, phase.pow_n, phase.pn_stats),
+        None => {
+            workspace::recycle(phase.a_next);
+            for p in phase.pow_n {
+                workspace::recycle(p);
+            }
+        }
+    }
+    Ok(advance)
+}
+
+/// Eq. 13 evaluated directly for arbitrary `L`, optionally consulting a
+/// [`PowerCache`] for the `A`-side powers and installing the freshly built
+/// `(A+ΔA)`-side powers for the next snapshot.
+fn general(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    l: u32,
+    mut cache: Option<&mut PowerCache>,
+) -> Result<Dissimilarity> {
+    let l_us = l as usize;
+    let ChainPhase { a_next, pow_a, pow_n, pn_stats, mut ops, mut products, saved } =
+        power_chain_phase(a, da, l_us, &mut cache)?;
 
     let mut acc = CsrMatrix::zeros(a.rows(), a.cols());
     for i in 0..l_us {
@@ -310,6 +518,44 @@ fn general(
         }
     }
     Ok(Dissimilarity { delta_ac, ops, products, transposes: 0, saved })
+}
+
+/// Decides whether a cache hit may patch the cached powers instead of
+/// rebuilding the `(A+ΔA)` chain, returning the dirty-row BFS levels
+/// (`levels[h]` = rows within `h` hops of ΔA's row support) when it may.
+///
+/// Preconditions, all of which fall back to the full rebuild when violated:
+///
+/// * `threshold > 0.0` (`0.0` disables patching) and the transition is a
+///   cache hit at depth ≥ 2 (callers pass `threshold = 0.0` on a miss);
+/// * both `a` and `da` have symmetric *support*, so the forward-edge BFS of
+///   [`frontier::dirty_frontier_levels`] finds every row that can reach
+///   ΔA's support — the set the `i−1`-hop bound of DESIGN.md §9 needs;
+/// * the *narrowest* dirty set (the seed rows) stays within `threshold` of
+///   the total row count — otherwise no power can be patched. Wider levels
+///   are gated power by power in the caller.
+fn plan_patch(
+    a: &CsrMatrix,
+    da: &CsrMatrix,
+    a_next: &CsrMatrix,
+    l_us: usize,
+    threshold: f64,
+) -> Option<Vec<Vec<usize>>> {
+    if threshold <= 0.0 || l_us < 2 || a.rows() == 0 {
+        return None;
+    }
+    if !a.structurally_symmetric() || !da.structurally_symmetric() {
+        return None;
+    }
+    let seeds: Vec<usize> = (0..da.rows()).filter(|&r| da.row_nnz(r) > 0).collect();
+    // Levels are cumulative, so the seed level is the narrowest: if even it
+    // crosses the threshold no power can be patched and the frontier was
+    // wasted work — otherwise the per-power gate in the caller decides how
+    // deep the patch reaches.
+    if seeds.len() as f64 > threshold * a.rows() as f64 {
+        return None;
+    }
+    frontier::dirty_frontier_levels(a, a_next, &seeds, l_us - 2).ok()
 }
 
 /// `L = 2`: `ΔA·A + (ΔA·A)ᵀ + ΔA·ΔA` — two products and one transpose
@@ -597,6 +843,45 @@ mod tests {
     }
 
     #[test]
+    fn advance_power_chains_matches_fused_chain_phase() {
+        let (a, _, d) = setup(Normalization::Symmetric);
+
+        // Cold: both chains from scratch, nothing avoided.
+        let cold = advance_power_chains(&a, &d, 3, None).unwrap();
+        assert!(cold.ops.mults > 0);
+        assert_eq!(cold.products, 4); // two chains × (L−1) products each
+        assert_eq!(cold.saved, OpStats::default());
+
+        // Warm: a miss installs, advancing by ΔA hits; replayed accounting
+        // must equal the cold chain phase exactly, with the avoided share
+        // reported in `saved`.
+        let mut cache = PowerCache::new();
+        advance_power_chains(&a, &d, 3, Some(&mut cache)).unwrap();
+        assert_eq!(cache.misses(), 1);
+        let a2 = ops::sp_add(&a, &d).unwrap();
+        let d2 = d.scale(0.5);
+        let cold2 = advance_power_chains(&a2, &d2, 3, None).unwrap();
+        let warm2 = advance_power_chains(&a2, &d2, 3, Some(&mut cache)).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(warm2.ops, cold2.ops);
+        assert_eq!(warm2.products, cold2.products);
+        assert!(warm2.saved.mults > 0, "a hit must avoid work");
+
+        // The fused kernel runs the same shared chain phase, so on the same
+        // transition it must report the same avoided share.
+        let mut fc = PowerCache::new();
+        fused_dissimilarity_cached(&a, &d, 3, DissimilarityStrategy::General, &mut fc).unwrap();
+        let fused2 =
+            fused_dissimilarity_cached(&a2, &d2, 3, DissimilarityStrategy::General, &mut fc)
+                .unwrap();
+        assert_eq!(fused2.saved, warm2.saved);
+
+        // L ≤ 1 has no chain phase; mismatched shapes are rejected.
+        assert_eq!(advance_power_chains(&a, &d, 1, None).unwrap(), ChainAdvance::default());
+        assert!(advance_power_chains(&a, &CsrMatrix::identity(5), 3, None).is_err());
+    }
+
+    #[test]
     fn power_cache_invalidates_on_operator_or_depth_change() {
         // Each call installs powers of its *advanced* operator A+ΔA, so a
         // follow-up call hits only when passed exactly that matrix.
@@ -626,6 +911,116 @@ mod tests {
         cache.invalidate();
         let _ = cached(&a5, 4, &mut cache);
         assert_eq!(cache.hits(), 1);
+    }
+
+    /// A long ring graph (dirty frontiers stay a small fraction of the
+    /// rows) with a one-edge delta, normalized symmetrically.
+    fn ring_setup(n: usize) -> (CsrMatrix, CsrMatrix) {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let base = GraphSnapshot::new(
+            adjacency_from_edges(n, &edges).unwrap(),
+            DenseMatrix::zeros(n, 1),
+        )
+        .unwrap();
+        let delta = GraphDelta::builder().add_edge(0, 2).build();
+        let next = delta.apply(&base).unwrap();
+        let a_prev = Normalization::Symmetric.apply(base.adjacency());
+        let a_next = Normalization::Symmetric.apply(next.adjacency());
+        let d = ops::sp_sub_pruned(&a_next, &a_prev).unwrap();
+        (a_prev, d)
+    }
+
+    #[test]
+    fn incremental_patch_is_bit_identical_to_cold_rebuild() {
+        let (a, d) = ring_setup(48);
+        let mut cache = PowerCache::new();
+        assert!((cache.patch_threshold() - DEFAULT_PATCH_THRESHOLD).abs() < 1e-12);
+
+        // Prime: cold miss, nothing to patch.
+        let _ = fused_dissimilarity_cached(&a, &d, 4, DissimilarityStrategy::General, &mut cache)
+            .unwrap();
+        assert_eq!(cache.patches(), 0);
+
+        // Two consecutive warm transitions: both must patch (small frontier)
+        // and stay bit-identical to the cold evaluation, stats included —
+        // the second also proves a patched chain installs a valid cache key
+        // and correctly recorded full-cost stats.
+        let mut a_cur = a;
+        let mut d_cur = d;
+        for step in 1..=2u64 {
+            a_cur = ops::sp_add(&a_cur, &d_cur).unwrap();
+            d_cur = d_cur.scale(0.5);
+            let cold =
+                fused_dissimilarity(&a_cur, &d_cur, 4, DissimilarityStrategy::General).unwrap();
+            let warm = fused_dissimilarity_cached(
+                &a_cur,
+                &d_cur,
+                4,
+                DissimilarityStrategy::General,
+                &mut cache,
+            )
+            .unwrap();
+            assert_eq!(cache.hits(), step);
+            assert_eq!(cache.patches(), step, "frontier is small enough to patch");
+            assert_identical(&cold.delta_ac, &warm.delta_ac);
+            assert_eq!(cold.ops, warm.ops, "replayed stats must match cold stats");
+            assert_eq!(cold.products, warm.products);
+            assert!(warm.saved.mults > 0, "the patch must report avoided work");
+        }
+    }
+
+    #[test]
+    fn patch_threshold_zero_disables_patching() {
+        let (a, d) = ring_setup(48);
+        let mut cache = PowerCache::new();
+        cache.set_patch_threshold(0.0);
+        let _ = fused_dissimilarity_cached(&a, &d, 4, DissimilarityStrategy::General, &mut cache)
+            .unwrap();
+        let a2 = ops::sp_add(&a, &d).unwrap();
+        let cold = fused_dissimilarity(&a2, &d, 4, DissimilarityStrategy::General).unwrap();
+        let warm =
+            fused_dissimilarity_cached(&a2, &d, 4, DissimilarityStrategy::General, &mut cache)
+                .unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.patches(), 0, "threshold 0.0 must force the full rebuild");
+        assert_identical(&cold.delta_ac, &warm.delta_ac);
+        assert_eq!(cold.ops, warm.ops);
+    }
+
+    #[test]
+    fn saturated_deep_levels_still_patch_shallow_powers() {
+        // On the ring the dirty levels grow by a few rows per hop; pick a
+        // threshold that admits the seed level but not the deeper hops, so
+        // the chain is part patched / part rebuilt — and still bit-identical
+        // with a smaller (but nonzero) saved ledger than full patching.
+        let (a, d) = ring_setup(48);
+        let run_at = |threshold: f64| {
+            let mut cache = PowerCache::new();
+            cache.set_patch_threshold(threshold);
+            let _ =
+                fused_dissimilarity_cached(&a, &d, 4, DissimilarityStrategy::General, &mut cache)
+                    .unwrap();
+            let a2 = ops::sp_add(&a, &d).unwrap();
+            let warm =
+                fused_dissimilarity_cached(&a2, &d, 4, DissimilarityStrategy::General, &mut cache)
+                    .unwrap();
+            (a2, warm, cache.patches())
+        };
+        let seeds = (0..48).filter(|&r| d.row_nnz(r) > 0).count();
+        // Admit exactly the seed level: deeper levels are strictly larger.
+        let (a2, partial, partial_patches) = run_at(seeds as f64 / 48.0);
+        let (_, full_patch, full_patches) = run_at(1.0);
+        let cold = fused_dissimilarity(&a2, &d, 4, DissimilarityStrategy::General).unwrap();
+        assert_eq!(partial_patches, 1, "the seed-level power must still patch");
+        assert_eq!(full_patches, 1);
+        assert_identical(&cold.delta_ac, &partial.delta_ac);
+        assert_eq!(cold.ops, partial.ops);
+        assert_eq!(cold.products, partial.products);
+        assert!(partial.saved.mults > 0);
+        assert!(
+            partial.saved.total() < full_patch.saved.total(),
+            "rebuilding saturated levels must shrink the avoided-work ledger"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Dirty-row frontier expansion for incremental power-chain updates.
+//!
+//! When a snapshot transition replaces the operator `A` with `B = A + ΔA`,
+//! row `r` of `B^i` can differ from the cached `A^i` only if a length-≤`i−1`
+//! path over the *union* adjacency of `A` and `B` connects `r` to a row of
+//! `ΔA`'s support (expand Eq. 13: every changed term routes through a ΔA row
+//! within `i−1` hops — see DESIGN.md §9 for the derivation). [`dirty_frontier`]
+//! computes exactly that reachable set by breadth-first search, so the
+//! incremental power update in `idgnn-model` can recompute only the dirty
+//! rows and splice everything else out of the cache
+//! ([`CsrMatrix::splice_rows`](crate::CsrMatrix::splice_rows)).
+//!
+//! The BFS follows *forward* edges (row support). For the power-update
+//! use-case the caller must therefore ensure the union adjacency is
+//! structurally symmetric
+//! ([`CsrMatrix::structurally_symmetric`](crate::CsrMatrix::structurally_symmetric)),
+//! so "reachable from the seeds" coincides with "reaches the seeds"; the
+//! one-pass kernel falls back to a full rebuild otherwise.
+
+use crate::error::{Result, SparseError};
+use crate::CsrMatrix;
+
+/// Cumulative BFS levels over the union adjacency of `a` and `b`.
+///
+/// Returns `max_hops + 1` sorted, duplicate-free row sets: `levels[h]` holds
+/// every row within `h` hops of `seeds` (so `levels[0]` is the sorted,
+/// deduplicated seed set and each level is a superset of the previous one).
+/// A hop from row `r` reaches the column support of row `r` in *either*
+/// operand.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if the operand shapes differ
+/// and [`SparseError::IndexOutOfBounds`] if a seed row is out of range.
+pub fn dirty_frontier_levels(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seeds: &[usize],
+    max_hops: usize,
+) -> Result<Vec<Vec<usize>>> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::DimensionMismatch {
+            op: "dirty_frontier",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = a.rows();
+    if let Some(&bad) = seeds.iter().find(|&&s| s >= n) {
+        return Err(SparseError::IndexOutOfBounds { index: (bad, 0), shape: a.shape() });
+    }
+    let mut visited = vec![false; n];
+    let mut cumulative: Vec<usize> = seeds.to_vec();
+    cumulative.sort_unstable();
+    cumulative.dedup();
+    for &s in &cumulative {
+        visited[s] = true;
+    }
+    let mut frontier = cumulative.clone();
+    let mut levels = Vec::with_capacity(max_hops + 1);
+    levels.push(cumulative.clone());
+    for _ in 0..max_hops {
+        let mut next = Vec::new();
+        for &r in &frontier {
+            for &c in a.row_indices(r).iter().chain(b.row_indices(r)) {
+                if !visited[c] {
+                    visited[c] = true;
+                    next.push(c);
+                }
+            }
+        }
+        if !next.is_empty() {
+            cumulative.extend_from_slice(&next);
+            cumulative.sort_unstable();
+        }
+        levels.push(cumulative.clone());
+        frontier = next;
+    }
+    Ok(levels)
+}
+
+/// The sorted set of rows within `hops` hops of `seeds` over the union
+/// adjacency of `a` and `b` — the last level of [`dirty_frontier_levels`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if the operand shapes differ
+/// and [`SparseError::IndexOutOfBounds`] if a seed row is out of range.
+pub fn dirty_frontier(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    seeds: &[usize],
+    hops: usize,
+) -> Result<Vec<usize>> {
+    let mut levels = dirty_frontier_levels(a, b, seeds, hops)?;
+    Ok(levels.pop().expect("levels always holds max_hops + 1 sets"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn path_graph(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_symmetric(i, i + 1, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn zero_hops_is_the_sorted_deduped_seed_set() {
+        let a = path_graph(6);
+        let levels = dirty_frontier_levels(&a, &a, &[4, 1, 4], 0).unwrap();
+        assert_eq!(levels, vec![vec![1, 4]]);
+    }
+
+    #[test]
+    fn levels_grow_one_hop_at_a_time_on_a_path() {
+        let a = path_graph(7);
+        let levels = dirty_frontier_levels(&a, &a, &[3], 3).unwrap();
+        assert_eq!(levels[0], vec![3]);
+        assert_eq!(levels[1], vec![2, 3, 4]);
+        assert_eq!(levels[2], vec![1, 2, 3, 4, 5]);
+        assert_eq!(levels[3], vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(dirty_frontier(&a, &a, &[3], 2).unwrap(), levels[2]);
+    }
+
+    #[test]
+    fn union_adjacency_uses_both_operands() {
+        // `a` has no edges; `b` adds 0–5, so the hop must come from `b`.
+        let a = CsrMatrix::zeros(6, 6);
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push_symmetric(0, 5, 1.0).unwrap();
+        let b = coo.to_csr();
+        assert_eq!(dirty_frontier(&a, &b, &[0], 1).unwrap(), vec![0, 5]);
+        assert_eq!(dirty_frontier(&a, &a, &[0], 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn saturated_frontier_stays_stable() {
+        let a = path_graph(3);
+        let levels = dirty_frontier_levels(&a, &a, &[1], 5).unwrap();
+        assert_eq!(levels.len(), 6);
+        assert_eq!(levels[1], vec![0, 1, 2]);
+        assert!(levels[2..].iter().all(|l| l == &vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_seed_set_stays_empty() {
+        let a = path_graph(4);
+        let levels = dirty_frontier_levels(&a, &a, &[], 2).unwrap();
+        assert!(levels.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch_and_bad_seeds() {
+        let a = path_graph(4);
+        let b = path_graph(5);
+        assert!(matches!(
+            dirty_frontier(&a, &b, &[0], 1),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            dirty_frontier(&a, &a, &[4], 1),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+}

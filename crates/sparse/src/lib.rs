@@ -45,6 +45,7 @@ mod csr;
 mod dense;
 mod error;
 
+pub mod frontier;
 pub mod ops;
 pub mod parallel;
 pub mod stats;

@@ -182,18 +182,7 @@ fn spgemm_block_in(
 
     // Symbolic phase: structure only — no multiplies, no value traffic.
     for r in rows.clone() {
-        let generation = ws.next_generation();
-        let start = indices.len();
-        for (k, _) in a.row_iter(r) {
-            for (c, _) in b.row_iter(k) {
-                if ws.stamp[c] != generation {
-                    ws.stamp[c] = generation;
-                    indices.push(c);
-                }
-            }
-        }
-        indices[start..].sort_unstable();
-        row_lens.push(indices.len() - start);
+        spgemm_row_symbolic(a, b, r, ws, &mut indices, &mut row_lens);
     }
 
     // Numeric phase: the value buffer is sized exactly by the symbolic pass.
@@ -201,26 +190,68 @@ fn spgemm_block_in(
     let mut stats = OpStats::default();
     let mut emitted = 0usize;
     for (i, r) in rows.enumerate() {
-        let generation = ws.next_generation();
-        for (k, va) in a.row_iter(r) {
-            for (c, vb) in b.row_iter(k) {
-                stats.mults += 1;
-                if ws.stamp[c] == generation {
-                    stats.adds += 1;
-                    ws.acc[c] += va * vb;
-                } else {
-                    ws.stamp[c] = generation;
-                    ws.acc[c] = va * vb;
-                }
-            }
-        }
         let row_end = emitted + row_lens[i];
-        for &c in &indices[emitted..row_end] {
-            values.push(ws.acc[c]);
-        }
+        spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
         emitted = row_end;
     }
     CsrBlock { row_lens, indices, values, stats }
+}
+
+/// The symbolic (structure-only) pass over one output row — shared verbatim
+/// by every SpGEMM entry point, including the row-masked incremental path,
+/// so a row recomputed in isolation has the same structure as a cold build.
+#[inline]
+fn spgemm_row_symbolic(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    r: usize,
+    ws: &mut Workspace,
+    indices: &mut Vec<usize>,
+    row_lens: &mut Vec<usize>,
+) {
+    let generation = ws.next_generation();
+    let start = indices.len();
+    for (k, _) in a.row_iter(r) {
+        for (c, _) in b.row_iter(k) {
+            if ws.stamp[c] != generation {
+                ws.stamp[c] = generation;
+                indices.push(c);
+            }
+        }
+    }
+    indices[start..].sort_unstable();
+    row_lens.push(indices.len() - start);
+}
+
+/// The numeric pass over one output row, accumulating in the same visit
+/// order as the legacy single-pass kernel — shared verbatim by every SpGEMM
+/// entry point so recomputed rows are bit-identical to a cold build.
+#[inline]
+fn spgemm_row_numeric(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    r: usize,
+    ws: &mut Workspace,
+    row_indices: &[usize],
+    values: &mut Vec<f32>,
+    stats: &mut OpStats,
+) {
+    let generation = ws.next_generation();
+    for (k, va) in a.row_iter(r) {
+        for (c, vb) in b.row_iter(k) {
+            stats.mults += 1;
+            if ws.stamp[c] == generation {
+                stats.adds += 1;
+                ws.acc[c] += va * vb;
+            } else {
+                ws.stamp[c] = generation;
+                ws.acc[c] = va * vb;
+            }
+        }
+    }
+    for &c in row_indices {
+        values.push(ws.acc[c]);
+    }
 }
 
 /// Sparse × sparse matrix product (Gustavson's row-wise SpGEMM).
@@ -298,6 +329,77 @@ pub fn spgemm_with_workspace(
     }
     let block = spgemm_block_in(a, b, 0..a.rows(), ws);
     Ok(assemble_csr(a.rows(), b.cols(), vec![block]))
+}
+
+/// Sparse × sparse product restricted to a caller-supplied row set: row `j`
+/// of the `rows.len()` × `b.cols()` result is row `rows[j]` of `a · b`.
+///
+/// Each selected row runs the *unchanged* serial per-row routine
+/// ([`spgemm_row_symbolic`] / [`spgemm_row_numeric`]), so recomputed rows are
+/// bit-identical to the same rows of a cold [`spgemm`] — the contract the
+/// incremental power-chain update relies on (see
+/// [`crate::frontier`] and `CsrMatrix::splice_rows`). [`OpStats`] counts only
+/// the work actually performed on the selected rows.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`,
+/// [`SparseError::InvalidStructure`] if `rows` is not strictly increasing,
+/// and [`SparseError::IndexOutOfBounds`] if a row is out of range.
+pub fn row_masked_spgemm_with_workspace(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    rows: &[usize],
+    ws: &mut Workspace,
+) -> Result<(CsrMatrix, OpStats)> {
+    if a.cols() != b.rows() {
+        return Err(SparseError::DimensionMismatch {
+            op: "row_masked_spgemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if rows.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(SparseError::InvalidStructure {
+            reason: "row mask not strictly increasing".into(),
+        });
+    }
+    if let Some(&last) = rows.last() {
+        if last >= a.rows() {
+            return Err(SparseError::IndexOutOfBounds { index: (last, 0), shape: a.shape() });
+        }
+    }
+    ws.ensure_width(b.cols());
+    let mut row_lens = workspace::take_index_buffer(rows.len());
+    let mut indices = workspace::take_index_buffer(0);
+    for &r in rows {
+        spgemm_row_symbolic(a, b, r, ws, &mut indices, &mut row_lens);
+    }
+    let mut values = workspace::take_value_buffer(indices.len());
+    let mut stats = OpStats::default();
+    let mut emitted = 0usize;
+    for (j, &r) in rows.iter().enumerate() {
+        let row_end = emitted + row_lens[j];
+        spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
+        emitted = row_end;
+    }
+    let block = CsrBlock { row_lens, indices, values, stats };
+    Ok(assemble_csr(rows.len(), b.cols(), vec![block]))
+}
+
+/// The exact [`OpStats`] a full [`spgemm`]`(a, b)` would report, computed
+/// analytically from the operand structures and the known output nnz —
+/// no numeric work.
+///
+/// The kernel performs one multiply per `(entry of a, entry of the matching
+/// b row)` pair and one add per product landing on an already-stamped slot,
+/// so `adds = mults − out_nnz`. The incremental power update replays these
+/// stats into the figure accounting while only doing the dirty-row fraction
+/// of the work (the difference goes to `Dissimilarity::saved`).
+pub fn spgemm_replay_stats(a: &CsrMatrix, b: &CsrMatrix, out_nnz: usize) -> OpStats {
+    debug_assert_eq!(a.cols(), b.rows());
+    let mults: u64 = a.indices().iter().map(|&k| b.row_nnz(k) as u64).sum();
+    OpStats { mults, adds: mults.saturating_sub(out_nnz as u64) }
 }
 
 /// The two-pointer row-merge inner loop of `sp_axpby` over one contiguous
@@ -881,6 +983,61 @@ mod tests {
             assert_csr_identical(&reference, &m);
             assert_eq!(st, st_ref);
             let _ = spgemm_with_workspace(&small, &small, &mut ws).unwrap();
+        }
+    }
+
+    #[test]
+    fn row_masked_spgemm_rows_match_full_product() {
+        let a = random_sparse(50, 350, 20);
+        let b = random_sparse(50, 300, 21);
+        let (full, full_stats) = spgemm_serial_with_stats(&a, &b).unwrap();
+        let mut ws = Workspace::new();
+        let rows = [0usize, 3, 17, 31, 49];
+        let (masked, masked_stats) =
+            row_masked_spgemm_with_workspace(&a, &b, &rows, &mut ws).unwrap();
+        assert_eq!(masked.shape(), (rows.len(), b.cols()));
+        for (j, &r) in rows.iter().enumerate() {
+            assert_eq!(masked.row_indices(j), full.row_indices(r), "row {r}");
+            assert_eq!(bits(masked.row_values(j)), bits(full.row_values(r)), "row {r}");
+        }
+        assert!(masked_stats.mults < full_stats.mults);
+        // Masking every row reproduces the full product, stats included.
+        let all: Vec<usize> = (0..a.rows()).collect();
+        let (whole, whole_stats) =
+            row_masked_spgemm_with_workspace(&a, &b, &all, &mut ws).unwrap();
+        assert_csr_identical(&full, &whole);
+        assert_eq!(whole_stats, full_stats);
+    }
+
+    #[test]
+    fn row_masked_spgemm_validates_inputs() {
+        let a = random_sparse(10, 40, 22);
+        let mut ws = Workspace::new();
+        assert!(matches!(
+            row_masked_spgemm_with_workspace(&a, &a, &[3, 3], &mut ws),
+            Err(SparseError::InvalidStructure { .. })
+        ));
+        assert!(matches!(
+            row_masked_spgemm_with_workspace(&a, &a, &[2, 10], &mut ws),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        let rect = CsrMatrix::zeros(4, 10);
+        assert!(matches!(
+            row_masked_spgemm_with_workspace(&a, &rect, &[0], &mut ws).err(),
+            Some(SparseError::DimensionMismatch { .. })
+        ));
+        let (empty, st) = row_masked_spgemm_with_workspace(&a, &a, &[], &mut ws).unwrap();
+        assert_eq!(empty.shape(), (0, 10));
+        assert_eq!(st, OpStats::default());
+    }
+
+    #[test]
+    fn replay_stats_match_measured_spgemm_stats() {
+        for seed in 0..5 {
+            let a = random_sparse(45, 260, seed + 30);
+            let b = random_sparse(45, 240, seed + 60);
+            let (m, measured) = spgemm_serial_with_stats(&a, &b).unwrap();
+            assert_eq!(spgemm_replay_stats(&a, &b, m.nnz()), measured, "seed {seed}");
         }
     }
 

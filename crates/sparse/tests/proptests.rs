@@ -4,7 +4,7 @@
 //! (distributivity, transpose-of-product, power expansion) on randomly
 //! generated sparse matrices, with the dense implementation as the oracle.
 
-use idgnn_sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix, OpStats, Workspace};
+use idgnn_sparse::{frontier, ops, CooMatrix, CsrMatrix, DenseMatrix, OpStats, Workspace};
 use proptest::prelude::*;
 
 /// Strategy: random sparse n×n matrix with up to `max_nnz` entries.
@@ -230,6 +230,68 @@ proptest! {
             }
             prop_assert_eq!(reused_st, fresh_st);
             prop_assert_eq!(reused_st, pooled_st);
+        }
+    }
+
+    #[test]
+    fn sp_sub_pruned_equals_sub_then_prune(a in sparse_square(8, 24), b in sparse_square(8, 24)) {
+        // The fused kernel must match the two-step spelling bit-for-bit and
+        // never store an explicit zero (the DIU depends on its output
+        // support being exactly the changed entries).
+        let fused = ops::sp_sub_pruned(&a, &b).unwrap();
+        let two_step = ops::sp_sub(&a, &b).unwrap().pruned(0.0);
+        prop_assert_eq!(fused.indptr(), two_step.indptr());
+        prop_assert_eq!(fused.indices(), two_step.indices());
+        let fv: Vec<u32> = fused.values().iter().map(|v| v.to_bits()).collect();
+        let tv: Vec<u32> = two_step.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fv, tv);
+        prop_assert!(fused.values().iter().all(|&v| v != 0.0), "explicit zero stored");
+    }
+
+    #[test]
+    fn splice_rows_with_empty_dirty_set_is_bit_identical(a in sparse_square(8, 24)) {
+        let spliced = a.splice_rows(&[], &CsrMatrix::zeros(0, a.cols())).unwrap();
+        prop_assert_eq!(spliced.indptr(), a.indptr());
+        prop_assert_eq!(spliced.indices(), a.indices());
+        let sv: Vec<u32> = spliced.values().iter().map(|v| v.to_bits()).collect();
+        let av: Vec<u32> = a.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sv, av);
+    }
+
+    #[test]
+    fn dirty_row_patched_power_chain_matches_cold_rebuild(
+        a in symmetric_square(8, 16),
+        d in symmetric_square(8, 6),
+        l in 2usize..5,
+    ) {
+        // The sparse-level pin behind the PowerCache patch (DESIGN.md §9):
+        // splicing the (i−1)-hop dirty rows of the masked product into the
+        // cached `A^i` reproduces the cold identity-chain build of
+        // `(A+ΔA)^i` bit-for-bit, for every power in the chain.
+        let b = ops::sp_add(&a, &d).unwrap();
+        let seeds: Vec<usize> = (0..a.rows()).filter(|&r| d.row_nnz(r) > 0).collect();
+        let levels = frontier::dirty_frontier_levels(&a, &b, &seeds, l - 2).unwrap();
+        let mut cold = vec![CsrMatrix::identity(a.rows())];
+        let mut pow_a = vec![CsrMatrix::identity(a.rows())];
+        for i in 1..l {
+            cold.push(ops::spgemm(&cold[i - 1], &b).unwrap());
+            pow_a.push(ops::spgemm(&pow_a[i - 1], &a).unwrap());
+        }
+        let mut ws = Workspace::new();
+        let mut patched = vec![CsrMatrix::identity(a.rows())];
+        for i in 1..l {
+            let dirty = &levels[i - 1];
+            let (repl, _) =
+                ops::row_masked_spgemm_with_workspace(&patched[i - 1], &b, dirty, &mut ws)
+                    .unwrap();
+            patched.push(pow_a[i].splice_rows(dirty, &repl).unwrap());
+        }
+        for i in 1..l {
+            prop_assert_eq!(patched[i].indptr(), cold[i].indptr());
+            prop_assert_eq!(patched[i].indices(), cold[i].indices());
+            let pv: Vec<u32> = patched[i].values().iter().map(|v| v.to_bits()).collect();
+            let cv: Vec<u32> = cold[i].values().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(pv, cv);
         }
     }
 

@@ -24,6 +24,19 @@ grep -q '"power_chain"' "$smoke_json" || {
   echo "ci: $smoke_json is missing the power_chain section" >&2
   exit 1
 }
+# The delta-rate sweep runs at the smallest scale inside --smoke. The run
+# itself asserts incremental ≡ full-rebuild bit-identity (it panics on
+# divergence, failing the gate above); here we re-check from the outside
+# that the sweep section exists and that reuse avoided a nonzero amount of
+# work.
+grep -q '"delta_rates"' "$smoke_json" || {
+  echo "ci: $smoke_json is missing the delta_rates sweep" >&2
+  exit 1
+}
+if grep -q '"delta_saved_total": 0,' "$smoke_json"; then
+  echo "ci: delta-rate sweep reported zero saved work" >&2
+  exit 1
+fi
 
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
