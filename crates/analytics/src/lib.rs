@@ -33,9 +33,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod error;
 mod khop;
 mod pagerank;

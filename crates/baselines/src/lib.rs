@@ -37,9 +37,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod booster;
 mod common;
 mod error;

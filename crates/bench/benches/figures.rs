@@ -4,6 +4,9 @@
 //! numbers themselves are printed once up front and written by the
 //! `src/bin/*` binaries.
 
+// criterion's macros generate undocumented items; docs live in the header above.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

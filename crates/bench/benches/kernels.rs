@@ -2,6 +2,9 @@
 //! simulator: SpGEMM, SpMM, the fused dissimilarity kernel (both
 //! strategies), layer fusion, and one LSTM step.
 
+// criterion's macros generate undocumented items; docs live in the header above.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

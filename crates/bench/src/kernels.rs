@@ -704,6 +704,81 @@ pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
     Ok(())
 }
 
+/// Parses `text` with [`crate::jsonv`] and checks the report *structure*:
+/// every required section present with the right shape, non-empty where the
+/// run implies entries, and nonzero saved work from the delta-rate sweep.
+///
+/// This is the check `scripts/ci.sh` gates on (via `kernels --validate`) —
+/// it subsumes the older substring greps, which could not tell a real
+/// `delta_saved_total` from one inside a string, or an empty `"kernels": []`
+/// from a populated section.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_report_structure(text: &str) -> std::result::Result<(), String> {
+    use crate::jsonv::{parse, Json};
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+
+    let non_empty_array = |key: &str| -> std::result::Result<usize, String> {
+        let n = doc
+            .get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("`{key}` is missing or not an array"))?
+            .len();
+        if n == 0 {
+            return Err(format!("`{key}` is empty"));
+        }
+        Ok(n)
+    };
+    let number = |key: &str| -> std::result::Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`{key}` is missing or not a number"))
+    };
+
+    if doc.get("scale").and_then(Json::as_str).is_none() {
+        return Err("`scale` is missing or not a string".to_string());
+    }
+    non_empty_array("thread_counts")?;
+    non_empty_array("kernels")?;
+    non_empty_array("power_chain")?;
+    non_empty_array("delta_rates")?;
+
+    // Row shape: every kernel row carries a dataset, kernel name, and a
+    // positive wall time; every sweep row carries a positive speedup pair.
+    for (section, fields) in [
+        ("kernels", &["dataset", "kernel"] as &[&str]),
+        ("power_chain", &["dataset"]),
+        ("delta_rates", &["dataset"]),
+    ] {
+        for (i, row) in doc
+            .get(section)
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            for field in fields {
+                if row.get(field).and_then(Json::as_str).is_none() {
+                    return Err(format!("`{section}[{i}]` lacks string field `{field}`"));
+                }
+            }
+        }
+    }
+
+    if number("max_warm_speedup")? <= 0.0 {
+        return Err("`max_warm_speedup` must be positive".to_string());
+    }
+    if number("delta_saved_total")? <= 0.0 {
+        return Err("`delta_saved_total` is zero: the delta-rate sweep saved no work".to_string());
+    }
+    if number("samples")? < 1.0 {
+        return Err("`samples` must be at least 1".to_string());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,6 +810,39 @@ mod tests {
         assert!(text.contains("Edge-churn sweep"));
         let json = serde_json::to_string_pretty(&r).unwrap();
         validate_report_json(&json).unwrap();
+        validate_report_structure(&json).unwrap();
+    }
+
+    #[test]
+    fn structural_validator_rejects_hollow_reports() {
+        // The substring validator accepts these; the structural one must not.
+        let empty_sections = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
+             \"kernels\": [], \"power_chain\": [], \"delta_rates\": [], \
+             \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
+        validate_report_json(empty_sections).unwrap();
+        assert!(validate_report_structure(empty_sections).is_err());
+
+        let wrong_types = "{\"scale\": 1, \"samples\": \"many\", \"thread_counts\": 1, \
+             \"kernels\": {}, \"power_chain\": 0, \"delta_rates\": \"x\", \
+             \"delta_saved_total\": [], \"max_warm_speedup\": \"big\"}";
+        validate_report_json(wrong_types).unwrap();
+        assert!(validate_report_structure(wrong_types).is_err());
+
+        let zero_saved = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
+             \"kernels\": [{\"kernel\": \"spgemm\", \"dataset\": \"AS\"}], \
+             \"power_chain\": [{\"dataset\": \"AS\"}], \
+             \"delta_rates\": [{\"dataset\": \"AS\"}], \
+             \"delta_saved_total\": 0, \"max_warm_speedup\": 1.2}";
+        assert!(validate_report_structure(zero_saved)
+            .unwrap_err()
+            .contains("delta_saved_total"));
+
+        let bad_row = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
+             \"kernels\": [{\"kernel\": 3, \"dataset\": \"AS\"}], \
+             \"power_chain\": [{\"dataset\": \"AS\"}], \
+             \"delta_rates\": [{\"dataset\": \"AS\"}], \
+             \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
+        assert!(validate_report_structure(bad_row).unwrap_err().contains("kernels[0]"));
     }
 
     #[test]

@@ -19,13 +19,11 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod cli;
 pub mod context;
 pub mod driver;
 pub mod figures;
+pub mod jsonv;
 pub mod kernels;
 pub mod report;
 

@@ -35,9 +35,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod accelerator;
 mod dataflow;
 mod diu;

@@ -73,11 +73,12 @@ impl DynamicGraph {
     /// Propagates any delta-application error (conflicting edge, bad vertex).
     pub fn materialize(&self) -> Result<Vec<GraphSnapshot>> {
         let mut out = Vec::with_capacity(self.num_snapshots());
-        out.push(self.initial.clone());
+        let mut current = self.initial.clone();
         for d in &self.deltas {
-            let next = d.apply(out.last().expect("out starts non-empty"))?;
-            out.push(next);
+            let next = d.apply(&current)?;
+            out.push(std::mem::replace(&mut current, next));
         }
+        out.push(current);
         Ok(out)
     }
 

@@ -60,7 +60,12 @@ impl GraphConfig {
     ///
     /// The edge budget is met exactly when feasible
     /// (`edges <= V(V-1)/2`); otherwise it saturates at the complete graph.
-    pub fn generate(&self, seed: u64) -> GraphSnapshot {
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from snapshot assembly (cannot occur for the
+    /// bounded edges the generator emits; surfaced instead of panicking).
+    pub fn generate(&self, seed: u64) -> Result<GraphSnapshot> {
         let mut rng = StdRng::seed_from_u64(seed);
         let max_edges = self.vertices.saturating_mul(self.vertices.saturating_sub(1)) / 2;
         let target = self.edges.min(max_edges);
@@ -70,17 +75,17 @@ impl GraphConfig {
         };
         let mut coo = CooMatrix::new(self.vertices, self.vertices);
         for &(u, v) in &edges {
-            coo.push_symmetric(u, v, 1.0).expect("generator stays in bounds");
+            coo.push_symmetric(u, v, 1.0)?;
         }
         let features = random_features(self.vertices, self.feature_dim, &mut rng);
         GraphSnapshot::new_unchecked_symmetry(coo.to_csr(), features)
-            .expect("generated shapes are consistent")
     }
 }
 
 /// Uniform random feature matrix with entries in `[-1, 1)`.
 pub fn random_features(vertices: usize, dim: usize, rng: &mut StdRng) -> DenseMatrix {
     let data = (0..vertices * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    // lint: allow(panic-surface) -- vec length is vertices*dim by construction
     DenseMatrix::from_vec(vertices, dim, data).expect("length matches by construction")
 }
 
@@ -221,7 +226,7 @@ pub fn generate_dynamic_graph(
     stream: &StreamConfig,
     seed: u64,
 ) -> Result<DynamicGraph> {
-    let initial = graph.generate(seed);
+    let initial = graph.generate(seed)?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
     let mut dg = DynamicGraph::new(initial);
     let mut current = dg.initial().clone();
@@ -308,7 +313,7 @@ mod tests {
 
     #[test]
     fn uniform_hits_edge_budget() {
-        let g = GraphConfig::uniform(50, 120, 8).generate(7);
+        let g = GraphConfig::uniform(50, 120, 8).generate(7).unwrap();
         assert_eq!(g.num_vertices(), 50);
         assert_eq!(g.num_edges(), 120);
         assert_eq!(g.feature_dim(), 8);
@@ -316,14 +321,14 @@ mod tests {
 
     #[test]
     fn power_law_hits_edge_budget() {
-        let g = GraphConfig::power_law(100, 400, 16).generate(42);
+        let g = GraphConfig::power_law(100, 400, 16).generate(42).unwrap();
         assert_eq!(g.num_edges(), 400);
         assert!(g.adjacency().is_symmetric(0.0));
     }
 
     #[test]
     fn power_law_has_skewed_degrees() {
-        let g = GraphConfig::power_law(200, 800, 4).generate(1);
+        let g = GraphConfig::power_law(200, 800, 4).generate(1).unwrap();
         let stats = idgnn_sparse::stats::StructureStats::of(g.adjacency());
         // Hub degree should be far above the mean for preferential attachment.
         assert!(
@@ -336,16 +341,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = GraphConfig::power_law(60, 200, 4).generate(9);
-        let b = GraphConfig::power_law(60, 200, 4).generate(9);
+        let a = GraphConfig::power_law(60, 200, 4).generate(9).unwrap();
+        let b = GraphConfig::power_law(60, 200, 4).generate(9).unwrap();
         assert_eq!(a, b);
-        let c = GraphConfig::power_law(60, 200, 4).generate(10);
+        let c = GraphConfig::power_law(60, 200, 4).generate(10).unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn edge_budget_saturates_at_complete_graph() {
-        let g = GraphConfig::uniform(4, 100, 2).generate(3);
+        let g = GraphConfig::uniform(4, 100, 2).generate(3).unwrap();
         assert_eq!(g.num_edges(), 6);
     }
 

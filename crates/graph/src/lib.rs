@@ -23,9 +23,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod common;
 mod continuous;
 mod delta;

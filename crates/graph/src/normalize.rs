@@ -79,6 +79,7 @@ impl Normalization {
 
 fn with_self_loops(a: &CsrMatrix) -> CsrMatrix {
     idgnn_sparse::ops::sp_add(a, &CsrMatrix::identity(a.rows()))
+        // lint: allow(panic-surface) -- identity shape equals the square input
         .expect("identity matches the square input shape")
 }
 
@@ -96,6 +97,7 @@ fn scale_rows(a: &CsrMatrix, s: &[f32]) -> CsrMatrix {
         indptr.push(indices.len());
     }
     CsrMatrix::from_raw_parts(a.rows(), a.cols(), indptr, indices, values)
+        // lint: allow(panic-surface) -- structure copied row-by-row from a valid CSR
         .expect("row scaling preserves CSR structure")
 }
 
@@ -113,6 +115,7 @@ fn scale_rows_cols(a: &CsrMatrix, s: &[f32]) -> CsrMatrix {
         indptr.push(indices.len());
     }
     CsrMatrix::from_raw_parts(a.rows(), a.cols(), indptr, indices, values)
+        // lint: allow(panic-surface) -- structure copied row-by-row from a valid CSR
         .expect("row/col scaling preserves CSR structure")
 }
 

@@ -25,9 +25,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod area;
 mod config;
 mod dram;

@@ -1,0 +1,181 @@
+//! The violation baseline: a checked-in ratchet over grandfathered findings.
+//!
+//! `lint.baseline` at the workspace root holds one line per `(rule, file)`
+//! pair with the number of known findings. The comparison is a one-way
+//! ratchet:
+//!
+//! * **more** findings than the baseline for a pair → the run fails;
+//! * **fewer** findings → the run passes with a "stale baseline" notice, and
+//!   `--update-baseline` shrinks the file;
+//! * pairs absent from the baseline must be clean.
+//!
+//! The format is deliberately line-diffable: `<rule> <path> <count>`, sorted,
+//! with `#` comments.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Key of one baseline entry: `(rule slug, workspace-relative path)`.
+pub type Key = (String, String);
+
+/// Parsed baseline: counts per `(rule, file)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Grandfathered finding counts.
+    pub counts: BTreeMap<Key, usize>,
+}
+
+/// Outcome of comparing a run's findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// `(rule, file, actual, allowed)` pairs exceeding the baseline.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(rule, file, actual, allowed)` pairs now below the baseline.
+    pub improvements: Vec<(String, String, usize, usize)>,
+    /// Findings covered by the baseline.
+    pub grandfathered: usize,
+}
+
+impl Comparison {
+    /// True when nothing exceeds the baseline.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Parses the `<rule> <path> <count>` format. Unparseable lines are
+    /// reported as errors, not skipped — a corrupt ratchet must not silently
+    /// allow regressions.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let entry = (|| {
+                let rule = parts.next()?;
+                let path = parts.next()?;
+                let count: usize = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(((rule.to_string(), path.to_string()), count))
+            })();
+            match entry {
+                Some((key, count)) => {
+                    counts.insert(key, count);
+                }
+                None => {
+                    return Err(format!(
+                        "baseline line {}: expected `<rule> <path> <count>`, got `{line}`",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders findings into the baseline file format.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# idgnn-lint baseline: grandfathered findings as `<rule> <path> <count>`.\n\
+             # New findings beyond these counts fail the lint; shrink with\n\
+             # `cargo run -p idgnn-lint -- --update-baseline` after fixing sites.\n",
+        );
+        for (key, n) in &tally(findings) {
+            out.push_str(&format!("{} {} {}\n", key.0, key.1, n));
+        }
+        out
+    }
+
+    /// Compares actual findings against this baseline.
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let actual = tally(findings);
+        let mut cmp = Comparison::default();
+        for (key, &n) in &actual {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if n > allowed {
+                cmp.regressions.push((key.0.clone(), key.1.clone(), n, allowed));
+            } else {
+                cmp.grandfathered += n;
+                if n < allowed {
+                    cmp.improvements.push((key.0.clone(), key.1.clone(), n, allowed));
+                }
+            }
+        }
+        for (key, &allowed) in &self.counts {
+            if allowed > 0 && !actual.contains_key(key) {
+                cmp.improvements.push((key.0.clone(), key.1.clone(), 0, allowed));
+            }
+        }
+        cmp
+    }
+}
+
+/// Counts findings per `(rule, file)`.
+pub fn tally(findings: &[Finding]) -> BTreeMap<Key, usize> {
+    let mut m = BTreeMap::new();
+    for f in findings {
+        *m.entry((f.rule.slug().to_string(), f.file.clone())).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    fn finding(rule: Rule, file: &str) -> Finding {
+        Finding { rule, file: file.to_string(), line: 1, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let fs = vec![
+            finding(Rule::PanicSurface, "a.rs"),
+            finding(Rule::PanicSurface, "a.rs"),
+            finding(Rule::HotPathAlloc, "b.rs"),
+        ];
+        let text = Baseline::render(&fs);
+        let base = Baseline::parse(&text).expect("roundtrip parses");
+        assert_eq!(base.counts.get(&("panic-surface".into(), "a.rs".into())), Some(&2));
+        assert_eq!(base.counts.get(&("hot-path-alloc".into(), "b.rs".into())), Some(&1));
+    }
+
+    #[test]
+    fn regression_when_count_exceeds_baseline() {
+        let base = Baseline::parse("panic-surface a.rs 1\n").expect("parses");
+        let fs = vec![finding(Rule::PanicSurface, "a.rs"), finding(Rule::PanicSurface, "a.rs")];
+        let cmp = base.compare(&fs);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn improvement_when_count_shrinks_or_file_goes_clean() {
+        let base = Baseline::parse("panic-surface a.rs 2\nunsafe-code b.rs 1\n").expect("parses");
+        let cmp = base.compare(&[finding(Rule::PanicSurface, "a.rs")]);
+        assert!(cmp.ok());
+        assert_eq!(cmp.improvements.len(), 2); // a.rs shrank, b.rs went clean
+        assert_eq!(cmp.grandfathered, 1);
+    }
+
+    #[test]
+    fn unknown_pair_is_a_regression() {
+        let base = Baseline::default();
+        let cmp = base.compare(&[finding(Rule::UnsafeCode, "new.rs")]);
+        assert!(!cmp.ok());
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error() {
+        assert!(Baseline::parse("panic-surface a.rs not-a-number\n").is_err());
+        assert!(Baseline::parse("just-two fields\n").is_err());
+        assert!(Baseline::parse("# comment only\n\n").is_ok());
+    }
+}

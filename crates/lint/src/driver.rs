@@ -1,0 +1,230 @@
+//! Workspace discovery, file walking, scope classification, and the
+//! manifest-level half of the `unsafe-code` rule.
+
+use crate::lexer;
+use crate::rules::{self, Finding, Rule, Scope};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The modules in which R1 (`hot-path-alloc`) applies file-wide: the inner
+/// loops every kernel call funnels through. Everywhere else R1 is opt-in via
+/// `// lint: hot-path` markers.
+pub const HOT_MODULES: &[&str] = &[
+    "crates/sparse/src/ops.rs",
+    "crates/sparse/src/frontier.rs",
+    "crates/sparse/src/parallel.rs",
+];
+
+/// The one file allowed to build `OpStats` from raw counts.
+pub const OPSTATS_HOME: &str = "crates/sparse/src/stats.rs";
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct WorkspaceRun {
+    /// All findings across source files and manifests.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files lexed and linted.
+    pub files_scanned: usize,
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Decides which rules apply to a workspace-relative path, or `None` when
+/// the file must not be scanned at all (vendored code, seeded fixtures).
+pub fn classify(rel: &str) -> Option<Scope> {
+    if rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.contains("tests/fixtures/")
+    {
+        return None;
+    }
+    let test_code = rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("src/bin/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/")
+        || rel.ends_with("src/main.rs")
+        || rel.ends_with("build.rs");
+    Some(Scope {
+        hot_module: HOT_MODULES.contains(&rel),
+        library_code: !test_code,
+        opstats_exempt: rel == OPSTATS_HOME,
+    })
+}
+
+/// Lints one source string under the scope derived from `rel`.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
+    match classify(rel) {
+        Some(scope) => rules::lint_tokens(rel, &lexer::lex(source), scope),
+        None => Vec::new(),
+    }
+}
+
+/// Lints every first-party `.rs` file and manifest under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceRun> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut run = WorkspaceRun::default();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        run.findings.extend(lint_source(rel, &source));
+        run.files_scanned += 1;
+    }
+    check_manifests(root, &mut run.findings)?;
+    run.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(run)
+}
+
+/// Recursively collects workspace-relative `.rs` paths, skipping vendored
+/// code, build output, VCS metadata, and the seeded lint fixtures.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if rel.starts_with("vendor")
+            || rel.starts_with("target")
+            || rel.starts_with(".git")
+            || rel.contains("tests/fixtures")
+        {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Manifest half of R3: the workspace lint table must forbid `unsafe_code`
+/// and every first-party crate must opt into it.
+fn check_manifests(root: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    if !toml_has_kv(&root_manifest, "[workspace.lints.rust]", "unsafe_code", "\"forbid\"") {
+        findings.push(Finding {
+            rule: Rule::UnsafeCode,
+            file: "Cargo.toml".to_string(),
+            line: 1,
+            message: "workspace manifest must set `unsafe_code = \"forbid\"` under [workspace.lints.rust]".to_string(),
+        });
+    }
+    // The root package shares Cargo.toml with the workspace table; the
+    // member crates each have their own manifest.
+    let mut manifests = vec!["Cargo.toml".to_string()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path().join("Cargo.toml");
+            if path.is_file() {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    manifests.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    manifests.sort();
+    for rel in manifests {
+        let text = fs::read_to_string(root.join(&rel))?;
+        if !toml_has_kv(&text, "[lints]", "workspace", "true") {
+            findings.push(Finding {
+                rule: Rule::UnsafeCode,
+                file: rel,
+                line: 1,
+                message: "crate manifest must opt into the workspace lint table with `[lints] workspace = true`".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// True if `text` has a TOML section headed `section` whose body (before the
+/// next section header) contains `key = value`.
+fn toml_has_kv(text: &str, section: &str, key: &str, value: &str) -> bool {
+    let mut in_section = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == section;
+            continue;
+        }
+        if !in_section || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == key && v.trim() == value {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_skips_vendor_and_fixtures() {
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/unsafe_code.rs").is_none());
+        assert!(classify("target/debug/build/foo.rs").is_none());
+    }
+
+    #[test]
+    fn classify_marks_hot_modules_and_stats_home() {
+        let ops = classify("crates/sparse/src/ops.rs").expect("scanned");
+        assert!(ops.hot_module && ops.library_code);
+        let stats = classify("crates/sparse/src/stats.rs").expect("scanned");
+        assert!(stats.opstats_exempt && !stats.hot_module);
+    }
+
+    #[test]
+    fn classify_downgrades_test_and_bin_code() {
+        for rel in [
+            "crates/sparse/tests/proptests.rs",
+            "crates/bench/src/bin/kernels.rs",
+            "crates/bench/benches/figures.rs",
+            "tests/system.rs",
+            "src/bin/idgnn.rs",
+            "examples/quickstart.rs",
+        ] {
+            let scope = classify(rel).expect("scanned");
+            assert!(!scope.library_code, "{rel} should not be library scope");
+        }
+        assert!(classify("src/lib.rs").expect("scanned").library_code);
+    }
+
+    #[test]
+    fn toml_section_scan_respects_section_boundaries() {
+        let text = "[lints]\nworkspace = true\n[dependencies]\n";
+        assert!(toml_has_kv(text, "[lints]", "workspace", "true"));
+        let wrong = "[dependencies]\nworkspace = true\n";
+        assert!(!toml_has_kv(wrong, "[lints]", "workspace", "true"));
+        let after = "[lints]\n[dependencies]\nworkspace = true\n";
+        assert!(!toml_has_kv(after, "[lints]", "workspace", "true"));
+    }
+}

@@ -1,0 +1,410 @@
+//! A minimal hand-rolled Rust token scanner.
+//!
+//! This is *not* a parser: it produces a flat token stream that is just
+//! structured enough for the lint rules in [`crate::rules`] to reason about
+//! identifier sequences, brace nesting, attributes, and comment markers
+//! without ever being fooled by string literals, raw strings, char literals,
+//! lifetimes, or (nested) block comments.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No false tokenization inside literals.** `"vec![..]"` in a string,
+//!    `// lint: hot-path` inside a doc comment, or `unsafe` inside a raw
+//!    string must never produce `Ident`/marker tokens.
+//! 2. **No external dependencies.** The container is offline; this scanner is
+//!    ~300 lines of `std`-only code and is itself linted by the rules it
+//!    feeds.
+//! 3. **Graceful degradation.** Unterminated literals consume to end of file
+//!    rather than panicking — the lint must never crash on weird input.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Vec`, ...).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// `"..."`, `b"..."` string literal (escapes handled).
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##` raw string literal.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` character/byte literal.
+    Char,
+    /// `'label` lifetime or loop label.
+    Lifetime,
+    /// `// ...` plain line comment (the only place lint markers are valid).
+    LineComment,
+    /// `/// ...` or `//! ...` doc line comment (markers here are inert).
+    DocLineComment,
+    /// `/* ... */` block comment, nesting handled (markers inert).
+    BlockComment,
+    /// Any single punctuation byte (`{`, `[`, `.`, `!`, `#`, ...).
+    Punct,
+}
+
+/// One token: kind, the source text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// The exact source slice of the token.
+    pub text: String,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for tokens rules should skip when matching code patterns
+    /// (comments; everything else is significant).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::DocLineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// True if this token is punctuation equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True if this token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Byte cursor over the source; all access is bounds-checked so the lexer
+/// has no panic surface of its own.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn slice(&self, start: usize) -> String {
+        String::from_utf8_lossy(self.src.get(start..self.pos).unwrap_or(&[])).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into a flat token stream. Whitespace is dropped; comments
+/// are kept (rules need them for markers). Never panics; unterminated
+/// literals extend to end of input.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            _ if (b as char).is_whitespace() => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                // Line comment: doc if `///` (but not `////`) or `//!`.
+                let doc = match cur.peek_at(2) {
+                    Some(b'/') => cur.peek_at(3) != Some(b'/'),
+                    Some(b'!') => true,
+                    _ => false,
+                };
+                cur.eat_while(|c| c != b'\n');
+                let kind = if doc { TokenKind::DocLineComment } else { TokenKind::LineComment };
+                out.push(Token { kind, text: cur.slice(start), line });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                out.push(Token { kind: TokenKind::BlockComment, text: cur.slice(start), line });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line });
+            }
+            b'r' | b'b' if starts_raw_string(&cur) => {
+                lex_raw_string(&mut cur);
+                out.push(Token { kind: TokenKind::RawStr, text: cur.slice(start), line });
+            }
+            b'b' if cur.peek_at(1) == Some(b'"') => {
+                cur.bump(); // consume `b`, then the string body
+                lex_string(&mut cur);
+                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line });
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump();
+                lex_char(&mut cur);
+                out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line });
+            }
+            b'\'' => {
+                // Char literal vs lifetime/label. `'\...'` and `'x'` are
+                // chars; `'ident` (no closing quote right after one ident
+                // char) is a lifetime.
+                let is_char = match cur.peek_at(1) {
+                    Some(b'\\') => true,
+                    Some(c) if is_ident_continue(c) => cur.peek_at(2) == Some(b'\''),
+                    Some(_) => true, // e.g. `'('`, `' '`
+                    None => false,
+                };
+                if is_char {
+                    lex_char(&mut cur);
+                    out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line });
+                } else {
+                    cur.bump(); // `'`
+                    cur.eat_while(is_ident_continue);
+                    out.push(Token { kind: TokenKind::Lifetime, text: cur.slice(start), line });
+                }
+            }
+            _ if is_ident_start(b) => {
+                cur.eat_while(is_ident_continue);
+                out.push(Token { kind: TokenKind::Ident, text: cur.slice(start), line });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.push(Token { kind: TokenKind::Number, text: cur.slice(start), line });
+            }
+            _ => {
+                cur.bump();
+                out.push(Token { kind: TokenKind::Punct, text: cur.slice(start), line });
+            }
+        }
+    }
+    out
+}
+
+/// True if the cursor sits on `r"`, `r#"`, `br"`, `br#"` etc.
+fn starts_raw_string(cur: &Cursor<'_>) -> bool {
+    let mut off = match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'r'), _) => 1,
+        (Some(b'b'), Some(b'r')) => 2,
+        _ => return false,
+    };
+    while cur.peek_at(off) == Some(b'#') {
+        off += 1;
+    }
+    cur.peek_at(off) == Some(b'"')
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // `/`
+    cur.bump(); // `*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: consume to EOF
+        }
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening `"`
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump(); // skip escaped byte (covers `\"` and `\\`)
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    cur.bump(); // `r`
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening `"`
+    // Scan for `"` followed by `hashes` `#`s. No escapes in raw strings.
+    while let Some(b) = cur.bump() {
+        if b == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening `'`
+    match cur.bump() {
+        Some(b'\\') => {
+            cur.bump(); // escaped byte
+            // Multi-byte escapes (`\x41`, `\u{...}`): consume to closing quote.
+            cur.eat_while(|c| c != b'\'' && c != b'\n');
+        }
+        Some(_) => {}
+        None => return,
+    }
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+    // Fractional part: only if `.` is followed by a digit (so `0..n` range
+    // syntax and `1.collect()`-style method calls keep their dot as Punct).
+    if cur.peek() == Some(b'.') {
+        if let Some(next) = cur.peek_at(1) {
+            if next.is_ascii_digit() {
+                cur.bump();
+                cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = lex("fn foo(x: usize) -> bool { x > 3 }");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(toks.iter().any(|t| t.is_ident("foo")));
+        assert!(toks.iter().any(|t| t.is_punct('{')));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Number).count(), 1);
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = lex(r#"let s = "vec![1] .unwrap() unsafe";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"has "quotes" and unsafe"#; done"###);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner unsafe */ still comment */ after");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::BlockComment).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn doc_vs_plain_line_comments() {
+        assert_eq!(kinds("/// doc"), vec![TokenKind::DocLineComment]);
+        assert_eq!(kinds("//! inner doc"), vec![TokenKind::DocLineComment]);
+        assert_eq!(kinds("// plain"), vec![TokenKind::LineComment]);
+        // `////...` is a plain comment per rustdoc rules.
+        assert_eq!(kinds("//// rule"), vec![TokenKind::LineComment]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c: char = 'x'; fn f<'a>(v: &'a str) {} let n = '\\n';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn range_dots_stay_punct() {
+        let toks = lex("for i in 0..n {}");
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Number).count(), 1);
+    }
+
+    #[test]
+    fn float_literals_keep_their_dot() {
+        let toks = lex("let x = 1.5f32;");
+        let nums: Vec<&Token> =
+            toks.iter().filter(|t| t.kind == TokenKind::Number).collect();
+        assert_eq!(nums.len(), 1);
+        assert_eq!(nums.first().map(|t| t.text.as_str()), Some("1.5f32"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"unsafe"; let c = b'x';"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # idgnn-lint
+//!
+//! In-repo static analysis for the I-DGNN workspace: a hand-rolled,
+//! dependency-free Rust token scanner ([`lexer`]) feeding four structural
+//! rules ([`rules`]) that `cargo clippy` cannot express at the granularity
+//! this codebase needs:
+//!
+//! * `hot-path-alloc` — the sparse kernels' inner loops
+//!   (`sparse/src/{ops,frontier,parallel}.rs` and any `// lint: hot-path`
+//!   function) must not allocate; they go through the workspace arena.
+//! * `panic-surface` — library code must not `unwrap`/`expect`/`panic!`/
+//!   `unreachable!` or slice-index; test code, benches, and binaries may.
+//! * `unsafe-code` — no `unsafe` anywhere (empty allowlist), plus manifest
+//!   checks that every crate opts into the workspace `unsafe_code = "forbid"`.
+//! * `opstats-literal` — exact-op accounting may only be constructed via
+//!   `OpStats::counted` in `sparse/src/stats.rs`.
+//!
+//! Existing violations are grandfathered in the checked-in `lint.baseline`
+//! ratchet ([`baseline`]); new ones fail CI. See DESIGN.md §10 for the full
+//! policy, suppression syntax, and the relationship to the
+//! `strict-invariants` runtime feature.
+
+pub mod baseline;
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use baseline::{Baseline, Comparison};
+pub use driver::{classify, find_workspace_root, lint_source, lint_workspace, WorkspaceRun};
+pub use rules::{Finding, Rule, Scope};

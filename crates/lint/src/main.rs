@@ -1,0 +1,163 @@
+//! Command-line entry point for `idgnn-lint`.
+//!
+//! ```text
+//! cargo run -p idgnn-lint                     # lint the workspace vs lint.baseline
+//! cargo run -p idgnn-lint -- --json           # also write results/lint.json
+//! cargo run -p idgnn-lint -- --update-baseline
+//! cargo run -p idgnn-lint -- path/to/file.rs  # lint explicit files, no baseline
+//! ```
+//!
+//! Exit codes: `0` clean (or fully grandfathered), `1` findings beyond the
+//! baseline (or any finding in explicit-file mode), `2` usage or I/O error.
+
+use idgnn_lint::baseline::{Baseline, Comparison};
+use idgnn_lint::report::{render_json, render_text, Report};
+use idgnn_lint::rules::{Finding, Scope};
+use idgnn_lint::{driver, lexer, rules};
+use std::fs;
+use std::path::PathBuf;
+
+struct Cli {
+    files: Vec<String>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        files: Vec::new(),
+        json: false,
+        json_out: None,
+        baseline_path: None,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => cli.json = true,
+            "--json-out" => {
+                let p = it.next().ok_or("--json-out requires a path")?;
+                cli.json = true;
+                cli.json_out = Some(PathBuf::from(p));
+            }
+            "--baseline" => {
+                let p = it.next().ok_or("--baseline requires a path")?;
+                cli.baseline_path = Some(PathBuf::from(p));
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            "--help" | "-h" => return Err("usage".to_string()),
+            f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
+            f => cli.files.push(f.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+const USAGE: &str = "usage: idgnn-lint [FILES..] [--json] [--json-out PATH] [--baseline PATH] [--update-baseline]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    let cli = match parse_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let outcome = if cli.files.is_empty() { run_workspace(&cli) } else { run_files(&cli) };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("idgnn-lint: {e}");
+            2
+        }
+    }
+}
+
+/// Lint explicit files with every rule in scope and no baseline: any finding
+/// is a failure. This is what the fixture self-tests drive.
+fn run_files(cli: &Cli) -> Result<i32, String> {
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &cli.files {
+        let source =
+            fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        findings.extend(rules::lint_tokens(f, &lexer::lex(source.as_str()), Scope::all()));
+    }
+    let comparison = Comparison::default();
+    let exit_code = if findings.is_empty() { 0 } else { 1 };
+    let report = Report {
+        findings: &findings,
+        comparison: &comparison,
+        files_scanned: cli.files.len(),
+        exit_code,
+    };
+    print!("{}", render_text(&report));
+    write_json(cli, &report, None)?;
+    Ok(exit_code)
+}
+
+/// Lint the whole workspace against the checked-in baseline ratchet.
+fn run_workspace(cli: &Cli) -> Result<i32, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = driver::find_workspace_root(&cwd)
+        .ok_or("no workspace root (Cargo.toml with [workspace]) above current directory")?;
+    let run = driver::lint_workspace(&root).map_err(|e| e.to_string())?;
+
+    let baseline_path =
+        cli.baseline_path.clone().unwrap_or_else(|| root.join("lint.baseline"));
+    if cli.update_baseline {
+        let text = Baseline::render(&run.findings);
+        fs::write(&baseline_path, text)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline updated: {} finding(s) across {} file(s) recorded in {}",
+            run.findings.len(),
+            run.files_scanned,
+            baseline_path.display()
+        );
+        return Ok(0);
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(_) => Baseline::default(),
+    };
+    let comparison = baseline.compare(&run.findings);
+    let exit_code = if comparison.ok() { 0 } else { 1 };
+    let report = Report {
+        findings: &run.findings,
+        comparison: &comparison,
+        files_scanned: run.files_scanned,
+        exit_code,
+    };
+    print!("{}", render_text(&report));
+    write_json(cli, &report, Some(&root))?;
+    Ok(exit_code)
+}
+
+/// Writes the JSON report when `--json`/`--json-out` was given. The default
+/// location is `results/lint.json` under the workspace root (or the current
+/// directory in explicit-file mode).
+fn write_json(cli: &Cli, report: &Report<'_>, root: Option<&std::path::Path>) -> Result<(), String> {
+    if !cli.json {
+        return Ok(());
+    }
+    let path = cli.json_out.clone().unwrap_or_else(|| {
+        root.map(|r| r.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("results/lint.json")
+    });
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    fs::write(&path, render_json(report))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,603 @@
+//! The four structural lint rules, plus marker parsing and suppression.
+//!
+//! Rules operate on the token stream from [`crate::lexer`] — they never see
+//! the raw source, so anything inside strings, raw strings, chars, or
+//! comments is invisible to them by construction.
+//!
+//! | slug | what it catches |
+//! |------|-----------------|
+//! | `hot-path-alloc` | `Vec::new` / `Vec::with_capacity` / `vec![` / `.collect()` / `Box::new` in hot modules or `// lint: hot-path` functions |
+//! | `panic-surface` | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / slice indexing in library code |
+//! | `unsafe-code` | any `unsafe` token; manifest checks live in [`crate::driver`] |
+//! | `opstats-literal` | `OpStats { .. }` struct literals outside `stats.rs` |
+//! | `malformed-marker` | a `// lint:` marker the tool cannot honor |
+//!
+//! Suppression: `// lint: allow(<slug>) -- <reason>` silences findings of
+//! that rule on the marker's own line and the next line. The reason is
+//! mandatory; a marker without one is itself a finding (`malformed-marker`)
+//! and suppresses nothing.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A lint rule identity. `MalformedMarker` is the tool's own meta-rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: allocation in hot paths.
+    HotPathAlloc,
+    /// R2: panic surface in library code.
+    PanicSurface,
+    /// R3: `unsafe` usage.
+    UnsafeCode,
+    /// R4: raw `OpStats` struct literals.
+    OpstatsLiteral,
+    /// A `// lint:` marker the tool cannot parse or honor.
+    MalformedMarker,
+}
+
+impl Rule {
+    /// Stable slug used in output, suppression markers, and the baseline.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::PanicSurface => "panic-surface",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::OpstatsLiteral => "opstats-literal",
+            Rule::MalformedMarker => "malformed-marker",
+        }
+    }
+
+    /// Inverse of [`Rule::slug`].
+    pub fn from_slug(s: &str) -> Option<Rule> {
+        match s {
+            "hot-path-alloc" => Some(Rule::HotPathAlloc),
+            "panic-surface" => Some(Rule::PanicSurface),
+            "unsafe-code" => Some(Rule::UnsafeCode),
+            "opstats-literal" => Some(Rule::OpstatsLiteral),
+            "malformed-marker" => Some(Rule::MalformedMarker),
+            _ => None,
+        }
+    }
+
+    /// All real rules (excludes the meta-rule), for reporting.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::HotPathAlloc,
+            Rule::PanicSurface,
+            Rule::UnsafeCode,
+            Rule::OpstatsLiteral,
+            Rule::MalformedMarker,
+        ]
+    }
+}
+
+/// One lint hit: rule, file, 1-based line, human message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (or the path as given on the command line).
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description of the hit.
+    pub message: String,
+}
+
+/// What subset of rules applies to a file, derived from its path by
+/// [`crate::driver`] (or forced all-on for explicit command-line files).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// File is one of the designated hot modules: R1 applies file-wide.
+    pub hot_module: bool,
+    /// File is non-test library code: R2 and R4 apply.
+    pub library_code: bool,
+    /// File is the one legitimate home of `OpStats` literals (`stats.rs`).
+    pub opstats_exempt: bool,
+}
+
+impl Scope {
+    /// Scope for explicit command-line files and fixtures: everything on.
+    pub fn all() -> Scope {
+        Scope { hot_module: false, library_code: true, opstats_exempt: false }
+    }
+}
+
+/// Keywords that can legitimately precede `[` without it being an index
+/// expression (array patterns, array literals after `=`, etc.).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// A parsed `// lint: allow(...)` marker.
+struct Allow {
+    rule: Rule,
+    line: usize,
+}
+
+/// Lints one file's token stream under `scope`; `file` is the label used in
+/// findings. This is the pure core — no filesystem access.
+pub fn lint_tokens(file: &str, tokens: &[Token], scope: Scope) -> Vec<Finding> {
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Regions::compute(&sig);
+
+    let mut findings = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut hot_marker_lines: Vec<usize> = Vec::new();
+
+    for tok in tokens.iter().filter(|t| t.kind == TokenKind::LineComment) {
+        parse_marker(file, tok, &mut allows, &mut hot_marker_lines, &mut findings);
+    }
+    for &line in &hot_marker_lines {
+        if !regions.mark_hot_fn(&sig, line) {
+            findings.push(Finding {
+                rule: Rule::MalformedMarker,
+                file: file.to_string(),
+                line,
+                message: "`// lint: hot-path` marker is not followed by a function".to_string(),
+            });
+        }
+    }
+
+    scan_patterns(file, &sig, &regions, scope, &mut findings);
+
+    // Apply suppressions: a marker covers its own line and the next line.
+    findings.retain(|f| {
+        f.rule == Rule::MalformedMarker
+            || !allows
+                .iter()
+                .any(|a| a.rule == f.rule && (f.line == a.line || f.line == a.line + 1))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Per-significant-token region flags: inside `#[...]` attributes, inside
+/// `#[cfg(test)]` items, inside `// lint: hot-path` functions.
+struct Regions {
+    in_attr: Vec<bool>,
+    in_test: Vec<bool>,
+    in_hot: Vec<bool>,
+}
+
+impl Regions {
+    fn compute(sig: &[&Token]) -> Regions {
+        let n = sig.len();
+        let mut r = Regions {
+            in_attr: vec![false; n],
+            in_test: vec![false; n],
+            in_hot: vec![false; n],
+        };
+        let mut i = 0usize;
+        let mut pending_test = false;
+        while i < n {
+            let is_hash = sig.get(i).map(|t| t.is_punct('#')).unwrap_or(false);
+            if is_hash {
+                let mut j = i + 1;
+                if sig.get(j).map(|t| t.is_punct('!')).unwrap_or(false) {
+                    j += 1; // inner attribute `#![...]`
+                }
+                if sig.get(j).map(|t| t.is_punct('[')).unwrap_or(false) {
+                    let close = match_bracket(sig, j, '[', ']');
+                    for flag in r.in_attr.iter_mut().take(close + 1).skip(i) {
+                        *flag = true;
+                    }
+                    if attr_is_cfg_test(sig, j, close) {
+                        pending_test = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            if pending_test {
+                let end = item_end(sig, i);
+                for flag in r.in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                pending_test = false;
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+        }
+        r
+    }
+
+    /// Marks the function following a `// lint: hot-path` marker at `line`.
+    /// Returns false if no function follows the marker.
+    fn mark_hot_fn(&mut self, sig: &[&Token], line: usize) -> bool {
+        let start = match sig.iter().position(|t| t.line > line) {
+            Some(p) => p,
+            None => return false,
+        };
+        // Allow `pub`, attributes, etc. between marker and `fn`, but give up
+        // if a whole other construct intervenes (24 tokens is plenty for any
+        // signature prefix).
+        let fn_idx = match (start..sig.len().min(start + 24))
+            .find(|&k| sig.get(k).map(|t| t.is_ident("fn")).unwrap_or(false))
+        {
+            Some(k) => k,
+            None => return false,
+        };
+        let end = item_end(sig, fn_idx);
+        for flag in self.in_hot.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+        true
+    }
+}
+
+/// Index of the matching `close` for the `open` bracket at `open_idx`
+/// (saturating to the last token on malformed input).
+fn match_bracket(sig: &[&Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// True if the attribute tokens in `(open, close)` are a `cfg(...)`
+/// containing the ident `test` (covers `cfg(test)`, `cfg(all(test, ...))`).
+fn attr_is_cfg_test(sig: &[&Token], open: usize, close: usize) -> bool {
+    let mut idents = sig
+        .iter()
+        .take(close)
+        .skip(open + 1)
+        .filter(|t| t.kind == TokenKind::Ident);
+    match idents.next() {
+        Some(first) if first.is_ident("cfg") => idents.any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// End index of the item starting at `start`: the first `;` at zero
+/// paren/bracket depth before any body, or the matching `}` of the body.
+fn item_end(sig: &[&Token], start: usize) -> usize {
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(start) {
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket = bracket.saturating_sub(1);
+        } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+            return k;
+        } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+            return match_bracket(sig, k, '{', '}');
+        }
+    }
+    sig.len().saturating_sub(1)
+}
+
+/// Parses a single plain line comment for `lint:` markers.
+fn parse_marker(
+    file: &str,
+    tok: &Token,
+    allows: &mut Vec<Allow>,
+    hot_lines: &mut Vec<usize>,
+    findings: &mut Vec<Finding>,
+) {
+    let body = tok.text.trim_start_matches('/').trim();
+    let rest = match body.strip_prefix("lint:") {
+        Some(r) => r.trim(),
+        None => return,
+    };
+    let mut bad = |msg: String| {
+        findings.push(Finding {
+            rule: Rule::MalformedMarker,
+            file: file.to_string(),
+            line: tok.line,
+            message: msg,
+        });
+    };
+    if rest == "hot-path" {
+        hot_lines.push(tok.line);
+        return;
+    }
+    if let Some(inner) = rest.strip_prefix("allow(") {
+        let (slug, tail) = match inner.split_once(')') {
+            Some(p) => p,
+            None => {
+                bad("unclosed `allow(` in lint marker".to_string());
+                return;
+            }
+        };
+        let rule = match Rule::from_slug(slug.trim()) {
+            Some(r) => r,
+            None => {
+                bad(format!("unknown rule `{}` in lint allow marker", slug.trim()));
+                return;
+            }
+        };
+        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(format!(
+                "allow({}) marker is missing its mandatory `-- <reason>`",
+                rule.slug()
+            ));
+            return;
+        }
+        allows.push(Allow { rule, line: tok.line });
+        return;
+    }
+    bad(format!("unrecognized lint marker `lint: {rest}`"));
+}
+
+/// The core pattern matcher over significant tokens.
+fn scan_patterns(
+    file: &str,
+    sig: &[&Token],
+    regions: &Regions,
+    scope: Scope,
+    findings: &mut Vec<Finding>,
+) {
+    let mut push = |rule: Rule, line: usize, message: String| {
+        findings.push(Finding { rule, file: file.to_string(), line, message });
+    };
+    let at = |k: usize| sig.get(k).copied();
+    let flag = |v: &[bool], k: usize| v.get(k).copied().unwrap_or(false);
+
+    for k in 0..sig.len() {
+        let t = match at(k) {
+            Some(t) => t,
+            None => break,
+        };
+        let in_test = flag(&regions.in_test, k);
+        let in_attr = flag(&regions.in_attr, k);
+        let hot = scope.hot_module || flag(&regions.in_hot, k);
+
+        // R3: unsafe anywhere, test code included (forbid is crate-wide).
+        if t.is_ident("unsafe") {
+            push(Rule::UnsafeCode, t.line, "`unsafe` is forbidden in this workspace (allowlist is empty)".to_string());
+            continue;
+        }
+        if in_test || in_attr {
+            continue;
+        }
+
+        // R1: allocation in hot paths.
+        if hot {
+            let next_is = |off: usize, c: char| at(k + off).map(|x| x.is_punct(c)).unwrap_or(false);
+            let ident_at = |off: usize, s: &str| at(k + off).map(|x| x.is_ident(s)).unwrap_or(false);
+            let path_call = |head: &str, tail: &str| {
+                t.is_ident(head) && next_is(1, ':') && next_is(2, ':') && ident_at(3, tail)
+            };
+            if path_call("Vec", "new") || path_call("Vec", "with_capacity") {
+                push(Rule::HotPathAlloc, t.line, format!("`Vec::{}` allocates in a hot path; use the workspace arena", text_of(at(k + 3))));
+            } else if path_call("Box", "new") {
+                push(Rule::HotPathAlloc, t.line, "`Box::new` allocates in a hot path; use the workspace arena".to_string());
+            } else if t.is_ident("vec") && next_is(1, '!') {
+                push(Rule::HotPathAlloc, t.line, "`vec![..]` allocates in a hot path; use the workspace arena".to_string());
+            } else if t.is_punct('.') && ident_at(1, "collect") && next_is(2, '(') {
+                push(Rule::HotPathAlloc, at(k + 1).map(|x| x.line).unwrap_or(t.line), "`.collect()` allocates in a hot path; fill a workspace buffer instead".to_string());
+            }
+        }
+
+        if !scope.library_code {
+            continue;
+        }
+
+        // R2: panic surface.
+        if t.is_punct('.') {
+            let callee = at(k + 1);
+            let open = at(k + 2).map(|x| x.is_punct('(')).unwrap_or(false);
+            if let Some(c) = callee {
+                if open && (c.is_ident("unwrap") || c.is_ident("expect")) {
+                    push(Rule::PanicSurface, c.line, format!("`.{}(..)` can panic; propagate a Result or add `// lint: allow(panic-surface) -- <why it cannot fail>`", c.text));
+                }
+            }
+        }
+        if (t.is_ident("panic") || t.is_ident("unreachable"))
+            && at(k + 1).map(|x| x.is_punct('!')).unwrap_or(false)
+        {
+            push(Rule::PanicSurface, t.line, format!("`{}!` in library code; return an error instead", t.text));
+        }
+        if t.is_punct('[') {
+            let prev = at(k.wrapping_sub(1)).filter(|_| k > 0);
+            let is_index = prev
+                .map(|p| match p.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                    TokenKind::Punct => p.is_punct(')') || p.is_punct(']'),
+                    _ => false,
+                })
+                .unwrap_or(false);
+            if is_index {
+                push(Rule::PanicSurface, t.line, "slice indexing `[..]` can panic; use `.get(..)` or a checked pattern".to_string());
+            }
+        }
+
+        // R4: OpStats struct literals outside stats.rs.
+        if !scope.opstats_exempt
+            && t.is_ident("OpStats")
+            && at(k + 1).map(|x| x.is_punct('{')).unwrap_or(false)
+        {
+            // Walk back over `path::segments` (e.g. `idgnn_sparse::OpStats`)
+            // so the context check sees the token before the whole path.
+            let mut j = k;
+            while j >= 3
+                && at(j - 1).map(|x| x.is_punct(':')).unwrap_or(false)
+                && at(j - 2).map(|x| x.is_punct(':')).unwrap_or(false)
+                && at(j - 3).map(|x| x.kind == TokenKind::Ident).unwrap_or(false)
+            {
+                j -= 3;
+            }
+            let prev_blocks = at(j.wrapping_sub(1))
+                .filter(|_| j > 0)
+                .map(|p| {
+                    p.is_ident("for")
+                        || p.is_ident("struct")
+                        || p.is_ident("enum")
+                        || p.is_ident("impl")
+                        || p.is_ident("trait")
+                        // `fn f() -> OpStats {`: the brace is the fn body,
+                        // not a struct literal.
+                        || p.is_punct('>')
+                })
+                .unwrap_or(false);
+            if !prev_blocks {
+                push(Rule::OpstatsLiteral, t.line, "raw `OpStats { .. }` literal; build counts with `OpStats::counted` (see sparse/src/stats.rs)".to_string());
+            }
+        }
+    }
+}
+
+fn text_of(t: Option<&Token>) -> String {
+    t.map(|x| x.text.clone()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        lint_tokens("test.rs", &lex(src), Scope::all())
+    }
+
+    fn slugs(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|f| f.rule.slug()).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged() {
+        assert_eq!(slugs("fn f() { x.unwrap(); y.expect(\"boom\"); }"),
+                   vec!["panic-surface", "panic-surface"]);
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        assert_eq!(slugs("fn f() { panic!(\"no\"); unreachable!() }"),
+                   vec!["panic-surface", "panic-surface"]);
+    }
+
+    #[test]
+    fn slice_indexing_flagged_but_not_array_types_or_patterns() {
+        assert_eq!(slugs("fn f(v: &[usize]) -> usize { v[0] }"), vec!["panic-surface"]);
+        assert!(slugs("fn f(x: [u8; 4]) {}").is_empty());
+        assert!(slugs("fn f() { let [a, b] = pair; }").is_empty());
+        assert!(slugs("fn f() { let v = [1, 2, 3]; }").is_empty());
+    }
+
+    #[test]
+    fn attribute_brackets_are_not_indexing() {
+        assert!(slugs("#[derive(Debug)]\nstruct S;").is_empty());
+        assert!(slugs("#[doc = \"x.unwrap()\"]\nstruct S;").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_from_panic_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); v[0]; panic!(); }\n}";
+        assert!(slugs(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_ends_at_matching_brace() {
+        let src = "#[cfg(test)]\nmod tests { }\nfn f() { x.unwrap(); }";
+        assert_eq!(slugs(src), vec!["panic-surface"]);
+    }
+
+    #[test]
+    fn unsafe_flagged_even_in_test_code() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { unsafe { } } }";
+        assert_eq!(slugs(src), vec!["unsafe-code"]);
+    }
+
+    #[test]
+    fn hot_path_marker_gates_alloc_rules() {
+        let clean = "fn f() { let v = Vec::new(); }";
+        assert!(slugs(clean).is_empty()); // not marked, not a hot module
+        let hot = "// lint: hot-path\nfn f() { let v = Vec::new(); }";
+        assert_eq!(slugs(hot), vec!["hot-path-alloc"]);
+    }
+
+    #[test]
+    fn hot_module_scope_flags_all_alloc_patterns() {
+        let src = "fn f() { let a = Vec::with_capacity(4); let b = vec![0; 4];\n\
+                   let c: Vec<u8> = it.collect(); let d = Box::new(3); }";
+        let scope = Scope { hot_module: true, library_code: false, opstats_exempt: false };
+        let found = lint_tokens("hot.rs", &lex(src), scope);
+        assert_eq!(found.len(), 4);
+        assert!(found.iter().all(|f| f.rule == Rule::HotPathAlloc));
+    }
+
+    #[test]
+    fn hot_marker_region_ends_with_function() {
+        let src = "// lint: hot-path\nfn hot() { }\nfn cold() { let v = Vec::new(); }";
+        assert!(slugs(src).is_empty());
+    }
+
+    #[test]
+    fn opstats_literal_flagged_outside_stats_rs() {
+        assert_eq!(slugs("fn f() { let s = OpStats { mults: 1, adds: 2 }; }"),
+                   vec!["opstats-literal"]);
+        // ... but impl/struct headers and return types are not literals.
+        assert!(slugs("impl Add for OpStats { }").is_empty());
+        assert!(slugs("pub struct OpStats { }").is_empty());
+        assert!(slugs("fn total() -> OpStats { helper() }").is_empty());
+        assert!(slugs("fn total() -> idgnn_sparse::OpStats { helper() }").is_empty());
+        // Qualified literals in expression position are still literals.
+        assert_eq!(
+            slugs("fn f() { let s = idgnn_sparse::OpStats { mults: 1, adds: 2 }; }"),
+            vec!["opstats-literal"]
+        );
+    }
+
+    #[test]
+    fn allow_marker_with_reason_suppresses_same_and_next_line() {
+        let src = "// lint: allow(panic-surface) -- index bounded by loop above\n\
+                   fn f() { v[0]; }";
+        assert!(slugs(src).is_empty());
+        let same_line = "fn f() { v[0]; } // lint: allow(panic-surface) -- bounded";
+        assert!(slugs(same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_without_reason_is_malformed_and_inert() {
+        let src = "// lint: allow(panic-surface)\nfn f() { v[0]; }";
+        let got = slugs(src);
+        assert!(got.contains(&"malformed-marker"));
+        assert!(got.contains(&"panic-surface"));
+    }
+
+    #[test]
+    fn allow_marker_with_unknown_rule_is_malformed() {
+        let src = "// lint: allow(made-up-rule) -- because\nfn f() {}";
+        assert_eq!(slugs(src), vec!["malformed-marker"]);
+    }
+
+    #[test]
+    fn hot_path_marker_without_function_is_malformed() {
+        assert_eq!(slugs("// lint: hot-path\nstatic X: u8 = 0;"), vec!["malformed-marker"]);
+    }
+
+    #[test]
+    fn markers_inside_strings_and_doc_comments_are_inert() {
+        // A marker in a doc comment must not mark the fn hot; a violation
+        // string must not trigger; an allow in a string must not suppress.
+        let src = "/// lint: hot-path\nfn f() { let v = Vec::new(); }";
+        assert!(slugs(src).is_empty());
+        let s2 = "fn f() { let m = \"// lint: allow(panic-surface) -- no\"; v[0]; }";
+        assert_eq!(slugs(s2), vec!["panic-surface"]);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_past_next_line() {
+        let src = "// lint: allow(panic-surface) -- only here\nfn f() {\n    v[0];\n}";
+        // marker line 1 covers lines 1-2; the indexing is on line 3.
+        assert_eq!(slugs(src), vec!["panic-surface"]);
+    }
+}

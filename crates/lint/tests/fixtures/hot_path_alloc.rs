@@ -1,0 +1,8 @@
+// Seeded violation fixture: R1 `hot-path-alloc`.
+// A function marked hot that allocates; idgnn-lint must exit nonzero.
+
+// lint: hot-path
+pub fn hot_kernel(n: usize) -> usize {
+    let scratch: Vec<usize> = Vec::with_capacity(n);
+    scratch.len() + n
+}

@@ -1,0 +1,6 @@
+// Seeded violation fixture: R4 `opstats-literal`.
+// Raw accounting literal outside stats.rs; idgnn-lint must exit nonzero.
+
+pub fn fake_accounting() -> OpStats {
+    OpStats { mults: 10, adds: 9 }
+}

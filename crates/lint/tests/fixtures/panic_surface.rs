@@ -1,0 +1,7 @@
+// Seeded violation fixture: R2 `panic-surface`.
+// Library-scope code that can panic; idgnn-lint must exit nonzero.
+
+pub fn risky(values: &[f32]) -> f32 {
+    let first = values.first().copied().unwrap();
+    first + values[1]
+}

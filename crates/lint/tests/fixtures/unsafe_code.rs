@@ -1,0 +1,6 @@
+// Seeded violation fixture: R3 `unsafe-code`.
+// The workspace allowlist is empty; idgnn-lint must exit nonzero.
+
+pub fn reinterpret(x: u32) -> f32 {
+    unsafe { std::mem::transmute(x) }
+}

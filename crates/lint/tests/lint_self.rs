@@ -1,0 +1,119 @@
+//! Self-tests driving the compiled `idgnn-lint` binary against the seeded
+//! fixtures and the real workspace, plus library-level checks that the JSON
+//! report agrees with the human-readable one.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn run_lint(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_idgnn-lint"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("idgnn-lint binary runs")
+}
+
+#[test]
+fn each_seeded_fixture_fails_with_its_rule() {
+    let cases = [
+        ("hot_path_alloc.rs", "hot-path-alloc"),
+        ("panic_surface.rs", "panic-surface"),
+        ("unsafe_code.rs", "unsafe-code"),
+        ("opstats_literal.rs", "opstats-literal"),
+    ];
+    for (file, slug) in cases {
+        let path = fixtures_dir().join(file);
+        let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{file} should fail the lint; stdout:\n{stdout}"
+        );
+        assert!(stdout.contains(slug), "{file} output should mention `{slug}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let path = fixtures_dir().join("clean.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "clean.rs should pass:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "no findings expected:\n{stdout}");
+}
+
+#[test]
+fn marker_edge_cases_yield_exactly_one_real_finding() {
+    // Markers inside strings, raw strings, doc comments, and block comments
+    // must neither trigger rules nor suppress the one genuine violation.
+    let path = fixtures_dir().join("marker_edge_cases.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "edge-case fixture has one finding:\n{stdout}");
+    let hits = stdout.matches("[panic-surface]").count();
+    assert_eq!(hits, 1, "exactly one panic-surface finding expected:\n{stdout}");
+    assert!(!stdout.contains("[hot-path-alloc]"), "decoy markers must stay inert:\n{stdout}");
+}
+
+#[test]
+fn workspace_passes_against_checked_in_baseline() {
+    let out = run_lint(&[], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint should be green vs lint.baseline\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn json_report_matches_text_findings() {
+    let path = fixtures_dir().join("panic_surface.rs");
+    let json_path = std::env::temp_dir().join("idgnn_lint_self_test.json");
+    let out = run_lint(
+        &[&path.to_string_lossy(), "--json-out", &json_path.to_string_lossy()],
+        &workspace_root(),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = std::fs::read_to_string(&json_path).expect("JSON report written");
+    let _ = std::fs::remove_file(&json_path);
+
+    // Every human-readable finding line appears in the JSON and vice versa.
+    let text_findings = stdout.lines().filter(|l| l.contains("[panic-surface]")).count();
+    let json_findings = json.matches("\"rule\": \"panic-surface\"").count();
+    assert_eq!(text_findings, json_findings, "text/json disagree\n{stdout}\n{json}");
+    assert!(json_findings > 0, "fixture should produce findings\n{json}");
+    assert!(json.contains("\"exit_code\": 1"), "{json}");
+}
+
+#[test]
+fn library_scan_of_workspace_matches_binary_exit_semantics() {
+    // The library API the binary wraps: scanning the workspace and comparing
+    // against the checked-in baseline must report no regressions.
+    let root = workspace_root();
+    let run = idgnn_lint::lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(run.files_scanned > 50, "expected to scan the whole workspace");
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint.baseline")).expect("baseline is checked in");
+    let baseline = idgnn_lint::Baseline::parse(&baseline_text).expect("baseline parses");
+    let cmp = baseline.compare(&run.findings);
+    assert!(
+        cmp.ok(),
+        "new lint violations beyond lint.baseline: {:?}",
+        cmp.regressions
+    );
+}

@@ -169,7 +169,7 @@ pub fn estimate(algorithm: Algorithm, spec: &WorkloadSpec, mem: &MemoryModel) ->
 
 fn ops(mults: f64) -> idgnn_sparse::OpStats {
     // Analytical estimates treat adds ≈ mults (each MAC is one of each).
-    idgnn_sparse::OpStats { mults: mults.max(0.0) as u64, adds: mults.max(0.0) as u64 }
+    idgnn_sparse::OpStats::counted(mults.max(0.0) as u64, mults.max(0.0) as u64)
 }
 
 fn rnn_phases(spec: &WorkloadSpec, mem: &MemoryModel, cost: &mut SnapshotCost) {
@@ -345,10 +345,10 @@ fn onepass_snapshot(spec: &WorkloadSpec, mem: &MemoryModel) -> SnapshotCost {
     let changed = spec.changed_edges();
     let deletions = changed * (1.0 - spec.addition_fraction);
     let additions = changed * spec.addition_fraction;
-    let diu_ops = idgnn_sparse::OpStats {
-        mults: 0,
-        adds: (spec.delta_nnz() + deletions * d + additions) as u64,
-    };
+    let diu_ops = idgnn_sparse::OpStats::counted(
+        0,
+        (spec.delta_nnz() + deletions * d + additions) as u64,
+    );
     let mut t_diu = Traffic::none();
     t_diu.read(DataClass::Graph, spec.delta_csr_bytes());
     let f0 = (spec.feature_update_fraction * v).min(v);

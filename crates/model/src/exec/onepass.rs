@@ -236,7 +236,7 @@ pub(crate) fn run(
             + delta_meta.added_edges().len() as u64;
         cost.push(
             Phase::Diu,
-            OpStats { mults: 0, adds: d_op.nnz() as u64 + csr_maintenance },
+            OpStats::counted(0, d_op.nnz() as u64 + csr_maintenance),
             t_diu,
         );
 

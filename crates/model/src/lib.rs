@@ -38,9 +38,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod activation;
 mod dgnn;
 mod error;

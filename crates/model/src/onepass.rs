@@ -384,10 +384,10 @@ fn power_chain_phase(
                     let full = ops::spgemm_replay_stats(&pow_n[i - 1], &a_next, patched.nnz());
                     ops += full;
                     products += 1;
-                    saved += OpStats {
-                        mults: full.mults.saturating_sub(dirty_stats.mults),
-                        adds: full.adds.saturating_sub(dirty_stats.adds),
-                    };
+                    saved += OpStats::counted(
+                        full.mults.saturating_sub(dirty_stats.mults),
+                        full.adds.saturating_sub(dirty_stats.adds),
+                    );
                     pn_stats.push(full);
                     pow_n.push(patched);
                 }

@@ -75,45 +75,77 @@ impl CsrMatrix {
         indices: Vec<usize>,
         values: Vec<f32>,
     ) -> Result<Self> {
-        if indptr.len() != rows + 1 {
-            return Err(SparseError::InvalidStructure {
-                reason: format!("indptr length {} != rows + 1 = {}", indptr.len(), rows + 1),
-            });
-        }
-        if indptr[0] != 0 {
-            return Err(SparseError::InvalidStructure { reason: "indptr[0] != 0".into() });
-        }
-        if indptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(SparseError::InvalidStructure { reason: "indptr not monotone".into() });
-        }
-        let nnz = indptr[rows];
-        if indices.len() != nnz || values.len() != nnz {
-            return Err(SparseError::InvalidStructure {
-                reason: format!(
-                    "indices/values length ({}, {}) != indptr[rows] = {nnz}",
-                    indices.len(),
-                    values.len()
-                ),
-            });
-        }
-        for r in 0..rows {
-            let row = &indices[indptr[r]..indptr[r + 1]];
-            for w in row.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(SparseError::InvalidStructure {
-                        reason: format!("row {r} column indices not strictly increasing"),
-                    });
-                }
-            }
-            if let Some(&last) = row.last() {
-                if last >= cols {
-                    return Err(SparseError::InvalidStructure {
-                        reason: format!("row {r} has column index {last} >= cols {cols}"),
-                    });
-                }
-            }
-        }
+        check_csr_parts(rows, cols, &indptr, &indices, &values)?;
         Ok(Self { rows, cols, indptr, indices, values })
+    }
+
+    /// Re-checks every CSR structural invariant of an existing matrix:
+    /// `indptr` length and monotonicity, `indices`/`values` lengths, and
+    /// strictly-increasing in-bounds column indices per row.
+    ///
+    /// Matrices built through the public API uphold these by construction;
+    /// `validate` exists as the runtime counterpart of the `idgnn-lint`
+    /// static rules — under the `strict-invariants` cargo feature it is
+    /// re-asserted at every construction, splice, and assemble site (see
+    /// DESIGN.md §10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        check_csr_parts(self.rows, self.cols, &self.indptr, &self.indices, &self.values)
+    }
+
+    /// [`CsrMatrix::validate`] plus the pruned-output invariant: no stored
+    /// entry may be an explicit zero (or NaN — anything failing
+    /// `v.abs() > 0.0`).
+    ///
+    /// This is the contract of [`CsrMatrix::pruned`]`(0.0)` and of the
+    /// merge-time zero dropping in
+    /// [`ops::sp_sub_pruned`](crate::ops::sp_sub_pruned), on which the DIU's
+    /// `ΔA` sparsity accounting relies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] on the first structural
+    /// violation or explicit zero.
+    pub fn validate_pruned(&self) -> Result<()> {
+        self.validate()?;
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                if v == 0.0 || v.is_nan() {
+                    return Err(SparseError::InvalidStructure {
+                        reason: format!("explicit zero (or NaN) stored at ({r}, {c}): {v}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts [`CsrMatrix::validate`] under the `strict-invariants`
+    /// feature; a no-op otherwise.
+    #[inline]
+    pub(crate) fn debug_validate(&self, site: &str) {
+        #[cfg(feature = "strict-invariants")]
+        if let Err(e) = self.validate() {
+            panic!("strict-invariants violated at {site}: {e}");
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        let _ = site;
+    }
+
+    /// Asserts [`CsrMatrix::validate_pruned`] under the `strict-invariants`
+    /// feature; a no-op otherwise.
+    #[inline]
+    pub(crate) fn debug_validate_pruned(&self, site: &str) {
+        #[cfg(feature = "strict-invariants")]
+        if let Err(e) = self.validate_pruned() {
+            panic!("strict-invariants violated at {site}: {e}");
+        }
+        #[cfg(not(feature = "strict-invariants"))]
+        let _ = site;
     }
 
     /// Decomposes the matrix into `(rows, cols, indptr, indices, values)`.
@@ -274,7 +306,9 @@ impl CsrMatrix {
                 next[c] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        let out = CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values };
+        out.debug_validate("CsrMatrix::transpose");
+        out
     }
 
     /// Whether `|self - selfᵀ| <= tol` element-wise (requires square shape).
@@ -399,8 +433,10 @@ impl CsrMatrix {
             values.extend_from_slice(src.row_values(row));
             indptr.push(indices.len());
         }
-        Ok(Self::from_raw_parts(self.rows, self.cols, indptr, indices, values)
-            .expect("spliced CSR is valid: both sources satisfy the invariants"))
+        let out = Self::from_raw_parts(self.rows, self.cols, indptr, indices, values)
+            .expect("spliced CSR is valid: both sources satisfy the invariants");
+        out.debug_validate("CsrMatrix::splice_rows");
+        Ok(out)
     }
 
     /// Returns a copy with every stored value scaled by `s`.
@@ -409,6 +445,7 @@ impl CsrMatrix {
         for v in &mut out.values {
             *v *= s;
         }
+        out.debug_validate("CsrMatrix::scale");
         out
     }
 
@@ -426,7 +463,11 @@ impl CsrMatrix {
             }
             indptr[r + 1] = indices.len();
         }
-        CsrMatrix { rows: self.rows, cols: self.cols, indptr, indices, values }
+        let out = CsrMatrix { rows: self.rows, cols: self.cols, indptr, indices, values };
+        if tol >= 0.0 {
+            out.debug_validate_pruned("CsrMatrix::pruned");
+        }
+        out
     }
 
     /// Largest absolute stored value (`0.0` if empty).
@@ -452,6 +493,56 @@ impl CsrMatrix {
         // indptr + indices + values, all 4-byte words.
         4 * (self.indptr.len() as u64 + self.indices.len() as u64 + self.values.len() as u64)
     }
+}
+
+/// The CSR invariant check shared by [`CsrMatrix::from_raw_parts`] and
+/// [`CsrMatrix::validate`].
+fn check_csr_parts(
+    rows: usize,
+    cols: usize,
+    indptr: &[usize],
+    indices: &[usize],
+    values: &[f32],
+) -> Result<()> {
+    if indptr.len() != rows + 1 {
+        return Err(SparseError::InvalidStructure {
+            reason: format!("indptr length {} != rows + 1 = {}", indptr.len(), rows + 1),
+        });
+    }
+    if indptr[0] != 0 {
+        return Err(SparseError::InvalidStructure { reason: "indptr[0] != 0".into() });
+    }
+    if indptr.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SparseError::InvalidStructure { reason: "indptr not monotone".into() });
+    }
+    let nnz = indptr[rows];
+    if indices.len() != nnz || values.len() != nnz {
+        return Err(SparseError::InvalidStructure {
+            reason: format!(
+                "indices/values length ({}, {}) != indptr[rows] = {nnz}",
+                indices.len(),
+                values.len()
+            ),
+        });
+    }
+    for r in 0..rows {
+        let row = &indices[indptr[r]..indptr[r + 1]];
+        for w in row.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("row {r} column indices not strictly increasing"),
+                });
+            }
+        }
+        if let Some(&last) = row.last() {
+            if last >= cols {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("row {r} has column index {last} >= cols {cols}"),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 impl Default for CsrMatrix {
@@ -675,6 +766,81 @@ mod tests {
         assert_eq!(out.indices(), m.indices());
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(out.values()), bits(m.values()));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_matrices() {
+        sample().validate().unwrap();
+        CsrMatrix::zeros(3, 2).validate().unwrap();
+        CsrMatrix::identity(4).validate_pruned().unwrap();
+        sample().transpose().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_each_corruption() {
+        // Construct corrupt matrices directly (same-module field access
+        // deliberately bypasses from_raw_parts).
+        let non_monotone = CsrMatrix {
+            rows: 2,
+            cols: 2,
+            indptr: vec![0, 2, 1],
+            indices: vec![0, 1, 0],
+            values: vec![1.0; 3],
+        };
+        assert!(non_monotone.validate().is_err());
+        let unsorted = CsrMatrix {
+            rows: 1,
+            cols: 3,
+            indptr: vec![0, 2],
+            indices: vec![2, 0],
+            values: vec![1.0, 1.0],
+        };
+        assert!(unsorted.validate().is_err());
+        let duplicate = CsrMatrix {
+            rows: 1,
+            cols: 3,
+            indptr: vec![0, 2],
+            indices: vec![1, 1],
+            values: vec![1.0, 1.0],
+        };
+        assert!(duplicate.validate().is_err());
+        let out_of_bounds = CsrMatrix {
+            rows: 1,
+            cols: 2,
+            indptr: vec![0, 1],
+            indices: vec![5],
+            values: vec![1.0],
+        };
+        assert!(out_of_bounds.validate().is_err());
+        let length_mismatch = CsrMatrix {
+            rows: 1,
+            cols: 2,
+            indptr: vec![0, 2],
+            indices: vec![0],
+            values: vec![1.0],
+        };
+        assert!(length_mismatch.validate().is_err());
+    }
+
+    #[test]
+    fn validate_pruned_rejects_explicit_zeros() {
+        let explicit_zero = CsrMatrix {
+            rows: 1,
+            cols: 2,
+            indptr: vec![0, 2],
+            indices: vec![0, 1],
+            values: vec![1.0, 0.0],
+        };
+        explicit_zero.validate().unwrap();
+        assert!(explicit_zero.validate_pruned().is_err());
+        let nan = CsrMatrix {
+            rows: 1,
+            cols: 1,
+            indptr: vec![0, 1],
+            indices: vec![0],
+            values: vec![f32::NAN],
+        };
+        assert!(nan.validate_pruned().is_err());
     }
 
     #[test]

@@ -37,9 +37,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod coo;
 mod csr;
 mod dense;
@@ -55,6 +52,6 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
-pub use ops::OpStats;
+pub use stats::OpStats;
 pub use parallel::Parallelism;
 pub use workspace::Workspace;

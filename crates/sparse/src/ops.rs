@@ -51,58 +51,7 @@ fn auto_parallelism(rows: usize) -> Parallelism {
     }
 }
 
-/// Exact scalar-operation counts of a kernel invocation.
-///
-/// # Examples
-///
-/// ```
-/// # fn main() -> Result<(), idgnn_sparse::SparseError> {
-/// use idgnn_sparse::{ops, CsrMatrix};
-///
-/// let i = CsrMatrix::identity(4);
-/// let (_, stats) = ops::spgemm_with_stats(&i, &i)?;
-/// assert_eq!(stats.mults, 4); // one multiply per diagonal entry
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct OpStats {
-    /// Scalar multiplications performed.
-    pub mults: u64,
-    /// Scalar additions performed (accumulations).
-    pub adds: u64,
-}
-
-impl OpStats {
-    /// Total scalar operations (`mults + adds`).
-    pub fn total(&self) -> u64 {
-        self.mults + self.adds
-    }
-
-    /// Component-wise sum of two stats.
-    pub fn merged(self, other: OpStats) -> OpStats {
-        OpStats { mults: self.mults + other.mults, adds: self.adds + other.adds }
-    }
-}
-
-impl std::ops::Add for OpStats {
-    type Output = OpStats;
-    fn add(self, rhs: OpStats) -> OpStats {
-        self.merged(rhs)
-    }
-}
-
-impl std::ops::AddAssign for OpStats {
-    fn add_assign(&mut self, rhs: OpStats) {
-        *self = self.merged(rhs);
-    }
-}
-
-impl std::fmt::Display for OpStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "OpStats {{ mults: {}, adds: {} }}", self.mults, self.adds)
-    }
-}
+pub use crate::stats::OpStats;
 
 /// Per-row-block partial CSR output produced by a worker.
 struct CsrBlock {
@@ -152,6 +101,7 @@ fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, 
     };
     let m = CsrMatrix::from_raw_parts(rows, cols, indptr, indices, values)
         .expect("blocked CSR output is valid by construction");
+    m.debug_validate("ops::assemble_csr");
     (m, stats)
 }
 
@@ -399,7 +349,7 @@ pub fn row_masked_spgemm_with_workspace(
 pub fn spgemm_replay_stats(a: &CsrMatrix, b: &CsrMatrix, out_nnz: usize) -> OpStats {
     debug_assert_eq!(a.cols(), b.rows());
     let mults: u64 = a.indices().iter().map(|&k| b.row_nnz(k) as u64).sum();
-    OpStats { mults, adds: mults.saturating_sub(out_nnz as u64) }
+    OpStats::counted(mults, mults.saturating_sub(out_nnz as u64))
 }
 
 /// The two-pointer row-merge inner loop of `sp_axpby` over one contiguous
@@ -549,7 +499,9 @@ pub fn sp_sub(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 ///
 /// Returns [`SparseError::DimensionMismatch`] if shapes differ.
 pub fn sp_sub_pruned(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
-    sp_axpby_par_impl::<true>(1.0, a, -1.0, b, auto_parallelism(a.rows()))
+    let out = sp_axpby_par_impl::<true>(1.0, a, -1.0, b, auto_parallelism(a.rows()))?;
+    out.debug_validate_pruned("ops::sp_sub_pruned");
+    Ok(out)
 }
 
 /// Sparse × dense product (SpMM): `a * x` where `x` is dense.
@@ -694,7 +646,7 @@ pub fn sp_pow_with_stats(a: &CsrMatrix, l: u32) -> Result<(CsrMatrix, OpStats)> 
 pub fn gemm_with_stats(a: &DenseMatrix, b: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
     let out = a.matmul(b)?;
     let (m, n, k) = (a.rows() as u64, b.cols() as u64, a.cols() as u64);
-    Ok((out, OpStats { mults: m * n * k, adds: m * n * k.saturating_sub(1) }))
+    Ok((out, OpStats::counted(m * n * k, m * n * k.saturating_sub(1))))
 }
 
 #[cfg(test)]

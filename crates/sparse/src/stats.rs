@@ -1,10 +1,78 @@
-//! Structural statistics of sparse matrices.
+//! Shared counters and structural statistics of sparse matrices.
 //!
-//! The accelerator's analytical pipeline model (paper Eqs. 18–22) is driven by
-//! sparsity ratios (`p^{t-1}`, `s^t`) and vertex counts; this module computes
-//! them from actual matrices.
+//! Home of [`OpStats`], the exact scalar-operation accounting every kernel in
+//! [`crate::ops`] reports, and of the structural summaries the accelerator's
+//! analytical pipeline model (paper Eqs. 18–22) is driven by: sparsity ratios
+//! (`p^{t-1}`, `s^t`) and vertex counts, computed from actual matrices.
 
 use crate::CsrMatrix;
+
+/// Exact scalar-operation counts of a kernel invocation.
+///
+/// This is the *only* place an `OpStats` value may be built from raw counts
+/// (enforced by `idgnn-lint` rule `opstats-literal`): every kernel in
+/// [`crate::ops`] routes its accounting through [`OpStats::counted`] or the
+/// accumulation operators below, which is what keeps the figure-JSON replay
+/// guarantee auditable — a stray hand-rolled literal in a kernel would
+/// silently skew the byte-identical op accounting.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), idgnn_sparse::SparseError> {
+/// use idgnn_sparse::{ops, CsrMatrix};
+///
+/// let i = CsrMatrix::identity(4);
+/// let (_, stats) = ops::spgemm_with_stats(&i, &i)?;
+/// assert_eq!(stats.mults, 4); // one multiply per diagonal entry
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Scalar multiplications performed.
+    pub mults: u64,
+    /// Scalar additions performed (accumulations).
+    pub adds: u64,
+}
+
+impl OpStats {
+    /// The shared-counter constructor: an `OpStats` carrying exactly the
+    /// given counts. Kernels in [`crate::ops`] must use this (or fold with
+    /// `+=`) instead of writing struct literals.
+    pub const fn counted(mults: u64, adds: u64) -> OpStats {
+        OpStats { mults, adds }
+    }
+
+    /// Total scalar operations (`mults + adds`).
+    pub fn total(&self) -> u64 {
+        self.mults + self.adds
+    }
+
+    /// Component-wise sum of two stats.
+    pub fn merged(self, other: OpStats) -> OpStats {
+        OpStats::counted(self.mults + other.mults, self.adds + other.adds)
+    }
+}
+
+impl std::ops::Add for OpStats {
+    type Output = OpStats;
+    fn add(self, rhs: OpStats) -> OpStats {
+        self.merged(rhs)
+    }
+}
+
+impl std::ops::AddAssign for OpStats {
+    fn add_assign(&mut self, rhs: OpStats) {
+        *self = self.merged(rhs);
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpStats {{ mults: {}, adds: {} }}", self.mults, self.adds)
+    }
+}
 
 /// Summary statistics of a sparse matrix's structure.
 ///
@@ -115,6 +183,7 @@ impl DegreeHistogram {
             if buckets.len() <= b {
                 buckets.resize(b + 1, 0);
             }
+            // lint: allow(panic-surface) -- resize above guarantees b is in bounds
             buckets[b] += 1;
         }
         Self { buckets, isolated }

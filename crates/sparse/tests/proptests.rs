@@ -296,6 +296,22 @@ proptest! {
     }
 
     #[test]
+    fn kernel_outputs_satisfy_structural_invariants(
+        a in sparse_square(8, 24),
+        b in sparse_square(8, 24),
+    ) {
+        // Every kernel output must pass the same checks the
+        // `strict-invariants` feature re-asserts at construction sites:
+        // monotone indptr, sorted+deduped in-bounds columns, and (for the
+        // pruned kernels) no explicit zeros.
+        prop_assert!(ops::spgemm(&a, &b).unwrap().validate().is_ok());
+        prop_assert!(ops::sp_add(&a, &b).unwrap().validate().is_ok());
+        prop_assert!(a.transpose().validate().is_ok());
+        prop_assert!(ops::sp_sub_pruned(&a, &b).unwrap().validate_pruned().is_ok());
+        prop_assert!(a.pruned(0.5).validate_pruned().is_ok());
+    }
+
+    #[test]
     fn dense_matmul_associative(
         xs in prop::collection::vec(-2.0f32..2.0, 4 * 4),
         ys in prop::collection::vec(-2.0f32..2.0, 4 * 4),

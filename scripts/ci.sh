@@ -4,8 +4,11 @@
 #
 # 1. release build of the whole workspace;
 # 2. full test suite (unit, integration, proptests, equivalence suites);
-# 3. kernel-benchmark smoke run (panics and malformed JSON fail the gate);
-# 4. clippy over every target with warnings denied.
+# 3. sparse suite again with strict-invariants (runtime CsrMatrix::validate
+#    re-asserted at every construction/splice/assemble site);
+# 4. idgnn-lint workspace scan against the checked-in lint.baseline ratchet;
+# 5. kernel-benchmark smoke run + structural JSON validation;
+# 6. clippy over every target with warnings denied.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,28 +18,20 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -p idgnn-sparse --features strict-invariants"
+cargo test -q -p idgnn-sparse --features strict-invariants
+
+echo "==> idgnn-lint (baseline ratchet + results/lint.json)"
+cargo run --release -q -p idgnn-lint -- --json
+
 echo "==> bench kernels --smoke"
 # The binary re-reads and validates its own JSON (exit != 0 on corruption);
-# the grep re-checks the required section from the outside.
+# `--validate` then re-checks the structure from the outside with the
+# jsonv parser: required sections present and non-empty, rows typed, and
+# nonzero saved work from the delta-rate sweep.
 smoke_json="target/BENCH_kernels_smoke.json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --smoke --out "$smoke_json"
-grep -q '"power_chain"' "$smoke_json" || {
-  echo "ci: $smoke_json is missing the power_chain section" >&2
-  exit 1
-}
-# The delta-rate sweep runs at the smallest scale inside --smoke. The run
-# itself asserts incremental ≡ full-rebuild bit-identity (it panics on
-# divergence, failing the gate above); here we re-check from the outside
-# that the sweep section exists and that reuse avoided a nonzero amount of
-# work.
-grep -q '"delta_rates"' "$smoke_json" || {
-  echo "ci: $smoke_json is missing the delta_rates sweep" >&2
-  exit 1
-}
-if grep -q '"delta_saved_total": 0,' "$smoke_json"; then
-  echo "ci: delta-rate sweep reported zero saved work" >&2
-  exit 1
-fi
+cargo run --release -q -p idgnn-bench --bin kernels -- --validate "$smoke_json"
 
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

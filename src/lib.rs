@@ -48,9 +48,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub use idgnn_analytics as analytics;
 pub use idgnn_baselines as baselines;
 pub use idgnn_bench as bench;
