@@ -40,6 +40,7 @@ pub fn run_experiment(name: &str, ctx: &Context) -> Result<(String, String)> {
     macro_rules! go {
         ($result:expr) => {{
             let r = $result?;
+            // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
             let json = serde_json::to_string_pretty(&r).expect("results serialize");
             Ok((r.to_string(), json))
         }};
@@ -58,6 +59,7 @@ pub fn run_experiment(name: &str, ctx: &Context) -> Result<(String, String)> {
         "fig18" => go!(figures::fig18::run(ctx)),
         "fig19" => go!(figures::fig19::run()),
         "ablations" => go!(figures::ablations::run(ctx)),
+        // lint: allow(panic-surface) -- bench CLI fail-fast; diagnostics abort on bad invocation by design
         other => panic!("unknown experiment {other}"),
     }
 }
@@ -101,6 +103,7 @@ pub fn apply_parallelism_flag<I: Iterator<Item = String>>(args: I) -> Parallelis
     let mut selected = None;
     while let Some(arg) = args.next() {
         if arg == "--parallelism" {
+            // lint: allow(panic-surface) -- bench CLI fail-fast; diagnostics abort on bad invocation by design
             let v = args.next().unwrap_or_else(|| panic!("--parallelism requires a value"));
             selected = Some(v);
         } else if let Some(v) = arg.strip_prefix("--parallelism=") {
@@ -112,6 +115,7 @@ pub fn apply_parallelism_flag<I: Iterator<Item = String>>(args: I) -> Parallelis
             let n: usize = v
                 .trim()
                 .parse()
+                // lint: allow(panic-surface) -- bench CLI fail-fast; diagnostics abort on bad invocation by design
                 .unwrap_or_else(|_| panic!("invalid --parallelism value: {v:?}"));
             let par = Parallelism::new(n);
             parallel::set_process_default(par);
@@ -127,8 +131,10 @@ pub fn apply_parallelism_flag<I: Iterator<Item = String>>(args: I) -> Parallelis
 /// `IDGNN_JSON_DIR` is set — writes the JSON next to it.
 pub fn figure_main(name: &str) {
     let par = apply_parallelism_flag(std::env::args().skip(1));
+    // lint: allow(panic-surface) -- bench CLI fail-fast; diagnostics abort on bad invocation by design
     let ctx = env_context().unwrap_or_else(|e| panic!("context construction failed: {e}"));
     let (text, json, timing) = run_experiment_timed(name, &ctx)
+        // lint: allow(panic-surface) -- bench CLI fail-fast; diagnostics abort on bad invocation by design
         .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
     println!("{text}");
     eprintln!("[timing] {name}: {:.1} ms (parallelism={par})", timing.wall_ms);

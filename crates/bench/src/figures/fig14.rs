@@ -68,15 +68,19 @@ pub fn run(ctx: &Context) -> Result<Fig14> {
         .flat_map(|(wi, _)| ACCELERATORS.iter().map(move |name| (wi, *name)))
         .collect();
     let grid_reports = driver::run_cells(ctx.parallelism, &cells, |_, &(wi, name)| {
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         ctx.run_accelerator(name, &ctx.workloads[wi])
     })?;
 
     let mut rows = Vec::new();
     let mut reds = [Vec::new(), Vec::new(), Vec::new()];
     for (wi, w) in ctx.workloads.iter().enumerate() {
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         let reports = &grid_reports[wi * ACCELERATORS.len()..(wi + 1) * ACCELERATORS.len()];
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         let base = reports[0].energy.total_pj().max(1e-9);
         for (i, name) in ACCELERATORS.iter().enumerate() {
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             let e = &reports[i].energy;
             rows.push(Fig14Row {
                 dataset: w.spec.short.to_string(),
@@ -87,6 +91,7 @@ pub fn run(ctx: &Context) -> Result<Fig14> {
                 control: e.control_pj / base,
             });
             if i > 0 {
+                // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                 reds[i - 1].push(reduction_pct(base, e.total_pj()));
             }
         }
@@ -115,16 +120,23 @@ pub fn run(ctx: &Context) -> Result<Fig14> {
         let ours = price(Algorithm::OnePass);
         let re = price(Algorithm::Recompute);
         let inc = price(Algorithm::Incremental);
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         est_reds[0].push(reduction_pct(ours, re));
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         est_reds[1].push(reduction_pct(ours, re));
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         est_reds[2].push(reduction_pct(ours, inc));
     }
     Ok(Fig14 {
         rows,
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         mean_reductions: [mean(&reds[0]), mean(&reds[1]), mean(&reds[2])],
         estimated_reductions: [
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             mean(&est_reds[0]),
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             mean(&est_reds[1]),
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             mean(&est_reds[2]),
         ],
     })
@@ -168,13 +180,17 @@ impl std::fmt::Display for Fig14 {
         writeln!(
             f,
             "mean energy reduction (executed, scaled): {:.1}% vs ReaDy, {:.1}% vs Booster, {:.1}% vs RACE",
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             self.mean_reductions[0], self.mean_reductions[1], self.mean_reductions[2]
         )?;
         writeln!(
             f,
             "mean energy reduction (analytical, full-size): {:.1}% / {:.1}% / {:.1}% (paper: 88.4%, 87.0%, 85.9%)",
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             self.estimated_reductions[0],
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             self.estimated_reductions[1],
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             self.estimated_reductions[2]
         )
     }

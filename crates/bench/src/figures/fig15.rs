@@ -39,6 +39,7 @@ pub struct Fig15 {
 /// Propagates generation/simulation errors.
 pub fn run(ctx: &Context) -> Result<Fig15> {
     let spec = ctx.workload("WD").spec;
+    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
     let scale = if ctx.workloads[0].graph.initial().num_edges() <= 2_000 {
         crate::context::ExperimentScale::Quick
     } else {
@@ -51,12 +52,16 @@ pub fn run(ctx: &Context) -> Result<Fig15> {
         let w = Context::build_workload(&spec, scale, &stream, ctx.dims, 41)?;
         let mut cycles = [0.0f64; 4];
         for (i, name) in ACCELERATORS.iter().enumerate() {
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             cycles[i] = ctx.run_accelerator(name, &w)?.total_cycles;
         }
+        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
         let base = cycles[0].max(1e-9);
         Ok(Fig15Row {
             dissimilarity: d,
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             idgnn_cycles: cycles[0],
+            // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
             normalized: [cycles[1] / base, cycles[2] / base, cycles[3] / base],
         })
     })?;
@@ -72,8 +77,11 @@ impl std::fmt::Display for Fig15 {
                 vec![
                     format!("{:.1}%", r.dissimilarity * 100.0),
                     format!("{:.0}", r.idgnn_cycles),
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     format!("{:.2}", r.normalized[0]),
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     format!("{:.2}", r.normalized[1]),
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     format!("{:.2}", r.normalized[2]),
                 ]
             })

@@ -239,9 +239,11 @@ struct Operands {
 
 fn graph_operands(short: &str, graph: &DynamicGraph) -> Result<Operands> {
     let snaps = graph.materialize()?;
+    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
     let a = Normalization::SelfLoops.apply(snaps[0].adjacency());
     let mut chain = Vec::with_capacity(snaps.len() - 1);
     let mut resident = a.clone();
+    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
     for s in &snaps[1..] {
         let a_next = Normalization::SelfLoops.apply(s.adjacency());
         let d = ops::sp_sub_pruned(&a_next, &resident)?;
@@ -249,6 +251,7 @@ fn graph_operands(short: &str, graph: &DynamicGraph) -> Result<Operands> {
         chain.push((resident, d));
         resident = advanced;
     }
+    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
     Ok(Operands { short: short.to_string(), a, x: snaps[0].features().clone(), chain })
 }
 
@@ -337,23 +340,29 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
             g.sample_size(cfg.samples);
             g.bench_function("spgemm", |b| {
                 let _scope = parallel::kernel_scope(par);
+                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                 b.iter(|| ops::spgemm(black_box(&set.a), black_box(&set.a)).expect("square"));
             });
             g.bench_function("spmm", |b| {
                 let _scope = parallel::kernel_scope(par);
+                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                 b.iter(|| ops::spmm(black_box(&set.a), black_box(&set.x)).expect("shapes match"));
             });
             g.bench_function("sp_add", |b| {
                 let _scope = parallel::kernel_scope(par);
                 b.iter(|| {
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     ops::sp_add(black_box(&set.a), black_box(&set.chain[0].1))
+                        // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                         .expect("same shape")
                 });
             });
             g.bench_function("power_chain_cold", |b| {
                 let _scope = parallel::kernel_scope(par);
                 b.iter(|| {
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     for (rs, d) in &set.chain[1..] {
+                        // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                         black_box(fused_dissimilarity(rs, d, cfg.layers, strategy).expect("valid"));
                     }
                 });
@@ -365,15 +374,19 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
                         // Prime on the first delta, outside the timed region:
                         // the timed deltas then all hit the cache.
                         let mut c = PowerCache::new();
+                        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                         let (rs, d) = &set.chain[0];
                         fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                            // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                             .expect("valid");
                         c
                     },
                     |mut c| {
+                        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                         for (rs, d) in &set.chain[1..] {
                             black_box(
                                 fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                                    // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                                     .expect("valid"),
                             );
                         }
@@ -386,6 +399,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
             let mut cold_ms = 0.0;
             let mut warm_ms = 0.0;
             for m in crit.take_measurements() {
+                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                 let kernel = m.name.rsplit('/').next().expect("non-empty name");
                 match kernel {
                     "power_chain_cold" => cold_ms = m.wall_ms,
@@ -458,20 +472,26 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
                 for _ in 0..cfg.samples.max(5) {
                     // Headline pair: chain production only.
                     let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     for (rs, d) in &set.chain[1..] {
                         black_box(
+                            // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                             advance_power_chains(rs, d, cfg.layers, None).expect("valid"),
                         );
                     }
                     full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
 
                     let mut c = PowerCache::new();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     let (rs, d) = &set.chain[0];
+                    // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                     advance_power_chains(rs, d, cfg.layers, Some(&mut c)).expect("valid");
                     let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     for (rs, d) in &set.chain[1..] {
                         black_box(
                             advance_power_chains(rs, d, cfg.layers, Some(&mut c))
+                                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                                 .expect("valid"),
                         );
                     }
@@ -480,21 +500,27 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
                     // Context pair: the whole fused kernel (chain phase plus
                     // the Eq. 13 term products shared by both paths).
                     let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     for (rs, d) in &set.chain[1..] {
                         black_box(
+                            // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                             fused_dissimilarity(rs, d, cfg.layers, strategy).expect("valid"),
                         );
                     }
                     fused_full_ms = fused_full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
 
                     let mut c = PowerCache::new();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     let (rs, d) = &set.chain[0];
                     fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                        // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                         .expect("valid");
                     let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
                     for (rs, d) in &set.chain[1..] {
                         black_box(
                             fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
+                                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
                                 .expect("valid"),
                         );
                     }

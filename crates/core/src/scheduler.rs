@@ -32,6 +32,34 @@ pub struct PipelineWorkload {
 }
 
 impl PipelineWorkload {
+    /// Builds the Eqs. 18–22 workload for a dataset shape on `cfg`, using
+    /// the standard density heuristics the static verifier and the
+    /// one-pass executor share: the previous-operator density is the
+    /// graph's own edge density `p = E/V²`, and the dissimilarity density
+    /// is an order of magnitude sparser (`s = p/10`, the §V-B observation
+    /// that ΔA carries ~a tenth of the active structure per snapshot).
+    pub fn for_shape(
+        cfg: &idgnn_hw::AcceleratorConfig,
+        vertices: u64,
+        edges: u64,
+        features: u64,
+        gnn_width: u64,
+        rnn_width: u64,
+    ) -> Self {
+        let v = vertices as f64;
+        let p = if vertices == 0 { 0.0 } else { edges as f64 / (v * v) };
+        Self {
+            vertices: v,
+            features: features as f64,
+            gnn_width: gnn_width as f64,
+            rnn_width: rnn_width as f64,
+            p_prev: p,
+            s: p / 10.0,
+            pes: cfg.num_pes() as f64,
+            macs_per_pe: cfg.macs_per_pe as f64,
+        }
+    }
+
     fn denom(&self, share: f64) -> f64 {
         (self.pes * self.macs_per_pe * share).max(1.0)
     }
@@ -150,6 +178,21 @@ mod tests {
             pes: 1024.0,
             macs_per_pe: 16.0,
         }
+    }
+
+    #[test]
+    fn for_shape_matches_manual_construction() {
+        let cfg = idgnn_hw::AcceleratorConfig::paper_default();
+        let w = PipelineWorkload::for_shape(&cfg, 9227, 157_474, 172, 256, 256);
+        assert_eq!(w.pes, 1024.0);
+        assert_eq!(w.macs_per_pe, 16.0);
+        let p = 157_474.0 / (9227.0 * 9227.0);
+        assert!((w.p_prev - p).abs() < 1e-12);
+        assert!((w.s - p / 10.0).abs() < 1e-12);
+        // The optimizer must produce a feasible schedule for every Table-I
+        // shape on the paper config.
+        let sched = PipelineScheduler.optimize(&w).unwrap();
+        assert!(sched.alpha >= MIN_SHARE && sched.beta >= MIN_SHARE);
     }
 
     #[test]

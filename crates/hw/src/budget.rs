@@ -1,0 +1,242 @@
+//! Static per-PE buffer-budget model for the lint-time config verifier.
+//!
+//! The paper fixes the memory hierarchy (§VI-A): each of the M = 32×32 PEs
+//! owns a 128 KB sparse Graph Structure Buffer (GSB) and a 100 KB dense
+//! Local Buffer (LB), above a 64 MB Global Buffer (GLB). The torus dataflow
+//! (crates/core) row-partitions every operand, so the *irreducible* per-PE
+//! working set — the smallest tile the dataflow can stage without going
+//! back to DRAM mid-rotation — is:
+//!
+//! * **GSB**: the partition's indptr slice (`rows_per_pe + 1` u32 entries)
+//!   plus a double-buffered stream slot holding one mean-degree row
+//!   (`ceil(E/V)` column+value pairs, u32 + f32);
+//! * **LB**: a double-buffered single feature column of the row partition
+//!   (`2 × rows_per_pe` f32 values);
+//! * **GLB**: the resident model weights (fused GNN weight `K×C` plus the
+//!   four RNN gate weights `4×(C+R)×R`) and one staged GSB+LB tile pair for
+//!   every PE's double buffer.
+//!
+//! If any Table-I dataset shape overflows one of these budgets, the config
+//! cannot sustain the Eqs. 16–22 pipeline without unmodeled DRAM stalls —
+//! the `hw-budget` lint rule fails the build before a simulation runs.
+
+use crate::config::{nearest_square_side, AcceleratorConfig};
+use crate::noc::Topology;
+
+/// Bytes per sparse index (u32 row/column ids).
+pub const IDX_BYTES: u64 = 4;
+/// Bytes per stored value (f32).
+pub const VAL_BYTES: u64 = 4;
+
+/// One dataset shape the budget model evaluates (a Table-I row, or any
+/// synthetic workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadShape {
+    /// Display name for violation messages.
+    pub name: &'static str,
+    /// Vertex count `V`.
+    pub vertices: u64,
+    /// Edge count `E`.
+    pub edges: u64,
+    /// Input feature width `K`.
+    pub features: u64,
+    /// GNN output width `C`.
+    pub gnn_width: u64,
+    /// RNN hidden width `R`.
+    pub rnn_width: u64,
+}
+
+impl WorkloadShape {
+    /// Mean row degree `ceil(E/V)` (zero for an empty graph).
+    pub fn mean_degree(&self) -> u64 {
+        if self.vertices == 0 { 0 } else { self.edges.div_ceil(self.vertices) }
+    }
+}
+
+/// The irreducible per-PE tile footprints for one (config, shape) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileFootprint {
+    /// Rows of the operand owned by one PE, `ceil(V/M)`.
+    pub rows_per_pe: u64,
+    /// GSB bytes: indptr slice + double-buffered mean-degree row.
+    pub gsb_tile_bytes: u64,
+    /// LB bytes: double-buffered feature column of the partition.
+    pub lb_tile_bytes: u64,
+    /// GLB bytes: resident weights + every PE's staged tile pair.
+    pub glb_resident_bytes: u64,
+}
+
+/// Computes the tile footprints of `shape` on `cfg` (see module docs for
+/// the model).
+pub fn tile_footprint(cfg: &AcceleratorConfig, shape: &WorkloadShape) -> TileFootprint {
+    let pes = (cfg.num_pes() as u64).max(1);
+    let rows_per_pe = shape.vertices.div_ceil(pes).max(1);
+    let gsb_tile_bytes =
+        (rows_per_pe + 1) * IDX_BYTES + 2 * shape.mean_degree() * (IDX_BYTES + VAL_BYTES);
+    let lb_tile_bytes = 2 * rows_per_pe * VAL_BYTES;
+    let weights = shape.features * shape.gnn_width * VAL_BYTES
+        + 4 * (shape.gnn_width + shape.rnn_width) * shape.rnn_width * VAL_BYTES;
+    let glb_resident_bytes = weights + 2 * pes * (gsb_tile_bytes + lb_tile_bytes);
+    TileFootprint { rows_per_pe, gsb_tile_bytes, lb_tile_bytes, glb_resident_bytes }
+}
+
+/// Checks one shape against `cfg`'s buffer budgets. Returns human-readable
+/// violations (empty = the shape fits).
+pub fn verify_workload(cfg: &AcceleratorConfig, shape: &WorkloadShape) -> Vec<String> {
+    let mut out = Vec::new();
+    let fp = tile_footprint(cfg, shape);
+    if fp.gsb_tile_bytes > cfg.gsb_bytes {
+        out.push(format!(
+            "{}: per-PE GSB tile {} B (indptr {} rows + 2x mean-degree {} row) exceeds the \
+             {} B GSB",
+            shape.name,
+            fp.gsb_tile_bytes,
+            fp.rows_per_pe,
+            shape.mean_degree(),
+            cfg.gsb_bytes
+        ));
+    }
+    if fp.lb_tile_bytes > cfg.lb_bytes {
+        out.push(format!(
+            "{}: per-PE LB tile {} B (double-buffered feature column of {} rows) exceeds \
+             the {} B LB",
+            shape.name, fp.lb_tile_bytes, fp.rows_per_pe, cfg.lb_bytes
+        ));
+    }
+    if fp.glb_resident_bytes > cfg.glb_bytes {
+        out.push(format!(
+            "{}: GLB residency {} B (weights + staged tiles for {} PEs) exceeds the {} B GLB",
+            shape.name,
+            fp.glb_resident_bytes,
+            cfg.num_pes(),
+            cfg.glb_bytes
+        ));
+    }
+    if let Err(e) = cfg.validate() {
+        out.push(format!("{}: config fails validation: {e}", shape.name));
+    }
+    out
+}
+
+/// Checks `scaled_down` consistency for every scale in `1..=max_scale`:
+/// the grid must stay the nearest square to the requested PE count, the
+/// topology dims must match the grid, the result must validate, and PE
+/// count must never increase with scale.
+pub fn verify_scaling(cfg: &AcceleratorConfig, max_scale: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut prev_pes = u64::MAX;
+    for scale in 1..=max_scale.max(1) {
+        let sc = cfg.scaled_down(scale);
+        let target = ((cfg.num_pes() as u64) / scale).max(1);
+        let want_side = nearest_square_side(target);
+        if sc.pe_rows != sc.pe_cols || sc.pe_rows != want_side {
+            out.push(format!(
+                "scaled_down({scale}): grid {}x{} is not the nearest square to {target} PEs \
+                 (want {want_side}x{want_side})",
+                sc.pe_rows, sc.pe_cols
+            ));
+        }
+        let dims_ok = match (sc.topology, cfg.topology) {
+            (Topology::Torus { rows, cols }, Topology::Torus { .. })
+            | (Topology::Mesh { rows, cols }, Topology::Mesh { .. }) => {
+                rows == sc.pe_rows && cols == sc.pe_cols
+            }
+            (Topology::Crossbar { ports }, Topology::Crossbar { .. }) => ports == sc.num_pes(),
+            _ => false,
+        };
+        if !dims_ok {
+            out.push(format!(
+                "scaled_down({scale}): topology {:?} is inconsistent with the {}x{} grid",
+                sc.topology, sc.pe_rows, sc.pe_cols
+            ));
+        }
+        if let Err(e) = sc.validate() {
+            out.push(format!("scaled_down({scale}): invalid config: {e}"));
+        }
+        let pes = sc.num_pes() as u64;
+        if pes > prev_pes {
+            out.push(format!(
+                "scaled_down({scale}): PE count {pes} exceeds the count at scale {} \
+                 ({prev_pes}); scaling must be monotone",
+                scale - 1
+            ));
+        }
+        prev_pes = pes;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flickr, the largest Table-I shape, at the paper's model widths.
+    fn flickr() -> WorkloadShape {
+        WorkloadShape {
+            name: "FK",
+            vertices: 2_302_925,
+            edges: 33_140_017,
+            features: 800,
+            gnn_width: 256,
+            rnn_width: 256,
+        }
+    }
+
+    #[test]
+    fn paper_default_fits_the_largest_table_i_shape() {
+        let cfg = AcceleratorConfig::paper_default();
+        let violations = verify_workload(&cfg, &flickr());
+        assert!(violations.is_empty(), "{violations:?}");
+        let fp = tile_footprint(&cfg, &flickr());
+        // Sanity: the headroom is real but not absurd — the GLB residency
+        // should be the binding constraint (tens of MB of staged tiles).
+        assert!(fp.glb_resident_bytes > 32 * 1024 * 1024);
+        assert!(fp.rows_per_pe == 2249);
+    }
+
+    #[test]
+    fn oversized_tile_config_is_rejected() {
+        // A deliberately starved GSB cannot hold even the indptr slice.
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.gsb_bytes = 256;
+        let violations = verify_workload(&cfg, &flickr());
+        assert!(violations.iter().any(|v| v.contains("GSB")), "{violations:?}");
+        // And an LB smaller than the double-buffered feature column fails.
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.lb_bytes = 1024;
+        let violations = verify_workload(&cfg, &flickr());
+        assert!(violations.iter().any(|v| v.contains("LB")), "{violations:?}");
+    }
+
+    #[test]
+    fn glb_residency_catches_weight_blowup() {
+        let mut shape = flickr();
+        shape.features = 1 << 16;
+        shape.gnn_width = 1 << 10;
+        let cfg = AcceleratorConfig::paper_default();
+        let violations = verify_workload(&cfg, &shape);
+        assert!(violations.iter().any(|v| v.contains("GLB")), "{violations:?}");
+    }
+
+    #[test]
+    fn scaling_is_consistent_across_1_to_64() {
+        let cfg = AcceleratorConfig::paper_default();
+        let violations = verify_scaling(&cfg, 64);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn empty_graph_has_zero_degree_and_fits() {
+        let shape = WorkloadShape {
+            name: "empty",
+            vertices: 0,
+            edges: 0,
+            features: 1,
+            gnn_width: 1,
+            rnn_width: 1,
+        };
+        let cfg = AcceleratorConfig::paper_default();
+        assert_eq!(shape.mean_degree(), 0);
+        assert!(verify_workload(&cfg, &shape).is_empty());
+    }
+}

@@ -59,7 +59,7 @@ impl AcceleratorConfig {
     pub fn scaled_down(&self, scale: u64) -> Self {
         let scale = scale.max(1);
         let pes = ((self.pe_rows * self.pe_cols) as u64 / scale).max(1);
-        let side = (pes as f64).sqrt().floor().max(1.0) as usize;
+        let side = nearest_square_side(pes);
         Self {
             pe_rows: side,
             pe_cols: side,
@@ -143,6 +143,29 @@ impl Default for AcceleratorConfig {
     }
 }
 
+/// Side of the square grid whose PE count is *nearest* to `pes` (at least
+/// 1; ties round up so capacity is never silently halved).
+///
+/// [`AcceleratorConfig::scaled_down`] used to take `floor(sqrt(pes))`,
+/// which silently dropped PEs whenever `pes` was not a perfect square —
+/// e.g. scale 2 asked for 512 PEs but produced a 22×22 = 484 grid (−5.5%
+/// compute) even though 23×23 = 529 is closer. The budget verifier in
+/// [`crate::budget`] pins this down for every scale 1–64.
+pub fn nearest_square_side(pes: u64) -> usize {
+    let floor_side = (pes as f64).sqrt().floor().max(1.0) as u64;
+    // f64 sqrt of large u64 can land one off; settle exactly.
+    let floor_side = if floor_side.saturating_mul(floor_side) > pes {
+        floor_side.saturating_sub(1).max(1)
+    } else {
+        floor_side
+    };
+    let up = floor_side + 1;
+    let below = pes.saturating_sub(floor_side * floor_side);
+    let above = (up * up).saturating_sub(pes);
+    let side = if above <= below { up } else { floor_side };
+    usize::try_from(side).unwrap_or(usize::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +201,48 @@ mod tests {
         assert_eq!(c.glb_bytes, 1024 * 1024);
         assert!(matches!(c.topology, Topology::Torus { rows: 4, cols: 4 }));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_down_rounds_to_nearest_square_at_every_scale() {
+        // The old floor(sqrt) rounding silently dropped PEs whenever
+        // 1024/scale was not a perfect square; nearest-square must now win
+        // at every scale, and no neighbouring grid may be strictly closer.
+        let base = AcceleratorConfig::paper_default();
+        for scale in 1..=64u64 {
+            let c = base.scaled_down(scale);
+            let target = (1024 / scale).max(1);
+            let side = c.pe_rows as u64;
+            assert_eq!(c.pe_rows, c.pe_cols, "scale {scale}: grid must stay square");
+            let dist = (side * side).abs_diff(target);
+            for neighbour in [side.saturating_sub(1).max(1), side + 1] {
+                assert!(
+                    (neighbour * neighbour).abs_diff(target) >= dist,
+                    "scale {scale}: {side}x{side} is not nearest to {target} \
+                     ({neighbour}x{neighbour} is closer)"
+                );
+            }
+            match c.topology {
+                Topology::Torus { rows, cols } => {
+                    assert_eq!((rows, cols), (c.pe_rows, c.pe_cols), "scale {scale}: torus dims");
+                }
+                _ => panic!("scale {scale}: topology family changed"),
+            }
+            assert!(c.validate().is_ok(), "scale {scale}: invalid config");
+        }
+        // The motivating case: scale 2 wants 512 PEs; 23x23=529 (off by 17)
+        // beats the old 22x22=484 (off by 28).
+        assert_eq!(base.scaled_down(2).pe_rows, 23);
+    }
+
+    #[test]
+    fn nearest_square_side_exact_and_boundary() {
+        assert_eq!(nearest_square_side(1), 1);
+        assert_eq!(nearest_square_side(2), 1); // 1 (off 1) vs 4 (off 2)
+        assert_eq!(nearest_square_side(3), 2); // 4 (off 1) beats 1 (off 2)
+        assert_eq!(nearest_square_side(16), 4);
+        assert_eq!(nearest_square_side(512), 23);
+        assert_eq!(nearest_square_side(u64::from(u32::MAX)), 65536);
     }
 
     #[test]

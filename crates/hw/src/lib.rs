@@ -26,6 +26,7 @@
 //! ```
 
 mod area;
+pub mod budget;
 mod config;
 mod dram;
 mod energy;
@@ -39,7 +40,8 @@ mod pe;
 pub mod utilization;
 
 pub use area::{AreaModel, ChipArea, PeArea};
-pub use config::AcceleratorConfig;
+pub use budget::{tile_footprint, verify_scaling, verify_workload, TileFootprint, WorkloadShape};
+pub use config::{nearest_square_side, AcceleratorConfig};
 pub use dram::{AccessPattern, DramModel, BURST_BYTES, ROW_MISS_PENALTY_CYCLES};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::{overlap_cycles, Bound, Engine, EngineReport, PhaseTiming, PhaseWork};

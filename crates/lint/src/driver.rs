@@ -1,8 +1,9 @@
 //! Workspace discovery, file walking, scope classification, and the
 //! manifest-level half of the `unsafe-code` rule.
 
-use crate::lexer;
-use crate::rules::{self, Finding, Rule, Scope};
+use crate::rules::{self, FileMarkers, Finding, Rule, Scope};
+use crate::{flows, hwbudget, lexer, parser};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -78,26 +79,38 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     }
 }
 
-/// Lints every first-party `.rs` file and manifest under `root`.
+/// Lints every first-party `.rs` file and manifest under `root`: the
+/// per-file token rules, then the cross-file semantic pass (symbol graph +
+/// `resource-flow` / `opstats-flow`) and the `hw-budget` config verifier.
 pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceRun> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
 
     let mut run = WorkspaceRun::default();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
+    let mut markers: BTreeMap<String, FileMarkers> = BTreeMap::new();
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
-        run.findings.extend(lint_source(rel, &source));
+        if let Some(scope) = classify(rel) {
+            let tokens = lexer::lex(&source);
+            run.findings.extend(rules::lint_tokens(rel, &tokens, scope));
+            markers.insert(rel.clone(), rules::file_markers(&tokens));
+            parsed.push(parser::parse(rel, &tokens));
+        }
         run.files_scanned += 1;
     }
+    run.findings.extend(flows::analyze(&parsed, &markers, flows::AnalysisMode::Workspace));
+    run.findings.extend(hwbudget::check_workspace());
     check_manifests(root, &mut run.findings)?;
     run.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(run)
 }
 
 /// Recursively collects workspace-relative `.rs` paths, skipping vendored
-/// code, build output, VCS metadata, and the seeded lint fixtures.
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+/// code, build output, VCS metadata, and the seeded lint fixtures. Public
+/// so the parser's workspace smoke test can walk the same file set.
+pub fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         let rel = match path.strip_prefix(root) {

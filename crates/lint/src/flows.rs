@@ -1,0 +1,357 @@
+//! The two cross-file flow rules: `resource-flow` and `opstats-flow`.
+//!
+//! Both run over the [`crate::symgraph::SymbolGraph`]; see
+//! [`crate::rules::Rule::explain`] and DESIGN.md §11 for the policy.
+//!
+//! * **resource-flow** — a function that acquires pooled buffers
+//!   (`take_index_buffer` / `take_value_buffer`) must resolve them: call a
+//!   recycle primitive or a CSR assembly constructor directly, carry them
+//!   out via a `// lint: buffer-carrier -- <where>` declaration, or call
+//!   (transitively) a function that does. A `?` early-return on or after
+//!   the first acquisition line is flagged separately — the error path
+//!   leaks even when the happy path resolves.
+//! * **opstats-flow** — every public kernel whose return type carries
+//!   `OpStats` must share a transitive caller with an accounting sink
+//!   (`// lint: opstats-sink`): some join point both runs the kernel and
+//!   feeds the accounting, so its counts cannot silently vanish.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{ParsedFile, Vis};
+use crate::rules::{FileMarkers, Finding, Rule};
+use crate::symgraph::SymbolGraph;
+
+/// Pool acquisition primitives (defined in `crates/sparse/src/workspace.rs`).
+const ACQUIRE_FNS: &[&str] = &["take_index_buffer", "take_value_buffer"];
+
+/// Calls that resolve pooled buffers: pool returns and the CSR constructors
+/// that take buffer ownership into a returned matrix.
+const RESOLVER_FNS: &[&str] = &[
+    "recycle",
+    "recycle_dense",
+    "recycle_index_buffer",
+    "recycle_value_buffer",
+    "from_raw_parts",
+    "splice_rows",
+];
+
+/// The modules whose public stats-returning fns count as kernels in
+/// workspace mode.
+const KERNEL_FILES: &[&str] = &[
+    "crates/sparse/src/ops.rs",
+    "crates/sparse/src/frontier.rs",
+    "crates/sparse/src/parallel.rs",
+];
+
+/// How file paths scope the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Real workspace scan: `resource-flow` applies to idgnn-sparse library
+    /// code (minus the pool implementation itself), `opstats-flow` to the
+    /// three kernel modules.
+    Workspace,
+    /// Explicit files / fixtures: every analyzed file is in scope for both
+    /// rules.
+    Explicit,
+}
+
+/// Runs both flow rules over parsed files. `markers` maps each file's rel
+/// path to its collected markers; suppressions are applied before returning.
+pub fn analyze(
+    files: &[ParsedFile],
+    markers: &BTreeMap<String, FileMarkers>,
+    mode: AnalysisMode,
+) -> Vec<Finding> {
+    let graph = SymbolGraph::build(files);
+    let carriers = marker_fns(&graph, markers, |m| &m.carriers);
+    let sinks = marker_fns(&graph, markers, |m| &m.sinks);
+    let mut findings = Vec::new();
+    resource_flow(&graph, &carriers, mode, &mut findings);
+    opstats_flow(&graph, &sinks, mode, &mut findings);
+    findings.retain(|f| {
+        !markers
+            .get(&f.file)
+            .is_some_and(|m| m.allows.iter().any(|a| a.covers(f.rule, f.line)))
+    });
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Resolves marker lines to graph node indices: each marker attaches to the
+/// first fn in the same file whose `fn` keyword line is >= the marker line
+/// (markers sit directly above their fn, or at the end of its first line).
+fn marker_fns(
+    graph: &SymbolGraph,
+    markers: &BTreeMap<String, FileMarkers>,
+    select: impl Fn(&FileMarkers) -> &Vec<usize>,
+) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    for (file, m) in markers {
+        for &line in select(m) {
+            let best = graph
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| &n.file == file && n.item.line >= line)
+                .min_by_key(|(_, n)| n.item.line)
+                .map(|(i, _)| i);
+            if let Some(idx) = best {
+                out.insert(idx);
+            }
+        }
+    }
+    out
+}
+
+/// True if this node is subject to `resource-flow` under `mode`.
+fn in_resource_scope(mode: AnalysisMode, file: &str, krate: &str) -> bool {
+    match mode {
+        AnalysisMode::Workspace => krate == "sparse" && !file.ends_with("/workspace.rs"),
+        AnalysisMode::Explicit => true,
+    }
+}
+
+fn resource_flow(
+    graph: &SymbolGraph,
+    carriers: &BTreeSet<usize>,
+    mode: AnalysisMode,
+    findings: &mut Vec<Finding>,
+) {
+    // Base set: nodes that resolve buffers in their own body, plus declared
+    // carriers. A node then resolves if its forward closure meets the base.
+    let mut base: BTreeSet<usize> = carriers.clone();
+    for (idx, node) in graph.fns.iter().enumerate() {
+        if node.item.calls.iter().any(|c| RESOLVER_FNS.contains(&c.name.as_str())) {
+            base.insert(idx);
+        }
+    }
+    for (idx, node) in graph.fns.iter().enumerate() {
+        if node.item.in_test || !in_resource_scope(mode, &node.file, &node.krate) {
+            continue;
+        }
+        let first_acquire = node
+            .item
+            .calls
+            .iter()
+            .filter(|c| ACQUIRE_FNS.contains(&c.name.as_str()))
+            .map(|c| c.line)
+            .min();
+        let Some(acquire_line) = first_acquire else { continue };
+        let resolves = graph.reachable_from(&[idx]).iter().any(|n| base.contains(n));
+        if !resolves {
+            findings.push(Finding {
+                rule: Rule::ResourceFlow,
+                file: node.file.clone(),
+                line: acquire_line,
+                message: format!(
+                    "`{}` acquires a pooled buffer here but no path reaches a recycle \
+                     (`recycle*`) or CSR assembly (`from_raw_parts`/`splice_rows`); the \
+                     workspace arena leaks — recycle it, assemble it into the returned \
+                     matrix, or declare `// lint: buffer-carrier -- <where ownership goes>`",
+                    node.item.qual_name()
+                ),
+            });
+        }
+        for &try_line in &node.item.tries {
+            if try_line >= acquire_line {
+                findings.push(Finding {
+                    rule: Rule::ResourceFlow,
+                    file: node.file.clone(),
+                    line: try_line,
+                    message: format!(
+                        "`?` early-return in `{}` after a pooled-buffer acquisition \
+                         (line {acquire_line}) leaks the buffer on the error path; \
+                         validate inputs before acquiring, or recycle before propagating",
+                        node.item.qual_name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True if this node is an `opstats-flow` kernel under `mode`.
+fn is_kernel(mode: AnalysisMode, file: &str, node: &crate::symgraph::FnNode) -> bool {
+    let in_scope = match mode {
+        AnalysisMode::Workspace => KERNEL_FILES.contains(&file),
+        AnalysisMode::Explicit => true,
+    };
+    in_scope
+        && !node.item.in_test
+        && node.item.vis == Vis::Public
+        && node.item.ret.iter().any(|r| r == "OpStats")
+}
+
+fn opstats_flow(
+    graph: &SymbolGraph,
+    sinks: &BTreeSet<usize>,
+    mode: AnalysisMode,
+    findings: &mut Vec<Finding>,
+) {
+    // Functions that (transitively) call a sink: the candidate join points.
+    let sink_seeds: Vec<usize> = sinks.iter().copied().collect();
+    let joins = graph.callers_of(&sink_seeds);
+    for (idx, node) in graph.fns.iter().enumerate() {
+        if !is_kernel(mode, &node.file, node) {
+            continue;
+        }
+        let accounted = graph.callers_of(&[idx]).iter().any(|n| joins.contains(n));
+        if !accounted {
+            findings.push(Finding {
+                rule: Rule::OpstatsFlow,
+                file: node.file.clone(),
+                line: node.item.line,
+                message: format!(
+                    "public kernel `{}` returns OpStats but no transitive caller joins it \
+                     to an accounting sink (`// lint: opstats-sink`); its counted FLOPs \
+                     never reach the figure pipeline",
+                    node.item.qual_name()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::rules::file_markers;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let mut files = Vec::new();
+        let mut markers = BTreeMap::new();
+        for (rel, src) in srcs {
+            let tokens = lex(src);
+            markers.insert(rel.to_string(), file_markers(&tokens));
+            files.push(parse(rel, &tokens));
+        }
+        analyze(&files, &markers, AnalysisMode::Explicit)
+    }
+
+    fn slugs(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.slug()).collect()
+    }
+
+    #[test]
+    fn leaked_acquisition_is_flagged() {
+        let got = run(&[("a.rs", "fn leak(w: &mut W) { let b = take_index_buffer(w); b.len(); }")]);
+        assert_eq!(slugs(&got), vec!["resource-flow"]);
+    }
+
+    #[test]
+    fn direct_recycle_resolves() {
+        let got = run(&[(
+            "a.rs",
+            "fn ok(w: &mut W) { let b = take_index_buffer(w); recycle_index_buffer(w, b); }",
+        )]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn transitive_resolution_through_helper() {
+        let got = run(&[(
+            "a.rs",
+            "fn outer(w: &mut W) { let b = take_value_buffer(w); finish(w, b); }\n\
+             fn finish(w: &mut W, b: Vec<f64>) { recycle_value_buffer(w, b); }",
+        )]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn carrier_marker_resolves_and_unmarked_twin_does_not() {
+        let got = run(&[(
+            "a.rs",
+            "// lint: buffer-carrier -- indices move into the returned CsrBlock\n\
+             fn carrier(w: &mut W) -> B { B(take_index_buffer(w)) }\n\
+             fn twin(w: &mut W) -> B { B(take_index_buffer(w)) }",
+        )]);
+        assert_eq!(slugs(&got), vec!["resource-flow"]);
+        assert!(got.first().is_some_and(|f| f.message.contains("twin")));
+    }
+
+    #[test]
+    fn try_after_acquire_is_flagged_but_before_is_fine() {
+        let src = "fn f(w: &mut W) -> Result<(), E> {\n\
+                   validate(w)?;\n\
+                   let b = take_index_buffer(w);\n\
+                   fill(&mut b)?;\n\
+                   recycle_index_buffer(w, b);\n\
+                   Ok(())\n}";
+        let got = run(&[("a.rs", src)]);
+        assert_eq!(slugs(&got), vec!["resource-flow"]);
+        assert_eq!(got.first().map(|f| f.line), Some(4));
+    }
+
+    #[test]
+    fn kernel_without_sink_is_flagged() {
+        let got = run(&[(
+            "a.rs",
+            "pub fn kern(x: &M) -> OpStats { count(x) }\nfn driver(x: &M) { kern(x); }",
+        )]);
+        assert_eq!(slugs(&got), vec!["opstats-flow"]);
+    }
+
+    #[test]
+    fn kernel_joined_to_sink_is_accounted() {
+        let got = run(&[(
+            "a.rs",
+            "pub fn kern(x: &M) -> OpStats { count(x) }\n\
+             // lint: opstats-sink\n\
+             fn record(s: OpStats) { store(s); }\n\
+             fn driver(x: &M) { let s = kern(x); record(s); }",
+        )]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn join_point_may_be_far_up_the_call_chain() {
+        let got = run(&[
+            (
+                "kernels.rs",
+                "pub fn kern(x: &M) -> OpStats { count(x) }\n\
+                 pub fn mid(x: &M) -> OpStats { kern(x) }",
+            ),
+            (
+                "pipeline.rs",
+                "// lint: opstats-sink\n\
+                 fn account(s: OpStats) {}\n\
+                 fn top(x: &M) { let s = run_all(x); account(s); }\n\
+                 fn run_all(x: &M) -> OpStats { mid(x) }",
+            ),
+        ]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_flow_findings() {
+        let got = run(&[(
+            "a.rs",
+            "// lint: allow(opstats-flow) -- reference path audited by equivalence tests\n\
+             pub fn kern(x: &M) -> OpStats { count(x) }",
+        )]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn non_public_or_non_stats_fns_are_not_kernels() {
+        let got = run(&[(
+            "a.rs",
+            "fn private_kern(x: &M) -> OpStats { count(x) }\n\
+             pub fn no_stats(x: &M) -> usize { x.len() }",
+        )]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let got = run(&[(
+            "a.rs",
+            "#[cfg(test)] mod tests {\n\
+             fn leak(w: &mut W) { let b = take_index_buffer(w); }\n\
+             }",
+        )]);
+        assert!(got.is_empty());
+    }
+}

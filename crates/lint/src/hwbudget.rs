@@ -1,0 +1,158 @@
+//! The `hw-budget` rule: a static verifier for the paper's hardware
+//! budgets, evaluated at lint time against the *real* workspace types.
+//!
+//! Unlike the token and flow rules, this rule does not read source text at
+//! all — the lint crate links `idgnn-hw`, `idgnn-core`, and `idgnn-graph`
+//! and evaluates:
+//!
+//! 1. **Tile budgets** — for every Table-I dataset shape, the per-PE
+//!    GSB/LB tile footprints and GLB residency of
+//!    [`idgnn_hw::budget::tile_footprint`] must fit the shipped
+//!    [`idgnn_hw::AcceleratorConfig::paper_default`] (128 KB / 100 KB /
+//!    64 MB).
+//! 2. **Schedule feasibility** — the Eqs. 16–22 optimizer must produce an
+//!    `α/β` MAC partition inside `[MIN_SHARE, 1 − MIN_SHARE]` for every
+//!    shape, and the 1/16 share granularity must be representable on the
+//!    config's MAC array at all (`MIN_SHARE · macs_per_pe ≥ 1`).
+//! 3. **Scaling consistency** — `scaled_down` must stay on the nearest
+//!    square torus with matching topology dims at every scale 1–64.
+//!
+//! Findings anchor at `crates/hw/src/config.rs` (the file a config change
+//! would edit). A change that shrinks a buffer, widens a model, or breaks
+//! the grid rounding fails the lint before any simulation runs.
+
+use idgnn_core::{PipelineScheduler, PipelineWorkload, MIN_SHARE};
+use idgnn_graph::datasets::ALL_DATASETS;
+use idgnn_hw::{budget, AcceleratorConfig, WorkloadShape};
+
+use crate::rules::{Finding, Rule};
+
+/// The file hw-budget findings anchor at.
+const CONFIG_FILE: &str = "crates/hw/src/config.rs";
+
+/// GNN output width used by the executed models (EvalDims in the bench
+/// context mirrors this).
+const GNN_WIDTH: u64 = 256;
+/// RNN hidden width of the paper's EvolveGCN-style recurrent cell.
+const RNN_WIDTH: u64 = 256;
+/// Scale range `scaled_down` must stay consistent over.
+const MAX_SCALE: u64 = 64;
+
+/// The fig12 evaluation shapes: every Table-I dataset at the paper's model
+/// widths.
+pub fn fig12_shapes() -> Vec<WorkloadShape> {
+    ALL_DATASETS
+        .iter()
+        .map(|d| WorkloadShape {
+            name: d.short,
+            vertices: d.vertices as u64,
+            edges: d.edges as u64,
+            features: d.features as u64,
+            gnn_width: GNN_WIDTH,
+            rnn_width: RNN_WIDTH,
+        })
+        .collect()
+}
+
+/// Verifies `cfg` against `shapes` and the scaling sweep; returns findings
+/// anchored at `crates/hw/src/config.rs`. This is the testable core —
+/// [`check_workspace`] applies it to the shipped config.
+pub fn check_config(cfg: &AcceleratorConfig, shapes: &[WorkloadShape]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |message: String| {
+        findings.push(Finding {
+            rule: Rule::HwBudget,
+            file: CONFIG_FILE.to_string(),
+            line: 1,
+            message,
+        });
+    };
+    for v in budget::verify_scaling(cfg, MAX_SCALE) {
+        push(v);
+    }
+    if MIN_SHARE * (cfg.macs_per_pe as f64) < 1.0 {
+        push(format!(
+            "alpha/beta granularity infeasible: a {MIN_SHARE} MAC share of {} MACs/PE is \
+             less than one unit; the Eqs. 16-22 partition cannot be realized",
+            cfg.macs_per_pe
+        ));
+    }
+    for shape in shapes {
+        for v in budget::verify_workload(cfg, shape) {
+            push(v);
+        }
+        let w = PipelineWorkload::for_shape(
+            cfg,
+            shape.vertices,
+            shape.edges,
+            shape.features,
+            shape.gnn_width,
+            shape.rnn_width,
+        );
+        match PipelineScheduler.optimize(&w) {
+            Ok(sched) => {
+                let feasible = sched.alpha >= MIN_SHARE
+                    && sched.beta >= MIN_SHARE
+                    && (sched.alpha + sched.beta - 1.0).abs() < 1e-9;
+                if !feasible {
+                    push(format!(
+                        "{}: optimizer schedule alpha={:.4} beta={:.4} violates the \
+                         [{MIN_SHARE}, {}] share bounds",
+                        shape.name,
+                        sched.alpha,
+                        sched.beta,
+                        1.0 - MIN_SHARE
+                    ));
+                }
+            }
+            Err(e) => push(format!("{}: Eqs. 16-22 scheduler rejected the config: {e}", shape.name)),
+        }
+    }
+    findings
+}
+
+/// The workspace-scan entry point: the shipped paper config against the
+/// fig12 dataset shapes.
+pub fn check_workspace() -> Vec<Finding> {
+    check_config(&AcceleratorConfig::paper_default(), &fig12_shapes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_default_config_is_accepted() {
+        let findings = check_workspace();
+        assert!(
+            findings.is_empty(),
+            "paper_default must satisfy its own budgets: {:?}",
+            findings.iter().map(|f| &f.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oversized_tile_config_is_rejected() {
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.gsb_bytes = 512; // cannot hold Flickr's indptr slice
+        let findings = check_config(&cfg, &fig12_shapes());
+        assert!(findings.iter().any(|f| f.rule == Rule::HwBudget && f.message.contains("GSB")));
+        assert!(findings.iter().all(|f| f.file == "crates/hw/src/config.rs"));
+    }
+
+    #[test]
+    fn coarse_mac_array_is_rejected() {
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.macs_per_pe = 8; // 1/16 share < 1 MAC
+        let findings = check_config(&cfg, &fig12_shapes());
+        assert!(findings.iter().any(|f| f.message.contains("granularity")));
+    }
+
+    #[test]
+    fn all_six_table_i_shapes_are_evaluated() {
+        let shapes = fig12_shapes();
+        assert_eq!(shapes.len(), 6);
+        let names: Vec<&str> = shapes.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["PM", "RD", "MB", "TW", "WD", "FK"]);
+    }
+}

@@ -42,7 +42,9 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One token: kind, the source text, and the 1-based line it starts on.
+/// One token: kind, the source text, the 1-based line it starts on, and the
+/// byte offset of its first byte (the token's span is `pos..pos + text.len()`
+/// for ASCII-clean sources).
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What was lexed.
@@ -51,6 +53,8 @@ pub struct Token {
     pub text: String,
     /// 1-based line number of the token's first byte.
     pub line: usize,
+    /// 0-based byte offset of the token's first byte in the source.
+    pub pos: usize,
 }
 
 impl Token {
@@ -148,29 +152,29 @@ pub fn lex(source: &str) -> Vec<Token> {
                 };
                 cur.eat_while(|c| c != b'\n');
                 let kind = if doc { TokenKind::DocLineComment } else { TokenKind::LineComment };
-                out.push(Token { kind, text: cur.slice(start), line });
+                out.push(Token { kind, text: cur.slice(start), line, pos: start });
             }
             b'/' if cur.peek_at(1) == Some(b'*') => {
                 lex_block_comment(&mut cur);
-                out.push(Token { kind: TokenKind::BlockComment, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::BlockComment, text: cur.slice(start), line, pos: start });
             }
             b'"' => {
                 lex_string(&mut cur);
-                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line, pos: start });
             }
             b'r' | b'b' if starts_raw_string(&cur) => {
                 lex_raw_string(&mut cur);
-                out.push(Token { kind: TokenKind::RawStr, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::RawStr, text: cur.slice(start), line, pos: start });
             }
             b'b' if cur.peek_at(1) == Some(b'"') => {
                 cur.bump(); // consume `b`, then the string body
                 lex_string(&mut cur);
-                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Str, text: cur.slice(start), line, pos: start });
             }
             b'b' if cur.peek_at(1) == Some(b'\'') => {
                 cur.bump();
                 lex_char(&mut cur);
-                out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line, pos: start });
             }
             b'\'' => {
                 // Char literal vs lifetime/label. `'\...'` and `'x'` are
@@ -184,24 +188,24 @@ pub fn lex(source: &str) -> Vec<Token> {
                 };
                 if is_char {
                     lex_char(&mut cur);
-                    out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line });
+                    out.push(Token { kind: TokenKind::Char, text: cur.slice(start), line, pos: start });
                 } else {
                     cur.bump(); // `'`
                     cur.eat_while(is_ident_continue);
-                    out.push(Token { kind: TokenKind::Lifetime, text: cur.slice(start), line });
+                    out.push(Token { kind: TokenKind::Lifetime, text: cur.slice(start), line, pos: start });
                 }
             }
             _ if is_ident_start(b) => {
                 cur.eat_while(is_ident_continue);
-                out.push(Token { kind: TokenKind::Ident, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Ident, text: cur.slice(start), line, pos: start });
             }
             _ if b.is_ascii_digit() => {
                 lex_number(&mut cur);
-                out.push(Token { kind: TokenKind::Number, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Number, text: cur.slice(start), line, pos: start });
             }
             _ => {
                 cur.bump();
-                out.push(Token { kind: TokenKind::Punct, text: cur.slice(start), line });
+                out.push(Token { kind: TokenKind::Punct, text: cur.slice(start), line, pos: start });
             }
         }
     }

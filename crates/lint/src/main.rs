@@ -5,6 +5,7 @@
 //! cargo run -p idgnn-lint -- --json           # also write results/lint.json
 //! cargo run -p idgnn-lint -- --update-baseline
 //! cargo run -p idgnn-lint -- path/to/file.rs  # lint explicit files, no baseline
+//! cargo run -p idgnn-lint -- --explain resource-flow
 //! ```
 //!
 //! Exit codes: `0` clean (or fully grandfathered), `1` findings beyond the
@@ -12,8 +13,9 @@
 
 use idgnn_lint::baseline::{Baseline, Comparison};
 use idgnn_lint::report::{render_json, render_text, Report};
-use idgnn_lint::rules::{Finding, Scope};
-use idgnn_lint::{driver, lexer, rules};
+use idgnn_lint::rules::{FileMarkers, Finding, Rule, Scope};
+use idgnn_lint::{driver, flows, lexer, parser, rules};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
@@ -23,6 +25,8 @@ struct Cli {
     json_out: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
     update_baseline: bool,
+    explain: Option<String>,
+    help: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -32,6 +36,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json_out: None,
         baseline_path: None,
         update_baseline: false,
+        explain: None,
+        help: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -47,7 +53,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.baseline_path = Some(PathBuf::from(p));
             }
             "--update-baseline" => cli.update_baseline = true,
-            "--help" | "-h" => return Err("usage".to_string()),
+            "--explain" => {
+                let r = it.next().ok_or("--explain requires a rule name")?;
+                cli.explain = Some(r.to_string());
+            }
+            "--help" | "-h" => cli.help = true,
             f if f.starts_with("--") => return Err(format!("unknown flag `{f}`")),
             f => cli.files.push(f.to_string()),
         }
@@ -55,7 +65,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-const USAGE: &str = "usage: idgnn-lint [FILES..] [--json] [--json-out PATH] [--baseline PATH] [--update-baseline]";
+const USAGE: &str = "\
+usage: idgnn-lint [FILES..] [OPTIONS]
+
+Workspace-wide semantic lint for the I-DGNN reproduction. With no FILES,
+lints every first-party `.rs` file and manifest against `lint.baseline`;
+with FILES, lints just those files with every rule in scope and no baseline.
+
+options:
+  --json              write the machine-readable report to results/lint.json
+  --json-out PATH     write the JSON report to PATH (implies --json)
+  --baseline PATH     compare against PATH instead of <root>/lint.baseline
+  --update-baseline   rewrite the baseline from the current findings
+  --explain RULE      print the rationale for one rule (or `all`) and exit
+  -h, --help          print this help and exit
+
+rules: hot-path-alloc, panic-surface, unsafe-code, opstats-literal,
+       resource-flow, opstats-flow, hw-budget, malformed-marker
+
+exit codes: 0 clean or fully grandfathered; 1 findings beyond the baseline
+(any finding at all in explicit-file mode); 2 usage or I/O error.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +99,13 @@ fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if cli.help {
+        println!("{USAGE}");
+        return 0;
+    }
+    if let Some(rule) = &cli.explain {
+        return run_explain(rule);
+    }
     let outcome = if cli.files.is_empty() { run_workspace(&cli) } else { run_files(&cli) };
     match outcome {
         Ok(code) => code,
@@ -80,15 +116,45 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
+/// Prints the rationale for one rule slug (or every rule for `all`).
+fn run_explain(slug: &str) -> i32 {
+    if slug == "all" {
+        for rule in Rule::all() {
+            println!("[{}]\n{}\n", rule.slug(), rule.explain());
+        }
+        return 0;
+    }
+    match Rule::from_slug(slug) {
+        Some(rule) => {
+            println!("[{}]\n{}", rule.slug(), rule.explain());
+            0
+        }
+        None => {
+            let known: Vec<&str> = Rule::all().iter().map(|r| r.slug()).collect();
+            eprintln!("unknown rule `{slug}`; known rules: {}", known.join(", "));
+            2
+        }
+    }
+}
+
 /// Lint explicit files with every rule in scope and no baseline: any finding
-/// is a failure. This is what the fixture self-tests drive.
+/// is a failure. This is what the fixture self-tests drive. The semantic
+/// flow rules run too, in [`flows::AnalysisMode::Explicit`] (every file in
+/// scope), so leak/escape fixtures fail standalone.
 fn run_files(cli: &Cli) -> Result<i32, String> {
     let mut findings: Vec<Finding> = Vec::new();
+    let mut parsed: Vec<parser::ParsedFile> = Vec::new();
+    let mut markers: BTreeMap<String, FileMarkers> = BTreeMap::new();
     for f in &cli.files {
         let source =
             fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        findings.extend(rules::lint_tokens(f, &lexer::lex(source.as_str()), Scope::all()));
+        let tokens = lexer::lex(source.as_str());
+        findings.extend(rules::lint_tokens(f, &tokens, Scope::all()));
+        markers.insert(f.clone(), rules::file_markers(&tokens));
+        parsed.push(parser::parse(f, &tokens));
     }
+    findings.extend(flows::analyze(&parsed, &markers, flows::AnalysisMode::Explicit));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let comparison = Comparison::default();
     let exit_code = if findings.is_empty() { 0 } else { 1 };
     let report = Report {

@@ -1,8 +1,10 @@
-//! The four structural lint rules, plus marker parsing and suppression.
+//! The token-level lint rules, plus marker parsing and suppression.
 //!
-//! Rules operate on the token stream from [`crate::lexer`] — they never see
+//! Token rules operate on the stream from [`crate::lexer`] — they never see
 //! the raw source, so anything inside strings, raw strings, chars, or
-//! comments is invisible to them by construction.
+//! comments is invisible to them by construction. The semantic (call-graph)
+//! rules live in [`crate::flows`] and [`crate::hwbudget`] but share this
+//! module's [`Rule`] identity, markers, and suppression machinery.
 //!
 //! | slug | what it catches |
 //! |------|-----------------|
@@ -10,12 +12,18 @@
 //! | `panic-surface` | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / slice indexing in library code |
 //! | `unsafe-code` | any `unsafe` token; manifest checks live in [`crate::driver`] |
 //! | `opstats-literal` | `OpStats { .. }` struct literals outside `stats.rs` |
+//! | `resource-flow` | pooled buffer acquisitions that miss every recycle path ([`crate::flows`]) |
+//! | `opstats-flow` | stats-returning kernels unreachable from an accounting sink ([`crate::flows`]) |
+//! | `hw-budget` | accelerator configs that break the Eqs. 16–22 budget model ([`crate::hwbudget`]) |
 //! | `malformed-marker` | a `// lint:` marker the tool cannot honor |
 //!
 //! Suppression: `// lint: allow(<slug>) -- <reason>` silences findings of
 //! that rule on the marker's own line and the next line. The reason is
 //! mandatory; a marker without one is itself a finding (`malformed-marker`)
-//! and suppresses nothing.
+//! and suppresses nothing. Two further markers feed the semantic rules:
+//! `// lint: buffer-carrier -- <reason>` documents a function that moves
+//! pooled buffers out through its return value, and `// lint: opstats-sink`
+//! marks an accounting entry point for `opstats-flow` reachability.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -30,6 +38,12 @@ pub enum Rule {
     UnsafeCode,
     /// R4: raw `OpStats` struct literals.
     OpstatsLiteral,
+    /// R5: pooled-buffer acquisitions that never reach a recycle path.
+    ResourceFlow,
+    /// R6: stats-returning kernels unreachable from an accounting sink.
+    OpstatsFlow,
+    /// R7: accelerator configs violating the static Eqs. 16–22 budget model.
+    HwBudget,
     /// A `// lint:` marker the tool cannot parse or honor.
     MalformedMarker,
 }
@@ -42,6 +56,9 @@ impl Rule {
             Rule::PanicSurface => "panic-surface",
             Rule::UnsafeCode => "unsafe-code",
             Rule::OpstatsLiteral => "opstats-literal",
+            Rule::ResourceFlow => "resource-flow",
+            Rule::OpstatsFlow => "opstats-flow",
+            Rule::HwBudget => "hw-budget",
             Rule::MalformedMarker => "malformed-marker",
         }
     }
@@ -53,20 +70,99 @@ impl Rule {
             "panic-surface" => Some(Rule::PanicSurface),
             "unsafe-code" => Some(Rule::UnsafeCode),
             "opstats-literal" => Some(Rule::OpstatsLiteral),
+            "resource-flow" => Some(Rule::ResourceFlow),
+            "opstats-flow" => Some(Rule::OpstatsFlow),
+            "hw-budget" => Some(Rule::HwBudget),
             "malformed-marker" => Some(Rule::MalformedMarker),
             _ => None,
         }
     }
 
-    /// All real rules (excludes the meta-rule), for reporting.
-    pub fn all() -> [Rule; 5] {
+    /// All rules (the meta-rule last), for reporting.
+    pub fn all() -> [Rule; 8] {
         [
             Rule::HotPathAlloc,
             Rule::PanicSurface,
             Rule::UnsafeCode,
             Rule::OpstatsLiteral,
+            Rule::ResourceFlow,
+            Rule::OpstatsFlow,
+            Rule::HwBudget,
             Rule::MalformedMarker,
         ]
+    }
+
+    /// Long-form rationale for `idgnn-lint --explain <slug>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "hot-path-alloc — no allocation in the sparse kernel hot paths.\n\n\
+                The two-phase SpGEMM/SpMM kernels (DESIGN.md §8) are allocation-free by\n\
+                design: every scratch buffer comes from the generation-stamped Workspace\n\
+                arena so steady-state snapshot processing never touches the system\n\
+                allocator. This rule flags `Vec::new`, `Vec::with_capacity`, `vec![..]`,\n\
+                `.collect()`, and `Box::new` inside `crates/sparse/src/{ops,frontier,\n\
+                parallel}.rs` or any function marked `// lint: hot-path`. O(blocks) or\n\
+                O(levels) setup allocations outside the per-row loops may be suppressed\n\
+                with `// lint: allow(hot-path-alloc) -- <why it is not per-element>`.",
+            Rule::PanicSurface => "panic-surface — library code must not panic on untrusted input.\n\n\
+                Flags `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, and slice\n\
+                indexing `[..]` in library code (tests, benches, bins, and build scripts\n\
+                are exempt). Kernels validate shapes up front and return `SparseError`;\n\
+                a panic in the middle of a multi-hour DGNN sweep loses the run. Sites\n\
+                with a locally provable bound carry\n\
+                `// lint: allow(panic-surface) -- <the invariant>`.",
+            Rule::UnsafeCode => "unsafe-code — the workspace forbids `unsafe` outright.\n\n\
+                `[workspace.lints.rust] unsafe_code = \"forbid\"` plus this token-level\n\
+                check (which also sees `unsafe` in cfg'd-out code and test modules).\n\
+                The allowlist is empty on purpose: nothing in the accelerator model\n\
+                needs raw pointers, and keeping the surface at zero makes the\n\
+                deterministic-parallelism argument (DESIGN.md §7) purely structural.",
+            Rule::OpstatsLiteral => "opstats-literal — operation counts enter through one door.\n\n\
+                `OpStats` powers every figure's work accounting (Eqs. 13–15 savings\n\
+                included), so raw `OpStats { .. }` literals outside its home module\n\
+                (crates/sparse/src/stats.rs) are flagged; construct counts with\n\
+                `OpStats::counted(mults, adds)` instead. One constructor means one\n\
+                place to audit when the accounting algebra changes.",
+            Rule::ResourceFlow => "resource-flow — pooled buffers must return to the pool.\n\n\
+                Cross-function rule over the symbol graph: any function in idgnn-sparse\n\
+                that acquires a pooled buffer (`take_index_buffer` / `take_value_buffer`)\n\
+                must, on some path, hand it back (`recycle`, `recycle_dense`,\n\
+                `recycle_index_buffer`, `recycle_value_buffer`), assemble it into a\n\
+                returned matrix (`from_raw_parts`, `splice_rows`, `assemble_csr`), or\n\
+                call a function that does — otherwise the arena leaks and the\n\
+                allocation-free steady state (DESIGN.md §8) silently degrades into\n\
+                malloc churn. Functions that intentionally move buffers out through\n\
+                their return value declare it with\n\
+                `// lint: buffer-carrier -- <where ownership goes>`. The rule also\n\
+                flags `?` early-returns *after* an acquisition: validate inputs before\n\
+                taking buffers, or the error path leaks.",
+            Rule::OpstatsFlow => "opstats-flow — every counted FLOP must reach the accounting.\n\n\
+                Call-graph reachability rule: every public kernel in\n\
+                crates/sparse/src/{ops,frontier,parallel}.rs whose return type carries\n\
+                `OpStats` must share a (transitive) caller with an accounting sink\n\
+                (a function marked `// lint: opstats-sink`, e.g. the bench\n\
+                `ExecAccounting` builder). A kernel nobody joins to a sink produces\n\
+                operation counts that never reach results/*.json — exactly the silent\n\
+                under-accounting the Eq. 13–15 savings bookkeeping must not have.\n\
+                Reference variants kept only for equivalence tests carry\n\
+                `// lint: allow(opstats-flow) -- <why the counts are audited elsewhere>`.",
+            Rule::HwBudget => "hw-budget — the shipped accelerator config must satisfy the paper's\n\
+                budgets before any simulation runs.\n\n\
+                Static verifier over the Eqs. 16–22 pipeline model (crates/core\n\
+                scheduler) and the AcceleratorConfig invariants (crates/hw): for every\n\
+                Table-I dataset shape, the per-PE GSB tile (indptr slice + double-\n\
+                buffered mean-degree row) must fit the 128 KB GSB, the double-buffered\n\
+                feature-column tile must fit the 100 KB LB, resident weights plus\n\
+                staged tiles must fit the 64 MB GLB, the alpha/beta MAC split must be\n\
+                representable at 1/16 granularity, and `scaled_down` must stay on a\n\
+                consistent square torus at every scale 1–64. Violations point at\n\
+                crates/hw/src/config.rs and fail the lint before any run burns time.",
+            Rule::MalformedMarker => "malformed-marker — the lint's own markers must be well-formed.\n\n\
+                A `// lint:` comment the tool cannot honor (unknown rule, missing\n\
+                mandatory `-- <reason>`, `hot-path`/`buffer-carrier` not followed by a\n\
+                function) is itself a finding. A typo'd suppression that silently\n\
+                suppressed nothing would be strictly worse than an error.",
+        }
     }
 }
 
@@ -112,9 +208,110 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 ];
 
 /// A parsed `// lint: allow(...)` marker.
-struct Allow {
-    rule: Rule,
-    line: usize,
+#[derive(Debug, Clone, Copy)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+}
+
+impl Allow {
+    /// True if this marker suppresses rule `rule` at `line` (a marker
+    /// covers its own line and the next line).
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// All markers in one file that the semantic rules consume.
+#[derive(Debug, Clone, Default)]
+pub struct FileMarkers {
+    /// `allow(<rule>) -- <reason>` suppressions.
+    pub allows: Vec<Allow>,
+    /// Lines of `buffer-carrier -- <reason>` markers (ownership moves out
+    /// through the return value of the following fn).
+    pub carriers: Vec<usize>,
+    /// Lines of `opstats-sink` markers (the following fn is an accounting
+    /// entry point).
+    pub sinks: Vec<usize>,
+}
+
+/// Collects the semantic-rule markers from a token stream without emitting
+/// any findings (the token pass in [`lint_tokens`] owns malformed-marker
+/// diagnostics so they are reported exactly once).
+pub fn file_markers(tokens: &[Token]) -> FileMarkers {
+    let mut m = FileMarkers::default();
+    for tok in tokens.iter().filter(|t| t.kind == TokenKind::LineComment) {
+        match parse_marker_text(&tok.text) {
+            Some(Marker::Allow(rule)) => m.allows.push(Allow { rule, line: tok.line }),
+            Some(Marker::BufferCarrier) => m.carriers.push(tok.line),
+            Some(Marker::OpstatsSink) => m.sinks.push(tok.line),
+            _ => {}
+        }
+    }
+    m
+}
+
+/// What one `// lint:` comment means.
+enum Marker {
+    /// `hot-path`
+    HotPath,
+    /// `allow(<rule>) -- <reason>` (reason present and non-empty)
+    Allow(Rule),
+    /// `buffer-carrier -- <reason>`
+    BufferCarrier,
+    /// `opstats-sink`
+    OpstatsSink,
+    /// Anything with `lint:` intent the tool cannot honor.
+    Malformed(String),
+}
+
+/// Parses the text of a plain line comment; `None` if it carries no
+/// `lint:` marker at all.
+fn parse_marker_text(text: &str) -> Option<Marker> {
+    let body = text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim();
+    if rest == "hot-path" {
+        return Some(Marker::HotPath);
+    }
+    if rest == "opstats-sink" {
+        return Some(Marker::OpstatsSink);
+    }
+    if let Some(tail) = rest.strip_prefix("buffer-carrier") {
+        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            return Some(Marker::Malformed(
+                "buffer-carrier marker is missing its mandatory `-- <where ownership goes>`"
+                    .to_string(),
+            ));
+        }
+        return Some(Marker::BufferCarrier);
+    }
+    if let Some(inner) = rest.strip_prefix("allow(") {
+        let (slug, tail) = match inner.split_once(')') {
+            Some(p) => p,
+            None => return Some(Marker::Malformed("unclosed `allow(` in lint marker".to_string())),
+        };
+        let rule = match Rule::from_slug(slug.trim()) {
+            Some(r) => r,
+            None => {
+                return Some(Marker::Malformed(format!(
+                    "unknown rule `{}` in lint allow marker",
+                    slug.trim()
+                )))
+            }
+        };
+        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            return Some(Marker::Malformed(format!(
+                "allow({}) marker is missing its mandatory `-- <reason>`",
+                rule.slug()
+            )));
+        }
+        return Some(Marker::Allow(rule));
+    }
+    Some(Marker::Malformed(format!("unrecognized lint marker `lint: {rest}`")))
 }
 
 /// Lints one file's token stream under `scope`; `file` is the label used in
@@ -126,9 +323,10 @@ pub fn lint_tokens(file: &str, tokens: &[Token], scope: Scope) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut allows: Vec<Allow> = Vec::new();
     let mut hot_marker_lines: Vec<usize> = Vec::new();
+    let mut fn_markers: Vec<(usize, &'static str)> = Vec::new();
 
     for tok in tokens.iter().filter(|t| t.kind == TokenKind::LineComment) {
-        parse_marker(file, tok, &mut allows, &mut hot_marker_lines, &mut findings);
+        parse_marker(file, tok, &mut allows, &mut hot_marker_lines, &mut fn_markers, &mut findings);
     }
     for &line in &hot_marker_lines {
         if !regions.mark_hot_fn(&sig, line) {
@@ -137,6 +335,16 @@ pub fn lint_tokens(file: &str, tokens: &[Token], scope: Scope) -> Vec<Finding> {
                 file: file.to_string(),
                 line,
                 message: "`// lint: hot-path` marker is not followed by a function".to_string(),
+            });
+        }
+    }
+    for &(line, kind) in &fn_markers {
+        if !fn_follows(&sig, line) {
+            findings.push(Finding {
+                rule: Rule::MalformedMarker,
+                file: file.to_string(),
+                line,
+                message: format!("`// lint: {kind}` marker is not followed by a function"),
             });
         }
     }
@@ -283,58 +491,42 @@ fn item_end(sig: &[&Token], start: usize) -> usize {
     sig.len().saturating_sub(1)
 }
 
-/// Parses a single plain line comment for `lint:` markers.
+/// Parses a single plain line comment for `lint:` markers, routing each
+/// kind to its collector. `fn_markers` collects the lines of markers that
+/// must be followed by a function (`buffer-carrier`, `opstats-sink`) for
+/// placement validation.
 fn parse_marker(
     file: &str,
     tok: &Token,
     allows: &mut Vec<Allow>,
     hot_lines: &mut Vec<usize>,
+    fn_markers: &mut Vec<(usize, &'static str)>,
     findings: &mut Vec<Finding>,
 ) {
-    let body = tok.text.trim_start_matches('/').trim();
-    let rest = match body.strip_prefix("lint:") {
-        Some(r) => r.trim(),
-        None => return,
-    };
-    let mut bad = |msg: String| {
-        findings.push(Finding {
+    match parse_marker_text(&tok.text) {
+        None => {}
+        Some(Marker::HotPath) => hot_lines.push(tok.line),
+        Some(Marker::Allow(rule)) => allows.push(Allow { rule, line: tok.line }),
+        Some(Marker::BufferCarrier) => fn_markers.push((tok.line, "buffer-carrier")),
+        Some(Marker::OpstatsSink) => fn_markers.push((tok.line, "opstats-sink")),
+        Some(Marker::Malformed(msg)) => findings.push(Finding {
             rule: Rule::MalformedMarker,
             file: file.to_string(),
             line: tok.line,
             message: msg,
-        });
+        }),
+    }
+}
+
+/// True if a `fn` token follows `line` within a plausible signature-prefix
+/// distance (same check the hot-path marker uses).
+fn fn_follows(sig: &[&Token], line: usize) -> bool {
+    let start = match sig.iter().position(|t| t.line > line) {
+        Some(p) => p,
+        None => return false,
     };
-    if rest == "hot-path" {
-        hot_lines.push(tok.line);
-        return;
-    }
-    if let Some(inner) = rest.strip_prefix("allow(") {
-        let (slug, tail) = match inner.split_once(')') {
-            Some(p) => p,
-            None => {
-                bad("unclosed `allow(` in lint marker".to_string());
-                return;
-            }
-        };
-        let rule = match Rule::from_slug(slug.trim()) {
-            Some(r) => r,
-            None => {
-                bad(format!("unknown rule `{}` in lint allow marker", slug.trim()));
-                return;
-            }
-        };
-        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
-        if reason.is_empty() {
-            bad(format!(
-                "allow({}) marker is missing its mandatory `-- <reason>`",
-                rule.slug()
-            ));
-            return;
-        }
-        allows.push(Allow { rule, line: tok.line });
-        return;
-    }
-    bad(format!("unrecognized lint marker `lint: {rest}`"));
+    (start..sig.len().min(start + 24))
+        .any(|k| sig.get(k).map(|t| t.is_ident("fn")).unwrap_or(false))
 }
 
 /// The core pattern matcher over significant tokens.

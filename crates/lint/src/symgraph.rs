@@ -1,0 +1,204 @@
+//! Cross-crate symbol table and call graph over [`crate::parser`] items.
+//!
+//! Resolution is **name-based**: a call site `foo(...)` (or `.foo(...)`)
+//! adds an edge to *every* function named `foo` in the workspace. That is a
+//! deliberate over-approximation — it can only add edges, never miss one
+//! whose callee is a parsed `fn` — which is the safe direction for the
+//! reachability rules built on top:
+//!
+//! * `opstats-flow` asks "does some accounting join point reach this
+//!   kernel?" — extra edges can only make a kernel *easier* to prove
+//!   accounted, so a **finding** (unreachable kernel) is always real.
+//! * `resource-flow` asks "does this function (transitively) hand its
+//!   pooled buffers to a resolver?" — extra edges can mask a leak but
+//!   never invent one, so its findings are also never false positives
+//!   at the graph level.
+//!
+//! When the imprecision hides a true positive, the seeded fixtures in
+//! `tests/fixtures/` keep the rule logic itself honest.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{FnItem, ParsedFile};
+
+/// A function node in the workspace graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Crate name inferred from the path (`crates/<dir>` → `<dir>`).
+    pub krate: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// Symbol table + call graph for one workspace scan.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// All function nodes, in (file, source) order.
+    pub fns: Vec<FnNode>,
+    /// name → node indices (resolution map).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Forward edges: caller index → callee indices (deduped, sorted).
+    pub calls: Vec<Vec<usize>>,
+    /// Reverse edges: callee index → caller indices.
+    pub callers: Vec<Vec<usize>>,
+}
+
+/// Infers the crate name from a workspace-relative path:
+/// `crates/sparse/src/ops.rs` → `sparse`; anything else keeps its first
+/// path component (fixtures and ad-hoc files become their own "crate").
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some(first) => first.to_string(),
+        None => "unknown".to_string(),
+    }
+}
+
+impl SymbolGraph {
+    /// Builds the graph from parsed files. Test items (`#[cfg(test)]`,
+    /// `#[test]`) are kept as nodes but excluded from name resolution, so
+    /// test-only plumbing neither accounts a kernel nor resolves a buffer.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut g = SymbolGraph::default();
+        for pf in files {
+            let krate = crate_of(&pf.rel);
+            for item in &pf.fns {
+                g.fns.push(FnNode { file: pf.rel.clone(), krate: krate.clone(), item: item.clone() });
+            }
+        }
+        for (idx, node) in g.fns.iter().enumerate() {
+            if node.item.in_test {
+                continue;
+            }
+            g.by_name.entry(node.item.name.clone()).or_default().push(idx);
+        }
+        g.calls = vec![Vec::new(); g.fns.len()];
+        g.callers = vec![Vec::new(); g.fns.len()];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (caller, node) in g.fns.iter().enumerate() {
+            for call in &node.item.calls {
+                if let Some(callees) = g.by_name.get(&call.name) {
+                    for &callee in callees {
+                        edges.push((caller, callee));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for (caller, callee) in edges {
+            if let Some(row) = g.calls.get_mut(caller) {
+                row.push(callee);
+            }
+            if let Some(row) = g.callers.get_mut(callee) {
+                row.push(caller);
+            }
+        }
+        g
+    }
+
+    /// Node indices of all functions with this name (non-test only).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Forward transitive closure from `seeds` (following caller→callee
+    /// edges), including the seeds themselves.
+    pub fn reachable_from(&self, seeds: &[usize]) -> BTreeSet<usize> {
+        self.closure(seeds, &self.calls)
+    }
+
+    /// Reverse transitive closure from `seeds` (following callee→caller
+    /// edges), including the seeds themselves.
+    pub fn callers_of(&self, seeds: &[usize]) -> BTreeSet<usize> {
+        self.closure(seeds, &self.callers)
+    }
+
+    fn closure(&self, seeds: &[usize], edges: &[Vec<usize>]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = seeds.iter().copied().collect();
+        let mut work: Vec<usize> = seeds.to_vec();
+        while let Some(n) = work.pop() {
+            if let Some(nexts) = edges.get(n) {
+                for &m in nexts {
+                    if seen.insert(m) {
+                        work.push(m);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph(srcs: &[(&str, &str)]) -> SymbolGraph {
+        let files: Vec<ParsedFile> =
+            srcs.iter().map(|(rel, src)| parse(rel, &lex(src))).collect();
+        SymbolGraph::build(&files)
+    }
+
+    fn idx(g: &SymbolGraph, name: &str) -> usize {
+        g.named(name).first().copied().unwrap_or(usize::MAX)
+    }
+
+    #[test]
+    fn crate_inference() {
+        assert_eq!(crate_of("crates/sparse/src/ops.rs"), "sparse");
+        assert_eq!(crate_of("crates/lint/src/main.rs"), "lint");
+        assert_eq!(crate_of("fixture.rs"), "fixture.rs");
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { kernel(); }"),
+            ("crates/b/src/lib.rs", "pub fn kernel() { leaf(); } fn leaf() {}"),
+        ]);
+        let entry = idx(&g, "entry");
+        let reach = g.reachable_from(&[entry]);
+        assert!(reach.contains(&idx(&g, "kernel")));
+        assert!(reach.contains(&idx(&g, "leaf")));
+    }
+
+    #[test]
+    fn reverse_closure_finds_callers() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { mid(); } fn mid() { bottom(); } fn bottom() {} fn other() {}",
+        )]);
+        let callers = g.callers_of(&[idx(&g, "bottom")]);
+        assert!(callers.contains(&idx(&g, "mid")));
+        assert!(callers.contains(&idx(&g, "top")));
+        assert!(!callers.contains(&idx(&g, "other")));
+    }
+
+    #[test]
+    fn test_fns_do_not_resolve() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn kernel() {} #[cfg(test)] mod tests { fn kernel() {} fn driver() { kernel(); } }",
+        )]);
+        // Only the library `kernel` resolves; the test driver's call edge
+        // points at the library node, and the test copy has no name entry.
+        assert_eq!(g.named("kernel").len(), 1);
+        assert!(g.named("driver").is_empty());
+    }
+
+    #[test]
+    fn method_calls_resolve_to_all_same_named_fns() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "impl W { pub fn recycle(&mut self) {} }"),
+            ("crates/b/src/lib.rs", "fn f(w: &mut W) { w.recycle(); }"),
+        ]);
+        let f = idx(&g, "f");
+        assert!(g.reachable_from(&[f]).contains(&idx(&g, "recycle")));
+    }
+}

@@ -1,0 +1,31 @@
+// Seeded violation fixture: R6 `opstats-flow`.
+// A public stats-returning kernel with no path to an accounting sink;
+// idgnn-lint must exit nonzero with an opstats-flow finding for
+// `orphan_kernel`, while `accounted_kernel` — joined to the sink by
+// `drive` — stays clean. (A tuple struct stands in for the real
+// accounting type so R4 `opstats-literal` stays out of the picture.)
+
+/// Exact operation counts (stand-in for the real accounting struct).
+pub struct OpStats(pub u64);
+
+/// BAD: counts FLOPs that no caller ever feeds into the accounting.
+pub fn orphan_kernel(n: u64) -> OpStats {
+    OpStats(n)
+}
+
+/// GOOD: `drive` below both runs this kernel and records its counts.
+pub fn accounted_kernel(n: u64) -> OpStats {
+    OpStats(n * n)
+}
+
+/// The accounting entry point every kernel's counts must reach.
+// lint: opstats-sink
+pub fn record(stats: OpStats) -> u64 {
+    stats.0
+}
+
+/// The join point: executes the kernel and feeds the sink.
+pub fn drive(n: u64) -> u64 {
+    let stats = accounted_kernel(n);
+    record(stats)
+}

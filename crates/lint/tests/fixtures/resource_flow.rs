@@ -1,0 +1,62 @@
+// Seeded violation fixture: R5 `resource-flow`.
+// Pooled-buffer acquisitions that never reach a recycle path; idgnn-lint
+// must exit nonzero with resource-flow findings for `leaky_kernel` and the
+// `?` escape in `early_return_leak`, while the three resolving shapes
+// (direct recycle, transitive helper, declared carrier) stay clean.
+
+/// BAD: acquires a pooled buffer and drops it on the floor.
+pub fn leaky_kernel(n: usize) -> usize {
+    let scratch = take_index_buffer(n);
+    scratch.len()
+}
+
+/// BAD: recycles on the happy path, but the `?` after the acquisition
+/// propagates an error while the buffer is still checked out.
+pub fn early_return_leak(n: usize) -> Result<usize, ()> {
+    let scratch = take_value_buffer(n);
+    let checked = fallible(n)?;
+    recycle(scratch);
+    Ok(checked)
+}
+
+/// GOOD: acquisition resolved by a direct recycle call.
+pub fn balanced_kernel(n: usize) -> usize {
+    let scratch = take_index_buffer(n);
+    let len = scratch.len();
+    recycle(scratch);
+    len
+}
+
+/// GOOD: acquisition resolved through a helper that recycles.
+pub fn delegating_kernel(n: usize) -> usize {
+    let scratch = take_value_buffer(n);
+    finish(scratch)
+}
+
+fn finish(buf: Vec<f32>) -> usize {
+    let len = buf.len();
+    recycle_dense(buf);
+    len
+}
+
+/// GOOD: ownership declared to move out through the return value.
+// lint: buffer-carrier -- the checked-out buffer becomes the returned block
+pub fn carrier_kernel(n: usize) -> Vec<usize> {
+    take_index_buffer(n)
+}
+
+fn fallible(n: usize) -> Result<usize, ()> {
+    if n == 0 { Err(()) } else { Ok(n) }
+}
+
+fn take_index_buffer(n: usize) -> Vec<usize> {
+    Vec::with_capacity(n)
+}
+
+fn take_value_buffer(n: usize) -> Vec<f32> {
+    Vec::with_capacity(n)
+}
+
+fn recycle(_buf: Vec<usize>) {}
+
+fn recycle_dense(_buf: Vec<f32>) {}

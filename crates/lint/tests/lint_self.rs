@@ -32,6 +32,8 @@ fn each_seeded_fixture_fails_with_its_rule() {
         ("panic_surface.rs", "panic-surface"),
         ("unsafe_code.rs", "unsafe-code"),
         ("opstats_literal.rs", "opstats-literal"),
+        ("resource_flow.rs", "resource-flow"),
+        ("opstats_flow.rs", "opstats-flow"),
     ];
     for (file, slug) in cases {
         let path = fixtures_dir().join(file);
@@ -66,6 +68,56 @@ fn marker_edge_cases_yield_exactly_one_real_finding() {
     let hits = stdout.matches("[panic-surface]").count();
     assert_eq!(hits, 1, "exactly one panic-surface finding expected:\n{stdout}");
     assert!(!stdout.contains("[hot-path-alloc]"), "decoy markers must stay inert:\n{stdout}");
+}
+
+#[test]
+fn flow_fixtures_flag_only_the_seeded_violations() {
+    // The resource-flow fixture mixes leaking and resolving shapes: exactly
+    // the leak and the `?` escape fire, never the recycled / transitive /
+    // carrier-marked functions.
+    let path = fixtures_dir().join("resource_flow.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[resource-flow]").count(), 2, "{stdout}");
+    assert!(stdout.contains("leaky_kernel"), "{stdout}");
+    assert!(stdout.contains("early_return_leak"), "{stdout}");
+    for clean in ["balanced_kernel", "delegating_kernel", "carrier_kernel"] {
+        assert!(!stdout.contains(clean), "`{clean}` must not be flagged:\n{stdout}");
+    }
+
+    // The opstats-flow fixture: only the orphan kernel fires; the kernel
+    // joined to the sink through `drive` stays clean.
+    let path = fixtures_dir().join("opstats_flow.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[opstats-flow]").count(), 1, "{stdout}");
+    assert!(stdout.contains("orphan_kernel"), "{stdout}");
+    assert!(!stdout.contains("accounted_kernel"), "{stdout}");
+}
+
+#[test]
+fn explain_subcommand_documents_every_rule() {
+    for slug in [
+        "hot-path-alloc",
+        "panic-surface",
+        "unsafe-code",
+        "opstats-literal",
+        "resource-flow",
+        "opstats-flow",
+        "hw-budget",
+        "malformed-marker",
+    ] {
+        let out = run_lint(&["--explain", slug], &workspace_root());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(0), "--explain {slug} should succeed");
+        assert!(stdout.contains(slug) && stdout.len() > 100, "thin rationale for {slug}:\n{stdout}");
+    }
+    let out = run_lint(&["--explain", "no-such-rule"], &workspace_root());
+    assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
+
+    let out = run_lint(&["--help"], &workspace_root());
+    assert_eq!(out.status.code(), Some(0), "--help exits 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--explain RULE"));
 }
 
 #[test]

@@ -1,0 +1,111 @@
+//! Parser coverage: a smoke test over every first-party `.rs` file in the
+//! workspace, and a property test that the item parser agrees with the
+//! lexer's token spans on generated fixtures.
+
+use idgnn_lint::lexer::{self, TokenKind};
+use idgnn_lint::parser;
+use idgnn_lint::{driver, SymbolGraph};
+use proptest::prelude::*;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn parser_handles_every_workspace_file() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    driver::collect_rs_files(&root, &root, &mut files).expect("workspace walk succeeds");
+    files.sort();
+    assert!(files.len() > 50, "expected a full workspace walk, got {} files", files.len());
+
+    let mut parsed = Vec::new();
+    let mut total_fns = 0usize;
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel)).expect("file reads");
+        let line_count = source.lines().count().max(1);
+        let tokens = lexer::lex(&source);
+        let file = parser::parse(rel, &tokens);
+        for f in &file.fns {
+            total_fns += 1;
+            assert!(!f.name.is_empty(), "{rel}: unnamed fn at line {}", f.line);
+            assert!(
+                f.line >= 1 && f.line <= line_count,
+                "{rel}: fn `{}` at impossible line {} of {line_count}",
+                f.name,
+                f.line
+            );
+            if let Some((open, close)) = f.body {
+                assert!(open < close, "{rel}: fn `{}` body spans backwards", f.name);
+                assert!(close < tokens.len(), "{rel}: fn `{}` body ends past EOF", f.name);
+            }
+            for c in &f.calls {
+                assert!(
+                    c.line >= f.line,
+                    "{rel}: call `{}` attributed before its fn `{}`",
+                    c.name,
+                    f.name
+                );
+            }
+        }
+        parsed.push(file);
+    }
+    // The workspace is substantial: the parser must find a large fn
+    // population, and the symbol graph over it must build and resolve edges.
+    assert!(total_fns > 500, "only {total_fns} fns parsed across the workspace");
+    let graph = SymbolGraph::build(&parsed);
+    let edges: usize = graph.calls.iter().map(Vec::len).sum();
+    assert!(edges > 500, "only {edges} call edges resolved across the workspace");
+}
+
+/// Renders one generated fixture: `count` simple fns, optionally nested in a
+/// module, with comment and string decoys that must stay invisible.
+fn render(items: &[(bool, u32, bool)]) -> String {
+    let mut src = String::new();
+    for (i, (public, tag, decoy)) in items.iter().enumerate() {
+        if *decoy {
+            src.push_str(&format!("// fn decoy_{i}() in a comment\n"));
+            src.push_str(&format!("const S{i}: &str = \"fn sneaky_{i}()\";\n"));
+        }
+        if *public {
+            src.push_str("pub ");
+        }
+        src.push_str(&format!("fn f{tag}_{i}() -> usize {{ {i} }}\n"));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parsed_fns_agree_with_lexer_spans(
+        items in prop::collection::vec((any::<bool>(), 0u32..1000, any::<bool>()), 1..20)
+    ) {
+        let src = render(&items);
+        let tokens = lexer::lex(&src);
+        let file = parser::parse("generated.rs", &tokens);
+
+        // Exactly the rendered fns are found, in order, none of the decoys.
+        prop_assert_eq!(file.fns.len(), items.len());
+        for (i, ((public, tag, _), f)) in items.iter().zip(&file.fns).enumerate() {
+            let want = format!("f{tag}_{i}");
+            prop_assert_eq!(&f.name, &want);
+            let want_vis = if *public { parser::Vis::Public } else { parser::Vis::Private };
+            prop_assert_eq!(f.vis, want_vis);
+
+            // The parser's (name, line) must correspond to a real lexer
+            // token whose byte span slices the source back to the name.
+            let tok = tokens
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident && t.line == f.line && t.text == want)
+                .expect("fn name token exists on the reported line");
+            prop_assert_eq!(&src[tok.pos..tok.pos + tok.text.len()], want.as_str());
+        }
+    }
+}

@@ -49,21 +49,27 @@ pub fn dirty_frontier_levels(
     if let Some(&bad) = seeds.iter().find(|&&s| s >= n) {
         return Err(SparseError::IndexOutOfBounds { index: (bad, 0), shape: a.shape() });
     }
+    // lint: allow(hot-path-alloc) -- per-call visited bitmap; frontier sets are not row scratch
     let mut visited = vec![false; n];
     let mut cumulative: Vec<usize> = seeds.to_vec();
     cumulative.sort_unstable();
     cumulative.dedup();
     for &s in &cumulative {
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         visited[s] = true;
     }
     let mut frontier = cumulative.clone();
+    // lint: allow(hot-path-alloc) -- per-call BFS state (O(hops) levels), returned to the caller
     let mut levels = Vec::with_capacity(max_hops + 1);
     levels.push(cumulative.clone());
     for _ in 0..max_hops {
+        // lint: allow(hot-path-alloc) -- one next-frontier list per hop, moved into `levels`
         let mut next = Vec::new();
         for &r in &frontier {
             for &c in a.row_indices(r).iter().chain(b.row_indices(r)) {
+                // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                 if !visited[c] {
+                    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                     visited[c] = true;
                     next.push(c);
                 }
@@ -93,6 +99,7 @@ pub fn dirty_frontier(
     hops: usize,
 ) -> Result<Vec<usize>> {
     let mut levels = dirty_frontier_levels(a, b, seeds, hops)?;
+    // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
     Ok(levels.pop().expect("levels always holds max_hops + 1 sets"))
 }
 

