@@ -1,0 +1,101 @@
+//! `dse` — the design-space exploration sweep.
+//!
+//! Runs the staged [`idgnn_dse`] search (enumerate → budget-prune → rank →
+//! Pareto-extract) over the Table-I workload shapes, prints the front, and
+//! writes `results/dse.json` (default: repository root; `--out <path>`
+//! overrides). `--smoke` (the default) sweeps the seconds-long CI grid;
+//! `--full` sweeps the larger grid. `--parallelism <n>` fans candidate
+//! evaluation across the deterministic worker pool — the JSON is
+//! byte-identical at any setting. The binary re-reads and structurally
+//! validates what it wrote and exits non-zero on any failure, so
+//! `scripts/ci.sh` can gate on it directly.
+//!
+//! `--validate <path>` skips the sweep and structurally checks an existing
+//! report with [`idgnn_bench::dsev`]. Exit 0 on pass, 1 on failure.
+
+use idgnn_bench::{cli, dsev};
+use idgnn_dse::{explore_report, DseOptions, SweepGrid};
+use idgnn_hw::budget::fig12_shapes;
+
+fn main() {
+    let mut grid = SweepGrid::smoke();
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let mut passthrough: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => grid = SweepGrid::smoke(),
+            "--full" => grid = SweepGrid::full(),
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| panic!("--out requires a path")));
+            }
+            "--validate" => {
+                validate =
+                    Some(args.next().unwrap_or_else(|| panic!("--validate requires a path")));
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--out=") {
+                    out = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--validate=") {
+                    validate = Some(v.to_string());
+                } else if other == "--parallelism" || other.starts_with("--parallelism=") {
+                    passthrough.push(other.to_string());
+                    if other == "--parallelism" {
+                        if let Some(v) = args.next() {
+                            passthrough.push(v);
+                        }
+                    }
+                } else {
+                    panic!(
+                        "unknown argument {other:?} (expected --smoke, --full, --out <path>, \
+                         --parallelism <n>, or --validate <json>)"
+                    );
+                }
+            }
+        }
+    }
+    let parallelism = cli::apply_parallelism_flag(passthrough.into_iter());
+
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match dsev::validate_report_structure(&text) {
+            Ok(()) => {
+                println!("{path}: structurally valid DSE report ({} bytes)", text.len());
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {path} failed structural validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The workspace root, resolved at compile time (this is a repo-local
+    // developer tool, not an installable binary).
+    let out = out.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/dse.json").to_string()
+    });
+
+    let start = std::time::Instant::now();
+    let report = explore_report(&grid, &fig12_shapes(), &DseOptions { parallelism });
+    println!("{report}");
+    eprintln!(
+        "[timing] dse: {:.1} ms over {} candidates (parallelism={parallelism})",
+        start.elapsed().as_secs_f64() * 1e3,
+        report.candidates_total
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    }
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("could not write {out}: {e}"));
+    let written = std::fs::read_to_string(&out).unwrap_or_else(|e| panic!("re-read {out}: {e}"));
+    if let Err(e) = dsev::validate_report_structure(&written) {
+        eprintln!("error: {out} failed structural validation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} ({} bytes, validated)", written.len());
+}

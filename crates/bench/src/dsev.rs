@@ -1,0 +1,231 @@
+//! Structural validator for `results/dse.json` (the [`idgnn_dse`] report).
+//!
+//! Parsed with [`crate::jsonv`], mirroring the kernel-report validator: the
+//! goal is to let `scripts/ci.sh` gate on report *structure* and internal
+//! consistency — candidate accounting, non-negative budget headroom on every
+//! front point, canonical front order, and the paper-baseline invariant —
+//! without regenerating the sweep.
+
+use crate::jsonv::{self, Json};
+
+/// Grid labels a report may carry.
+const GRID_LABELS: [&str; 3] = ["smoke", "full", "custom"];
+/// Topology slugs a report may carry.
+const TOPOLOGY_SLUGS: [&str; 3] = ["torus", "mesh", "crossbar"];
+/// Schedule-policy slugs a report may carry.
+const POLICY_SLUGS: [&str; 2] = ["analytical", "even"];
+
+fn get_f64(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric `{key}`"))
+}
+
+fn get_count(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    let n = get_f64(v, key, ctx)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{ctx}: `{key}` = {n} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+fn get_bool(v: &Json, key: &str, ctx: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("{ctx}: missing or non-boolean `{key}`")),
+    }
+}
+
+fn check_point(p: &Json, i: usize) -> Result<(), String> {
+    let ctx = format!("pareto[{i}]");
+    for key in ["pe_side", "macs_per_pe", "gsb_bytes", "lb_bytes", "glb_bytes"] {
+        let n = get_count(p, key, &ctx)?;
+        if n == 0 {
+            return Err(format!("{ctx}: `{key}` must be positive"));
+        }
+    }
+    let topology = p
+        .get("topology")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string `topology`"))?;
+    if !TOPOLOGY_SLUGS.contains(&topology) {
+        return Err(format!("{ctx}: unknown topology slug {topology:?}"));
+    }
+    let policy = p
+        .get("policy")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string `policy`"))?;
+    if !POLICY_SLUGS.contains(&policy) {
+        return Err(format!("{ctx}: unknown policy slug {policy:?}"));
+    }
+    for key in ["latency_s", "energy_j", "area_mm2"] {
+        let n = get_f64(p, key, &ctx)?;
+        if !n.is_finite() || n <= 0.0 {
+            return Err(format!("{ctx}: `{key}` = {n} must be finite and positive"));
+        }
+    }
+    // A Pareto survivor passed the feasibility prune, so every worst-case
+    // budget headroom must be non-negative.
+    for key in ["gsb_headroom_bytes", "lb_headroom_bytes", "glb_headroom_bytes"] {
+        let n = get_f64(p, key, &ctx)?;
+        if n < 0.0 {
+            return Err(format!("{ctx}: `{key}` = {n} is negative (budget-violating survivor)"));
+        }
+    }
+    get_bool(p, "is_paper_baseline", &ctx)?;
+    Ok(())
+}
+
+/// Structurally validates a DSE report document.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: parse failure, missing or
+/// mistyped field, candidate-accounting mismatch, out-of-order or
+/// budget-violating front point, or — for smoke-grid reports — a missing
+/// paper baseline. The baseline requirement is scoped to `grid == "smoke"`:
+/// the full grid's richer axes legitimately dominate the 32×32 default.
+pub fn validate_report_structure(text: &str) -> Result<(), String> {
+    let v = jsonv::parse(text).map_err(|e| format!("JSON parse error: {e}"))?;
+
+    let grid = v
+        .get("grid")
+        .and_then(Json::as_str)
+        .ok_or("missing or non-string `grid`")?;
+    if !GRID_LABELS.contains(&grid) {
+        return Err(format!("unknown grid label {grid:?}"));
+    }
+
+    let shapes = v
+        .get("shapes")
+        .and_then(Json::as_array)
+        .ok_or("missing or non-array `shapes`")?;
+    if shapes.is_empty() {
+        return Err("`shapes` must be non-empty".to_string());
+    }
+    for (i, s) in shapes.iter().enumerate() {
+        if s.as_str().is_none_or(str::is_empty) {
+            return Err(format!("shapes[{i}] must be a non-empty string"));
+        }
+    }
+
+    let candidates_total = get_count(&v, "candidates_total", "report")?;
+    let feasible = get_count(&v, "feasible", "report")?;
+    let dominated = get_count(&v, "dominated", "report")?;
+    let pruned = v.get("pruned").ok_or("missing `pruned`")?;
+    let mut pruned_total = 0u64;
+    for key in ["invalid_config", "budget_overflow", "schedule_infeasible"] {
+        pruned_total += get_count(pruned, key, "pruned")?;
+    }
+    if feasible + pruned_total != candidates_total {
+        return Err(format!(
+            "candidate accounting broken: feasible {feasible} + pruned {pruned_total} \
+             != candidates_total {candidates_total}"
+        ));
+    }
+
+    let pareto = v
+        .get("pareto")
+        .and_then(Json::as_array)
+        .ok_or("missing or non-array `pareto`")?;
+    if pareto.is_empty() {
+        return Err("`pareto` must be non-empty (the sweep found no feasible design)".to_string());
+    }
+    if pareto.len() as u64 + dominated != feasible {
+        return Err(format!(
+            "front accounting broken: pareto {} + dominated {dominated} != feasible {feasible}",
+            pareto.len()
+        ));
+    }
+
+    let mut baselines = 0usize;
+    let mut prev_latency = f64::NEG_INFINITY;
+    for (i, p) in pareto.iter().enumerate() {
+        check_point(p, i)?;
+        let latency = get_f64(p, "latency_s", &format!("pareto[{i}]"))?;
+        if latency < prev_latency {
+            return Err(format!(
+                "pareto[{i}] latency {latency} breaks the canonical ascending order"
+            ));
+        }
+        prev_latency = latency;
+        if get_bool(p, "is_paper_baseline", &format!("pareto[{i}]"))? {
+            baselines += 1;
+        }
+    }
+
+    let contains = get_bool(&v, "contains_paper_baseline", "report")?;
+    if contains != (baselines > 0) {
+        return Err(format!(
+            "`contains_paper_baseline` = {contains} disagrees with {baselines} flagged point(s)"
+        ));
+    }
+    if grid == "smoke" && !contains {
+        return Err("the paper's 32x32 baseline is missing from the Pareto front".to_string());
+    }
+    if baselines > 1 {
+        return Err(format!("{baselines} points claim to be the paper baseline"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idgnn_dse::{explore_report, DseOptions, SweepGrid};
+    use idgnn_hw::budget::fig12_shapes;
+
+    fn smoke_json() -> String {
+        let report =
+            explore_report(&SweepGrid::smoke(), &fig12_shapes(), &DseOptions::default());
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    }
+
+    #[test]
+    fn accepts_the_real_smoke_report() {
+        let json = smoke_json();
+        validate_report_structure(&json).expect("smoke report must validate");
+    }
+
+    #[test]
+    fn rejects_broken_accounting() {
+        let json = smoke_json();
+        // Corrupt the dominated count: accounting must break.
+        let broken = json.replacen("\"dominated\":", "\"dominated_real\":", 1);
+        assert!(validate_report_structure(&broken).is_err());
+    }
+
+    #[test]
+    fn rejects_a_missing_baseline_on_the_smoke_grid() {
+        let json = smoke_json();
+        let broken = json
+            .replace("\"is_paper_baseline\": true", "\"is_paper_baseline\": false")
+            .replace("\"contains_paper_baseline\": true", "\"contains_paper_baseline\": false");
+        let err = validate_report_structure(&broken).expect_err("must reject");
+        assert!(err.contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn accepts_a_full_grid_report_without_the_baseline() {
+        let report =
+            explore_report(&SweepGrid::full(), &fig12_shapes(), &DseOptions::default());
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        // The full grid's richer axes dominate the 32x32 default — the
+        // baseline requirement must not fire outside the smoke grid.
+        validate_report_structure(&json).expect("full report must validate");
+    }
+
+    #[test]
+    fn rejects_an_unknown_grid_label() {
+        let json = smoke_json();
+        let broken = json.replacen("\"grid\": \"smoke\"", "\"grid\": \"nightly\"", 1);
+        let err = validate_report_structure(&broken).expect_err("must reject");
+        assert!(err.contains("grid"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(validate_report_structure("{not json").is_err());
+        assert!(validate_report_structure("{}").is_err());
+    }
+}

@@ -35,11 +35,13 @@ pub struct KernelBenchConfig {
     pub scale: ExperimentScale,
     /// Dataset-generation seed.
     pub seed: u64,
-    /// Kernel thread counts to sweep (each timed region runs under a
-    /// [`parallel::kernel_scope`] pinning this count). The presets clamp
-    /// these to the host's [`std::thread::available_parallelism`] — timing a
-    /// count the host cannot actually run in parallel only measures
-    /// oversubscription noise.
+    /// Kernel thread counts *requested* for the sweep (each timed region
+    /// runs under a [`parallel::kernel_scope`] pinning one count). [`run`]
+    /// clamps these to the host's [`std::thread::available_parallelism`] —
+    /// timing a count the host cannot actually run in parallel only measures
+    /// oversubscription noise — and the report records both the request and
+    /// the clamped sweep it actually ran, so `thread_counts` in the JSON
+    /// always matches the `threads` values present in the rows.
     pub thread_counts: Vec<usize>,
     /// Samples per benchmark; the minimum is reported.
     pub samples: usize,
@@ -70,13 +72,14 @@ fn clamp_threads(counts: Vec<usize>) -> Vec<usize> {
 
 impl KernelBenchConfig {
     /// The full configuration behind the committed `BENCH_kernels.json`:
-    /// all six datasets at standard scale, 1/4/8 threads (clamped to the
-    /// host), and the 0.1%/1%/10% churn sweep over every Fig. 12 dataset.
+    /// all six datasets at standard scale, 1/4/8 requested threads (clamped
+    /// to the host at run time), and the 0.1%/1%/10% churn sweep over every
+    /// Fig. 12 dataset.
     pub fn full() -> Self {
         Self {
             scale: ExperimentScale::Standard,
             seed: 42,
-            thread_counts: clamp_threads(vec![1, 4, 8]),
+            thread_counts: vec![1, 4, 8],
             samples: 5,
             datasets: usize::MAX,
             // L = 4: the warm chain skips three of the six power products
@@ -89,13 +92,13 @@ impl KernelBenchConfig {
         }
     }
 
-    /// The CI smoke configuration: two quick-scale datasets, two thread
-    /// counts, two samples — seconds, not minutes.
+    /// The CI smoke configuration: two quick-scale datasets, two requested
+    /// thread counts, two samples — seconds, not minutes.
     pub fn smoke() -> Self {
         Self {
             scale: ExperimentScale::Quick,
             seed: 42,
-            thread_counts: clamp_threads(vec![1, 2]),
+            thread_counts: vec![1, 2],
             samples: 2,
             datasets: 2,
             layers: 3,
@@ -203,8 +206,11 @@ pub struct KernelBenchReport {
     pub scale: String,
     /// Samples per benchmark (minimum reported).
     pub samples: usize,
-    /// Thread counts swept.
+    /// Thread counts actually swept (the request clamped to the host); every
+    /// `threads` value in the row sections below comes from this list.
     pub thread_counts: Vec<usize>,
+    /// Thread counts the configuration asked for, before host clamping.
+    pub requested_thread_counts: Vec<usize>,
     /// Per-kernel timings, dataset-major then thread-major.
     pub kernels: Vec<KernelTiming>,
     /// Power-chain cold/warm comparison per dataset and thread count.
@@ -316,6 +322,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
     let ctx = Context::new(cfg.scale, cfg.seed)?;
     let sets = operands(&ctx, cfg.datasets)?;
     let strategy = DissimilarityStrategy::General;
+    let thread_counts = clamp_threads(cfg.thread_counts.clone());
 
     let mut crit = Criterion::default();
     let mut kernels = Vec::new();
@@ -334,7 +341,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         }
         let cache_hits = cache.hits();
 
-        for &t in &cfg.thread_counts {
+        for &t in &thread_counts {
             let par = Parallelism::new(t);
             let mut g = crit.benchmark_group(&format!("{}/t{t}", set.short));
             g.sample_size(cfg.samples);
@@ -455,7 +462,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
             let patches = cache.patches();
             delta_saved_total += saved.total();
 
-            for &t in &cfg.thread_counts {
+            for &t in &thread_counts {
                 let par = Parallelism::new(t);
                 // Timed by hand rather than through the criterion stub: all
                 // four paths alternate inside every sample so slow windows of
@@ -558,7 +565,8 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
             ExperimentScale::Standard => "standard".to_string(),
         },
         samples: cfg.samples,
-        thread_counts: cfg.thread_counts.clone(),
+        thread_counts,
+        requested_thread_counts: cfg.thread_counts.clone(),
         kernels,
         power_chain,
         delta_rates,
@@ -767,9 +775,57 @@ pub fn validate_report_structure(text: &str) -> std::result::Result<(), String> 
         return Err("`scale` is missing or not a string".to_string());
     }
     non_empty_array("thread_counts")?;
+    non_empty_array("requested_thread_counts")?;
     non_empty_array("kernels")?;
     non_empty_array("power_chain")?;
     non_empty_array("delta_rates")?;
+
+    // `thread_counts` is the sweep that actually ran: it must be a subset of
+    // the request, and the `threads` values in the timing rows must cover
+    // exactly it (the pre-fix report claimed a 1/4/8 sweep while the rows
+    // only ever carried one count).
+    let counts_of = |key: &str| -> std::result::Result<Vec<f64>, String> {
+        doc.get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("`{key}` is missing or not an array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| format!("`{key}` has a non-numeric entry")))
+            .collect()
+    };
+    let swept = counts_of("thread_counts")?;
+    let requested = counts_of("requested_thread_counts")?;
+    for t in &swept {
+        if !requested.contains(t) {
+            return Err(format!(
+                "`thread_counts` entry {t} was never requested ({requested:?})"
+            ));
+        }
+    }
+    let mut row_counts: Vec<f64> = Vec::new();
+    for section in ["kernels", "power_chain", "delta_rates"] {
+        for (i, row) in
+            doc.get(section).and_then(Json::as_array).unwrap_or(&[]).iter().enumerate()
+        {
+            let t = row
+                .get("threads")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{section}[{i}]` lacks numeric field `threads`"))?;
+            if !swept.contains(&t) {
+                return Err(format!(
+                    "`{section}[{i}]` ran at {t} threads, outside the recorded sweep {swept:?}"
+                ));
+            }
+            if !row_counts.contains(&t) {
+                row_counts.push(t);
+            }
+        }
+    }
+    if row_counts.len() != swept.len() {
+        return Err(format!(
+            "recorded sweep {swept:?} does not match the thread counts present in the rows \
+             {row_counts:?}"
+        ));
+    }
 
     // Row shape: every kernel row carries a dataset, kernel name, and a
     // positive wall time; every sweep row carries a positive speedup pair.
@@ -855,20 +911,53 @@ mod tests {
         assert!(validate_report_structure(wrong_types).is_err());
 
         let zero_saved = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
-             \"kernels\": [{\"kernel\": \"spgemm\", \"dataset\": \"AS\"}], \
-             \"power_chain\": [{\"dataset\": \"AS\"}], \
-             \"delta_rates\": [{\"dataset\": \"AS\"}], \
+             \"requested_thread_counts\": [1, 4, 8], \
+             \"kernels\": [{\"kernel\": \"spgemm\", \"dataset\": \"AS\", \"threads\": 1}], \
+             \"power_chain\": [{\"dataset\": \"AS\", \"threads\": 1}], \
+             \"delta_rates\": [{\"dataset\": \"AS\", \"threads\": 1}], \
              \"delta_saved_total\": 0, \"max_warm_speedup\": 1.2}";
         assert!(validate_report_structure(zero_saved)
             .unwrap_err()
             .contains("delta_saved_total"));
 
         let bad_row = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
-             \"kernels\": [{\"kernel\": 3, \"dataset\": \"AS\"}], \
-             \"power_chain\": [{\"dataset\": \"AS\"}], \
-             \"delta_rates\": [{\"dataset\": \"AS\"}], \
+             \"requested_thread_counts\": [1], \
+             \"kernels\": [{\"kernel\": 3, \"dataset\": \"AS\", \"threads\": 1}], \
+             \"power_chain\": [{\"dataset\": \"AS\", \"threads\": 1}], \
+             \"delta_rates\": [{\"dataset\": \"AS\", \"threads\": 1}], \
              \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
         assert!(validate_report_structure(bad_row).unwrap_err().contains("kernels[0]"));
+    }
+
+    #[test]
+    fn validator_rejects_a_sweep_claim_the_rows_do_not_back() {
+        // The pre-fix failure mode: `thread_counts` advertises a 1/4/8 sweep
+        // while every row ran at one count.
+        let overclaimed = "{\"scale\": \"smoke\", \"samples\": 1, \
+             \"thread_counts\": [1, 4, 8], \"requested_thread_counts\": [1, 4, 8], \
+             \"kernels\": [{\"kernel\": \"spgemm\", \"dataset\": \"AS\", \"threads\": 1}], \
+             \"power_chain\": [{\"dataset\": \"AS\", \"threads\": 1}], \
+             \"delta_rates\": [{\"dataset\": \"AS\", \"threads\": 1}], \
+             \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
+        let err = validate_report_structure(overclaimed).unwrap_err();
+        assert!(err.contains("does not match the thread counts"), "{err}");
+
+        // An unrequested count in the recorded sweep is also rejected.
+        let unrequested = overclaimed.replace(
+            "\"requested_thread_counts\": [1, 4, 8]",
+            "\"requested_thread_counts\": [1]",
+        );
+        let err = validate_report_structure(&unrequested).unwrap_err();
+        assert!(err.contains("never requested"), "{err}");
+    }
+
+    #[test]
+    fn report_records_both_requested_and_clamped_sweeps() {
+        let cfg = KernelBenchConfig::full();
+        assert_eq!(cfg.thread_counts, vec![1, 4, 8], "the request is no longer pre-clamped");
+        let swept = clamp_threads(cfg.thread_counts.clone());
+        assert!(!swept.is_empty());
+        assert!(swept.iter().all(|t| cfg.thread_counts.contains(t)));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod cli;
 pub mod context;
 pub mod driver;
+pub mod dsev;
 pub mod figures;
 pub mod jsonv;
 pub mod kernels;

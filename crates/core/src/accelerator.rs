@@ -18,7 +18,7 @@ use idgnn_sparse::OpStats;
 
 use crate::dataflow::TorusDataflow;
 use crate::error::Result;
-use crate::scheduler::PipelineSchedule;
+use idgnn_hw::PipelineSchedule;
 
 /// Scheduler policy (ablation D2 in DESIGN.md).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

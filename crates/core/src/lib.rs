@@ -39,7 +39,6 @@ mod accelerator;
 mod dataflow;
 mod diu;
 mod error;
-mod scheduler;
 
 pub use accelerator::{
     DataflowPolicy, IdgnnAccelerator, SchedulerPolicy, SimOptions, SimReport, SnapshotSim,
@@ -47,4 +46,7 @@ pub use accelerator::{
 pub use dataflow::{RnnMapping, TorusDataflow};
 pub use diu::{Diu, DiuOutput};
 pub use error::{CoreError, Result};
-pub use scheduler::{PipelineSchedule, PipelineScheduler, PipelineWorkload, MIN_SHARE};
+// The Eqs. 16–22 scheduler moved to `idgnn-hw` in PR 6 so the budget
+// verifier and `idgnn-dse` can use it without the full-system simulator;
+// re-exported here for API compatibility.
+pub use idgnn_hw::{PipelineSchedule, PipelineScheduler, PipelineWorkload, MIN_SHARE};

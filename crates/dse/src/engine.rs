@@ -1,0 +1,377 @@
+//! The staged design-space search and its serializable report.
+//!
+//! Stage 1 — **enumerate**: materialize the [`SweepGrid`]'s candidates in
+//! fixed axis order. Stage 2 — **prune**: classify every candidate with the
+//! shared [`idgnn_hw::budget::feasibility`] verifier (the same predicate
+//! behind the `hw-budget` lint rule), recording why each infeasible point
+//! died. Stage 3 — **rank**: score the survivors with the analytical
+//! [`CostModel`] on (latency, energy, area). Stage 4 — **extract**: exact
+//! Pareto partition of the survivors.
+//!
+//! Stages 2–3 fan out across the deterministic worker pool
+//! (`idgnn_sparse::parallel::map_items`): evaluation is pure per candidate
+//! and the merge preserves input order, so the report — including every
+//! floating-point digit — is byte-identical at any `Parallelism`.
+
+use serde::Serialize;
+
+use idgnn_hw::budget::{self, Feasibility, PruneReason, WorkloadShape};
+use idgnn_hw::Topology;
+use idgnn_sparse::{parallel, Parallelism};
+
+use crate::cost::{CostModel, Objectives};
+use crate::pareto::{canonical_cmp, pareto_partition};
+use crate::space::{Candidate, SweepGrid};
+
+/// Engine options.
+#[derive(Debug, Clone, Copy)]
+pub struct DseOptions {
+    /// Worker threads for candidate evaluation (output-invariant).
+    pub parallelism: Parallelism,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        Self { parallelism: Parallelism::serial() }
+    }
+}
+
+/// How many candidates each pruning stage rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PruneCounts {
+    /// `AcceleratorConfig::validate` failures.
+    pub invalid_config: usize,
+    /// Per-PE tile / GLB residency overflows.
+    pub budget_overflow: usize,
+    /// α/β granularity or Eqs. 16–22 share-bound violations.
+    pub schedule_infeasible: usize,
+}
+
+impl PruneCounts {
+    /// Total pruned candidates.
+    pub fn total(&self) -> usize {
+        self.invalid_config + self.budget_overflow + self.schedule_infeasible
+    }
+
+    fn bump(&mut self, reason: PruneReason) {
+        match reason {
+            PruneReason::InvalidConfig => self.invalid_config += 1,
+            PruneReason::BudgetOverflow => self.budget_overflow += 1,
+            PruneReason::ScheduleInfeasible => self.schedule_infeasible += 1,
+        }
+    }
+}
+
+/// One Pareto-optimal design point, flattened for the JSON report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParetoPoint {
+    /// Square PE grid side.
+    pub pe_side: usize,
+    /// MAC units per PE.
+    pub macs_per_pe: usize,
+    /// Per-PE GSB capacity, bytes.
+    pub gsb_bytes: u64,
+    /// Per-PE LB capacity, bytes.
+    pub lb_bytes: u64,
+    /// GLB capacity, bytes.
+    pub glb_bytes: u64,
+    /// Topology family slug (`torus` | `mesh` | `crossbar`).
+    pub topology: String,
+    /// Schedule policy slug (`analytical` | `even`).
+    pub policy: String,
+    /// Total latency over the shapes, seconds.
+    pub latency_s: f64,
+    /// Total energy over the shapes, joules.
+    pub energy_j: f64,
+    /// Chip area, mm².
+    pub area_mm2: f64,
+    /// Worst-case GSB headroom across the shapes, bytes (≥ 0 on the front).
+    pub gsb_headroom_bytes: i64,
+    /// Worst-case LB headroom, bytes.
+    pub lb_headroom_bytes: i64,
+    /// Worst-case GLB headroom, bytes.
+    pub glb_headroom_bytes: i64,
+    /// Whether this is exactly the paper's §VI-A baseline.
+    pub is_paper_baseline: bool,
+}
+
+/// The serializable outcome of one sweep (written to `results/dse.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DseReport {
+    /// Which preset grid produced the report: `"smoke"`, `"full"`, or
+    /// `"custom"`. Downstream validation keys off this — only smoke-grid
+    /// reports promise the paper baseline on the front.
+    pub grid: String,
+    /// Evaluation shape names, in sweep order.
+    pub shapes: Vec<String>,
+    /// Total candidates enumerated from the grid.
+    pub candidates_total: usize,
+    /// Candidates surviving the feasibility prune.
+    pub feasible: usize,
+    /// Prune statistics by stage.
+    pub pruned: PruneCounts,
+    /// Feasible candidates dominated by some other feasible candidate.
+    pub dominated: usize,
+    /// The Pareto front, in canonical (latency, energy, area) order.
+    pub pareto: Vec<ParetoPoint>,
+    /// Whether the front contains the paper's 32×32 baseline.
+    pub contains_paper_baseline: bool,
+}
+
+/// One evaluated candidate (the engine's in-memory form, pre-report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluatedCandidate {
+    /// The design point.
+    pub candidate: Candidate,
+    /// Structured verdict from the shared budget verifier.
+    pub feasibility: Feasibility,
+    /// Objectives, for feasible candidates only.
+    pub objectives: Option<Objectives>,
+}
+
+/// Full engine outcome: every evaluation plus the front/dominated split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOutcome {
+    /// Every candidate, in enumeration order.
+    pub evaluated: Vec<EvaluatedCandidate>,
+    /// Indices (into `evaluated`) of the Pareto-optimal candidates.
+    pub front: Vec<usize>,
+    /// Indices of feasible-but-dominated candidates.
+    pub dominated: Vec<usize>,
+}
+
+/// Runs the staged search over `grid` × `shapes`.
+pub fn explore(grid: &SweepGrid, shapes: &[WorkloadShape], opts: &DseOptions) -> DseOutcome {
+    let candidates = grid.enumerate();
+    let model = CostModel::tsmc45();
+    let evaluated: Vec<EvaluatedCandidate> =
+        parallel::map_items(&candidates, opts.parallelism, |_, c| {
+            let feasibility = budget::feasibility(&c.config, shapes);
+            let objectives = match feasibility.prune {
+                None => model.evaluate(c, shapes).ok(),
+                Some(_) => None,
+            };
+            EvaluatedCandidate { candidate: *c, feasibility, objectives }
+        });
+
+    // Survivors keep their enumeration index so the partition maps back.
+    let survivors: Vec<(usize, Objectives)> = evaluated
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| e.objectives.map(|o| (i, o)))
+        .collect();
+    let points: Vec<Objectives> = survivors.iter().map(|&(_, o)| o).collect();
+    let (front_local, dominated_local) = pareto_partition(&points);
+    let back = |local: Vec<usize>| -> Vec<usize> {
+        local.into_iter().filter_map(|j| survivors.get(j).map(|&(i, _)| i)).collect()
+    };
+    DseOutcome { front: back(front_local), dominated: back(dominated_local), evaluated }
+}
+
+/// Runs [`explore`] and folds the outcome into the serializable report.
+pub fn explore_report(grid: &SweepGrid, shapes: &[WorkloadShape], opts: &DseOptions) -> DseReport {
+    let outcome = explore(grid, shapes, opts);
+    let mut pruned = PruneCounts::default();
+    for e in &outcome.evaluated {
+        if let Some(reason) = e.feasibility.prune {
+            pruned.bump(reason);
+        }
+    }
+
+    let mut pareto: Vec<ParetoPoint> = outcome
+        .front
+        .iter()
+        .filter_map(|&i| outcome.evaluated.get(i))
+        .filter_map(|e| e.objectives.map(|o| pareto_point(e, o)))
+        .collect();
+    pareto.sort_by(|a, b| {
+        canonical_point_cmp(a, b)
+    });
+
+    let contains_paper_baseline = pareto.iter().any(|p| p.is_paper_baseline);
+    DseReport {
+        grid: grid.label().to_string(),
+        shapes: shapes.iter().map(|s| s.name.to_string()).collect(),
+        candidates_total: outcome.evaluated.len(),
+        feasible: outcome.evaluated.len() - pruned.total(),
+        pruned,
+        dominated: outcome.dominated.len(),
+        pareto,
+        contains_paper_baseline,
+    }
+}
+
+/// Canonical report order: the [`canonical_cmp`] objective order, tie-broken
+/// by the config key so exact-duplicate objectives still sort stably.
+fn canonical_point_cmp(a: &ParetoPoint, b: &ParetoPoint) -> std::cmp::Ordering {
+    let ao = Objectives { latency_s: a.latency_s, energy_j: a.energy_j, area_mm2: a.area_mm2 };
+    let bo = Objectives { latency_s: b.latency_s, energy_j: b.energy_j, area_mm2: b.area_mm2 };
+    canonical_cmp(&ao, &bo)
+        .then_with(|| a.pe_side.cmp(&b.pe_side))
+        .then_with(|| a.macs_per_pe.cmp(&b.macs_per_pe))
+        .then_with(|| a.gsb_bytes.cmp(&b.gsb_bytes))
+        .then_with(|| a.lb_bytes.cmp(&b.lb_bytes))
+        .then_with(|| a.glb_bytes.cmp(&b.glb_bytes))
+        .then_with(|| a.topology.cmp(&b.topology))
+        .then_with(|| a.policy.cmp(&b.policy))
+}
+
+fn pareto_point(e: &EvaluatedCandidate, o: Objectives) -> ParetoPoint {
+    let cfg = &e.candidate.config;
+    let topology = match cfg.topology {
+        Topology::Torus { .. } => "torus",
+        Topology::Mesh { .. } => "mesh",
+        _ => "crossbar",
+    };
+    ParetoPoint {
+        pe_side: cfg.pe_rows,
+        macs_per_pe: cfg.macs_per_pe,
+        gsb_bytes: cfg.gsb_bytes,
+        lb_bytes: cfg.lb_bytes,
+        glb_bytes: cfg.glb_bytes,
+        topology: topology.to_string(),
+        policy: e.candidate.policy.slug().to_string(),
+        latency_s: o.latency_s,
+        energy_j: o.energy_j,
+        area_mm2: o.area_mm2,
+        gsb_headroom_bytes: e.feasibility.margins.gsb_headroom_bytes,
+        lb_headroom_bytes: e.feasibility.margins.lb_headroom_bytes,
+        glb_headroom_bytes: e.feasibility.margins.glb_headroom_bytes,
+        is_paper_baseline: e.candidate.is_paper_baseline(),
+    }
+}
+
+impl std::fmt::Display for DseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "DSE sweep ({} grid): {} candidates over shapes [{}]",
+            self.grid,
+            self.candidates_total,
+            self.shapes.join(", ")
+        )?;
+        writeln!(
+            f,
+            "  pruned {} (invalid {}, budget {}, schedule {}), feasible {}, dominated {}",
+            self.pruned.total(),
+            self.pruned.invalid_config,
+            self.pruned.budget_overflow,
+            self.pruned.schedule_infeasible,
+            self.feasible,
+            self.dominated
+        )?;
+        writeln!(f, "  Pareto front ({} points):", self.pareto.len())?;
+        writeln!(
+            f,
+            "  {:>4} {:>5} {:>7} {:>7} {:>7} {:<6} {:<10} {:>11} {:>11} {:>9}",
+            "side", "macs", "gsb_kb", "lb_kb", "glb_mb", "topo", "policy", "latency_s", "energy_j",
+            "area_mm2"
+        )?;
+        for p in &self.pareto {
+            writeln!(
+                f,
+                "  {:>4} {:>5} {:>7} {:>7} {:>7} {:<6} {:<10} {:>11.4e} {:>11.4e} {:>9.1}{}",
+                p.pe_side,
+                p.macs_per_pe,
+                p.gsb_bytes / 1024,
+                p.lb_bytes / 1024,
+                p.glb_bytes / (1024 * 1024),
+                p.topology,
+                p.policy,
+                p.latency_s,
+                p.energy_j,
+                p.area_mm2,
+                if p.is_paper_baseline { "  <- paper baseline" } else { "" }
+            )?;
+        }
+        write!(
+            f,
+            "  paper 32x32 baseline on front: {}",
+            if self.contains_paper_baseline { "yes" } else { "NO" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_outcome() -> (DseOutcome, DseReport) {
+        let grid = SweepGrid::smoke();
+        let shapes = budget::fig12_shapes();
+        let opts = DseOptions::default();
+        (explore(&grid, &shapes, &opts), explore_report(&grid, &shapes, &opts))
+    }
+
+    #[test]
+    fn smoke_sweep_partitions_every_candidate() {
+        let (outcome, report) = smoke_outcome();
+        assert_eq!(report.candidates_total, SweepGrid::smoke().len());
+        assert_eq!(
+            report.feasible + report.pruned.total(),
+            report.candidates_total,
+            "prune counts + survivors must cover the grid"
+        );
+        assert_eq!(report.feasible, report.pareto.len() + report.dominated);
+        assert_eq!(outcome.front.len(), report.pareto.len());
+        assert!(report.pruned.schedule_infeasible > 0, "8-MAC PEs must be schedule-pruned");
+        assert!(report.pruned.budget_overflow > 0, "starved buffers must be budget-pruned");
+        assert!(report.dominated > 0, "even-split twins must produce dominated points");
+    }
+
+    #[test]
+    fn report_records_the_grid_label() {
+        let (_, report) = smoke_outcome();
+        assert_eq!(report.grid, "smoke");
+        let mut custom = SweepGrid::smoke();
+        custom.pe_sides = vec![32];
+        let shapes = budget::fig12_shapes();
+        let r = explore_report(&custom, &shapes, &DseOptions::default());
+        assert_eq!(r.grid, "custom");
+    }
+
+    #[test]
+    fn smoke_front_contains_the_paper_baseline() {
+        let (_, report) = smoke_outcome();
+        assert!(report.contains_paper_baseline, "paper default must be Pareto-optimal:\n{report}");
+        assert_eq!(report.pareto.iter().filter(|p| p.is_paper_baseline).count(), 1);
+    }
+
+    #[test]
+    fn front_margins_are_non_negative() {
+        let (_, report) = smoke_outcome();
+        assert!(!report.pareto.is_empty());
+        for p in &report.pareto {
+            assert!(p.gsb_headroom_bytes >= 0, "{p:?}");
+            assert!(p.lb_headroom_bytes >= 0, "{p:?}");
+            assert!(p.glb_headroom_bytes >= 0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn report_is_parallelism_invariant() {
+        let grid = SweepGrid::smoke();
+        let shapes = budget::fig12_shapes();
+        let serial = explore_report(
+            &grid,
+            &shapes,
+            &DseOptions { parallelism: Parallelism::serial() },
+        );
+        for threads in [4, 8] {
+            let par = explore_report(
+                &grid,
+                &shapes,
+                &DseOptions { parallelism: Parallelism::new(threads) },
+            );
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn display_mentions_the_front_and_baseline() {
+        let (_, report) = smoke_outcome();
+        let text = report.to_string();
+        assert!(text.contains("Pareto front"));
+        assert!(text.contains("paper baseline"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # idgnn-dse
+//!
+//! Design-space exploration over the analytical I-DGNN hardware model — the
+//! "framework for designing scalable and efficient DGNN accelerators" the
+//! paper's title promises, inverted from the lint-time verifier: instead of
+//! checking one shipped config, sweep the configuration space and report
+//! which designs are worth building.
+//!
+//! The staged search (DESIGN.md §12):
+//!
+//! 1. **Enumerate** a [`SweepGrid`] over PE grid side, MACs/PE, GSB/LB/GLB
+//!    capacities, NoC topology, and schedule policy ([`space`]);
+//! 2. **Prune** with the shared [`idgnn_hw::budget`] feasibility verifier —
+//!    the exact predicate behind the `hw-budget` lint rule ([`engine`]);
+//! 3. **Rank** survivors with a first-order latency/energy/area cost model
+//!    built on the Eqs. 16–22 scheduler, the 45 nm energy constants, and
+//!    the Fig. 19 area model ([`cost`]);
+//! 4. **Extract** the exact Pareto front ([`pareto`]).
+//!
+//! Everything is deterministic: candidate evaluation fans out across the
+//! order-preserving worker pool, so `results/dse.json` is byte-identical at
+//! any `--parallelism`.
+//!
+//! ## Example
+//!
+//! ```
+//! use idgnn_dse::{explore_report, DseOptions, SweepGrid};
+//! use idgnn_hw::budget::fig12_shapes;
+//!
+//! let report = explore_report(&SweepGrid::smoke(), &fig12_shapes(), &DseOptions::default());
+//! assert!(report.contains_paper_baseline);
+//! assert!(report.pareto.len() + report.dominated == report.feasible);
+//! ```
+
+pub mod cost;
+pub mod engine;
+pub mod pareto;
+pub mod space;
+
+pub use cost::{evaluate_default, CostModel, Objectives, LEAKAGE_W_PER_MM2};
+pub use engine::{
+    explore, explore_report, DseOptions, DseOutcome, DseReport, EvaluatedCandidate, ParetoPoint,
+    PruneCounts,
+};
+pub use pareto::{canonical_cmp, dominates, pareto_partition};
+pub use space::{Candidate, SchedulePolicy, SweepGrid, TopologyKind};

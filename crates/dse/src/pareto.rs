@@ -1,0 +1,116 @@
+//! Exact Pareto-front extraction over the three DSE objectives.
+//!
+//! Minimization in all objectives: point `a` *dominates* `b` when `a` is no
+//! worse in every objective and strictly better in at least one. The front
+//! is the set of non-dominated points, computed by exact O(n²) pairwise
+//! comparison — the candidate counts here (hundreds to a few thousand)
+//! never justify an approximate or divide-and-conquer front.
+//!
+//! Determinism contract: [`pareto_partition`] returns index sets, and
+//! membership depends only on the *multiset* of points — shuffling the
+//! input permutes the indices but never changes which points are on the
+//! front. Non-finite points (NaN/∞ in any objective) are never on the
+//! front and count as dominated.
+
+use crate::cost::Objectives;
+
+/// True when `a` dominates `b`: `a` ≤ `b` in every objective and < in at
+/// least one. A point never dominates itself (or an exact duplicate).
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    if !a.is_finite() {
+        return false;
+    }
+    if !b.is_finite() {
+        // Any finite point beats a non-finite one outright.
+        return true;
+    }
+    let no_worse =
+        a.latency_s <= b.latency_s && a.energy_j <= b.energy_j && a.area_mm2 <= b.area_mm2;
+    let better =
+        a.latency_s < b.latency_s || a.energy_j < b.energy_j || a.area_mm2 < b.area_mm2;
+    no_worse && better
+}
+
+/// Splits `points` into `(front, dominated)` index lists, each ascending.
+/// Every index appears in exactly one list; exact duplicates of a
+/// non-dominated point all land on the front (neither dominates the other).
+pub fn pareto_partition(points: &[Objectives]) -> (Vec<usize>, Vec<usize>) {
+    let mut front = Vec::new();
+    let mut dominated = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let is_dominated =
+            !p.is_finite() || points.iter().enumerate().any(|(j, q)| j != i && dominates(q, p));
+        if is_dominated {
+            dominated.push(i);
+        } else {
+            front.push(i);
+        }
+    }
+    (front, dominated)
+}
+
+/// Canonical ordering for reporting: ascending latency, then energy, then
+/// area (total order via `f64::total_cmp`, so NaNs sort deterministically).
+pub fn canonical_cmp(a: &Objectives, b: &Objectives) -> std::cmp::Ordering {
+    a.latency_s
+        .total_cmp(&b.latency_s)
+        .then_with(|| a.energy_j.total_cmp(&b.energy_j))
+        .then_with(|| a.area_mm2.total_cmp(&b.area_mm2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(l: f64, e: f64, a: f64) -> Objectives {
+        Objectives { latency_s: l, energy_j: e, area_mm2: a }
+    }
+
+    #[test]
+    fn strict_improvement_dominates() {
+        assert!(dominates(&pt(1.0, 1.0, 1.0), &pt(2.0, 1.0, 1.0)));
+        assert!(dominates(&pt(1.0, 1.0, 1.0), &pt(2.0, 2.0, 2.0)));
+        assert!(!dominates(&pt(2.0, 1.0, 1.0), &pt(1.0, 2.0, 1.0)), "trade-off");
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate_each_other() {
+        let p = pt(1.0, 2.0, 3.0);
+        assert!(!dominates(&p, &p));
+        let (front, dominated) = pareto_partition(&[p, p]);
+        assert_eq!(front, vec![0, 1]);
+        assert!(dominated.is_empty());
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let pts =
+            vec![pt(1.0, 3.0, 1.0), pt(2.0, 2.0, 1.0), pt(3.0, 1.0, 1.0), pt(3.0, 3.0, 1.0)];
+        let (front, dominated) = pareto_partition(&pts);
+        assert_eq!(front, vec![0, 1, 2]);
+        assert_eq!(dominated, vec![3]);
+    }
+
+    #[test]
+    fn non_finite_points_never_reach_the_front() {
+        let pts = vec![pt(f64::NAN, 1.0, 1.0), pt(1.0, f64::INFINITY, 1.0), pt(5.0, 5.0, 5.0)];
+        let (front, dominated) = pareto_partition(&pts);
+        assert_eq!(front, vec![2]);
+        assert_eq!(dominated, vec![0, 1]);
+    }
+
+    #[test]
+    fn singleton_and_empty_inputs() {
+        assert_eq!(pareto_partition(&[]), (vec![], vec![]));
+        assert_eq!(pareto_partition(&[pt(1.0, 1.0, 1.0)]), (vec![0], vec![]));
+    }
+
+    #[test]
+    fn canonical_cmp_is_a_total_order_on_keys() {
+        let mut v = [pt(2.0, 1.0, 1.0), pt(1.0, 2.0, 1.0), pt(1.0, 1.0, 9.0)];
+        v.sort_by(canonical_cmp);
+        assert_eq!(v[0], pt(1.0, 1.0, 9.0));
+        assert_eq!(v[1], pt(1.0, 2.0, 1.0));
+        assert_eq!(v[2], pt(2.0, 1.0, 1.0));
+    }
+}

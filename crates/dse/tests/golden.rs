@@ -1,0 +1,113 @@
+//! Golden regression for the DSE Pareto front on the Fig. 12 shapes.
+//!
+//! Pins the exact front for a small fixed grid around the paper's §VI-A
+//! baseline. The cost model is a first-order ranking surface, so the
+//! *absolute* objective values are not pinned — the front membership, its
+//! canonical order, the prune tallies, and the budget-cleanliness of every
+//! survivor are. If a cost-model change reshuffles this front, that is a
+//! deliberate, reviewable event: update the golden list alongside the
+//! change.
+
+use idgnn_dse::{
+    explore, explore_report, DseOptions, SchedulePolicy, SweepGrid, TopologyKind,
+};
+use idgnn_hw::budget::{fig12_shapes, verify_workload};
+use idgnn_hw::AcceleratorConfig;
+
+/// The fixed golden grid: 48 candidates bracketing the paper baseline on
+/// every axis that survives pruning (plus starved buffers and 8-MAC PEs,
+/// which must die in the feasibility stage).
+fn golden_grid() -> SweepGrid {
+    SweepGrid {
+        pe_sides: vec![16, 32, 64],
+        macs_per_pe: vec![8, 16],
+        gsb_bytes: vec![64 * 1024, 128 * 1024],
+        lb_bytes: vec![50 * 1024, 100 * 1024],
+        glb_bytes: vec![64 * 1024 * 1024],
+        topologies: vec![TopologyKind::Torus],
+        policies: vec![SchedulePolicy::Analytical, SchedulePolicy::Even],
+    }
+}
+
+/// (pe_side, gsb_kb, lb_kb) of each front point, in canonical report order.
+/// All nine run 16 MACs/PE, a 64 MB GLB, a torus NoC, and the analytical
+/// (Eqs. 16–22) schedule.
+const GOLDEN_FRONT: [(usize, u64, u64); 9] = [
+    (64, 128, 100),
+    (64, 64, 100),
+    (64, 128, 50),
+    (64, 64, 50),
+    (32, 128, 100), // <- the paper's 32x32 baseline
+    (32, 64, 100),
+    (32, 128, 50),
+    (32, 64, 50),
+    (16, 64, 100),
+];
+
+#[test]
+fn golden_front_is_pinned() {
+    let report = explore_report(&golden_grid(), &fig12_shapes(), &DseOptions::default());
+
+    assert_eq!(report.candidates_total, 48);
+    assert_eq!(report.pruned.invalid_config, 0);
+    assert_eq!(report.pruned.budget_overflow, 8, "{:?}", report.pruned);
+    assert_eq!(report.pruned.schedule_infeasible, 20, "{:?}", report.pruned);
+    assert_eq!(report.feasible, 20);
+    assert_eq!(report.dominated, 11);
+
+    let got: Vec<(usize, u64, u64)> = report
+        .pareto
+        .iter()
+        .map(|p| (p.pe_side, p.gsb_bytes / 1024, p.lb_bytes / 1024))
+        .collect();
+    assert_eq!(got, GOLDEN_FRONT, "front membership/order changed:\n{report}");
+    for p in &report.pareto {
+        assert_eq!(p.macs_per_pe, 16, "{p:?}");
+        assert_eq!(p.glb_bytes, 64 * 1024 * 1024, "{p:?}");
+        assert_eq!(p.topology, "torus", "{p:?}");
+        assert_eq!(p.policy, "analytical", "{p:?}");
+    }
+}
+
+#[test]
+fn golden_front_contains_the_paper_baseline_exactly_once() {
+    let report = explore_report(&golden_grid(), &fig12_shapes(), &DseOptions::default());
+    assert!(report.contains_paper_baseline);
+    let baselines: Vec<_> = report.pareto.iter().filter(|p| p.is_paper_baseline).collect();
+    assert_eq!(baselines.len(), 1);
+    let b = baselines[0];
+    let paper = AcceleratorConfig::paper_default();
+    assert_eq!(b.pe_side, paper.pe_rows);
+    assert_eq!(b.macs_per_pe, paper.macs_per_pe);
+    assert_eq!(b.gsb_bytes, paper.gsb_bytes);
+    assert_eq!(b.lb_bytes, paper.lb_bytes);
+    assert_eq!(b.glb_bytes, paper.glb_bytes);
+}
+
+#[test]
+fn no_survivor_violates_the_paper_budgets() {
+    let shapes = fig12_shapes();
+    let outcome = explore(&golden_grid(), &shapes, &DseOptions::default());
+    let mut survivors = 0usize;
+    for e in &outcome.evaluated {
+        if e.feasibility.prune.is_some() {
+            continue;
+        }
+        survivors += 1;
+        // Every surviving config passes the full 128 KB GSB / 100 KB LB /
+        // 64 MB GLB tile-budget verifier on every Table-I shape...
+        for shape in &shapes {
+            let violations = verify_workload(&e.candidate.config, shape);
+            assert!(
+                violations.is_empty(),
+                "survivor {:?} violates budgets on {}: {:?}",
+                e.candidate,
+                shape.name,
+                violations
+            );
+        }
+        // ...and reports non-negative worst-case headroom.
+        assert!(e.feasibility.margins.all_non_negative(), "{:?}", e.candidate);
+    }
+    assert_eq!(survivors, 20);
+}

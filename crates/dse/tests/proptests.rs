@@ -1,0 +1,205 @@
+//! Property tests for the DSE Pareto core and the staged engine.
+//!
+//! The ISSUE-6 satellite contract:
+//!
+//! * every returned front point is non-dominated;
+//! * every point the partition drops is dominated (by a front member) or
+//!   non-finite, and every candidate the engine prunes fails the shared
+//!   budget verifier;
+//! * the front is invariant under input shuffling;
+//! * `explore_report` is byte-deterministic across parallelism 1/4/8.
+
+use proptest::prelude::*;
+
+use idgnn_dse::{
+    dominates, explore_report, pareto_partition, DseOptions, Objectives, SchedulePolicy,
+    SweepGrid, TopologyKind,
+};
+use idgnn_hw::budget::{fig12_shapes, verify_config};
+use idgnn_sparse::Parallelism;
+
+fn objective_strategy() -> impl Strategy<Value = Objectives> {
+    // Coarse positive grids on purpose: collisions per-axis are likely, so
+    // ties and exact-duplicate points get exercised.
+    (1u32..20, 1u32..20, 1u32..20).prop_map(|(l, e, a)| Objectives {
+        latency_s: f64::from(l),
+        energy_j: f64::from(e),
+        area_mm2: f64::from(a),
+    })
+}
+
+fn points_strategy() -> impl Strategy<Value = Vec<Objectives>> {
+    prop::collection::vec(objective_strategy(), 0..60)
+}
+
+/// Deterministic shuffle: rotate by `k` and optionally reverse.
+fn shuffled(points: &[Objectives], rotate: usize, reverse: bool) -> Vec<Objectives> {
+    let n = points.len();
+    let mut out: Vec<Objectives> = Vec::with_capacity(n);
+    if n > 0 {
+        let k = rotate % n;
+        out.extend_from_slice(&points[k..]);
+        out.extend_from_slice(&points[..k]);
+    }
+    if reverse {
+        out.reverse();
+    }
+    out
+}
+
+/// Sortable total-order key for comparing fronts as multisets.
+fn key(o: &Objectives) -> (u64, u64, u64) {
+    (o.latency_s.to_bits(), o.energy_j.to_bits(), o.area_mm2.to_bits())
+}
+
+fn front_multiset(points: &[Objectives]) -> Vec<(u64, u64, u64)> {
+    let (front, _) = pareto_partition(points);
+    let mut keys: Vec<_> = front.iter().map(|&i| key(&points[i])).collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn front_points_are_non_dominated(points in points_strategy()) {
+        let (front, _) = pareto_partition(&points);
+        for &i in &front {
+            for (j, q) in points.iter().enumerate() {
+                prop_assert!(
+                    j == i || !dominates(q, &points[i]),
+                    "front point {i} is dominated by {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_points_are_dominated_by_a_front_member(points in points_strategy()) {
+        let (front, dominated) = pareto_partition(&points);
+        // Exhaustive, disjoint split.
+        prop_assert_eq!(front.len() + dominated.len(), points.len());
+        for &i in &dominated {
+            prop_assert!(
+                front.iter().any(|&j| dominates(&points[j], &points[i])),
+                "dropped point {i} has no dominating front member"
+            );
+        }
+    }
+
+    #[test]
+    fn front_is_invariant_under_shuffling(
+        points in points_strategy(),
+        rotate in 0usize..64,
+        reverse in any::<bool>(),
+    ) {
+        let perm = shuffled(&points, rotate, reverse);
+        prop_assert_eq!(front_multiset(&points), front_multiset(&perm));
+    }
+
+    #[test]
+    fn domination_is_irreflexive_and_antisymmetric(
+        a in objective_strategy(),
+        b in objective_strategy(),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+}
+
+/// A tiny randomized sub-grid of the smoke axes (always includes the paper
+/// baseline's axis values so the sweep stays anchored).
+fn subgrid(gsb_extra: bool, lb_extra: bool, side_extra: usize) -> SweepGrid {
+    let mut pe_sides = vec![32];
+    if side_extra > 0 {
+        pe_sides.push(side_extra);
+    }
+    let mut gsb = vec![128 * 1024];
+    if gsb_extra {
+        gsb.push(64 * 1024);
+    }
+    let mut lb = vec![100 * 1024];
+    if lb_extra {
+        lb.push(50 * 1024);
+    }
+    SweepGrid {
+        pe_sides,
+        macs_per_pe: vec![8, 16],
+        gsb_bytes: gsb,
+        lb_bytes: lb,
+        glb_bytes: vec![64 * 1024 * 1024],
+        topologies: vec![TopologyKind::Torus],
+        policies: vec![SchedulePolicy::Analytical, SchedulePolicy::Even],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_is_parallelism_invariant_on_random_subgrids(
+        gsb_extra in any::<bool>(),
+        lb_extra in any::<bool>(),
+        side_extra in 0usize..3,
+    ) {
+        let grid = subgrid(gsb_extra, lb_extra, [0, 16, 64][side_extra]);
+        let shapes = fig12_shapes();
+        let serial = explore_report(
+            &grid,
+            &shapes,
+            &DseOptions { parallelism: Parallelism::serial() },
+        );
+        for threads in [4usize, 8] {
+            let par = explore_report(
+                &grid,
+                &shapes,
+                &DseOptions { parallelism: Parallelism::new(threads) },
+            );
+            prop_assert_eq!(&serial, &par, "threads={}", threads);
+        }
+        // The partition never loses a candidate.
+        prop_assert_eq!(
+            serial.feasible + serial.pruned.total(),
+            serial.candidates_total
+        );
+        prop_assert_eq!(serial.feasible, serial.pareto.len() + serial.dominated);
+    }
+
+    #[test]
+    fn engine_prunes_exactly_the_verifier_failures(
+        gsb_extra in any::<bool>(),
+        lb_extra in any::<bool>(),
+    ) {
+        use idgnn_dse::explore;
+        let grid = subgrid(gsb_extra, lb_extra, 16);
+        let shapes = fig12_shapes();
+        let outcome = explore(&grid, &shapes, &DseOptions::default());
+        for e in &outcome.evaluated {
+            // The structured prune verdict must agree with the string-level
+            // shared verifier the lint rule uses (modulo the scaling sweep,
+            // which only applies to the shipped config, not sweep candidates).
+            let violations: Vec<String> = verify_config(&e.candidate.config, &shapes)
+                .into_iter()
+                .filter(|v| !v.starts_with("scaled_down("))
+                .collect();
+            match e.feasibility.prune {
+                Some(_) => prop_assert!(
+                    !violations.is_empty(),
+                    "pruned candidate passes verify_config: {:?}",
+                    e.candidate
+                ),
+                None => {
+                    prop_assert!(
+                        violations.is_empty(),
+                        "surviving candidate fails verify_config: {:?} -> {:?}",
+                        e.candidate,
+                        violations
+                    );
+                    prop_assert!(e.objectives.is_some());
+                    prop_assert!(e.feasibility.margins.all_non_negative());
+                }
+            }
+        }
+    }
+}

@@ -19,9 +19,21 @@
 //! If any Table-I dataset shape overflows one of these budgets, the config
 //! cannot sustain the Eqs. 16–22 pipeline without unmodeled DRAM stalls —
 //! the `hw-budget` lint rule fails the build before a simulation runs.
+//!
+//! Since PR 6 this module is the *shared* feasibility API: the combined
+//! verifier ([`verify_config`]) that used to live inside `idgnn-lint`'s
+//! `hw-budget` rule — tile budgets for every shape, Eqs. 16–22 α/β schedule
+//! feasibility, MAC-share granularity, and `scaled_down` consistency — is
+//! exported here and consumed byte-identically by both the lint rule and
+//! the `idgnn-dse` design-space exploration engine. DSE additionally uses
+//! the structured form ([`feasibility`]) that classifies *why* a candidate
+//! config is pruned and reports its worst-case budget margins.
 
 use crate::config::{nearest_square_side, AcceleratorConfig};
 use crate::noc::Topology;
+use crate::schedule::{PipelineScheduler, PipelineWorkload, MIN_SHARE};
+
+use idgnn_graph::datasets::ALL_DATASETS;
 
 /// Bytes per sparse index (u32 row/column ids).
 pub const IDX_BYTES: u64 = 4;
@@ -166,6 +178,189 @@ pub fn verify_scaling(cfg: &AcceleratorConfig, max_scale: u64) -> Vec<String> {
     out
 }
 
+/// GNN output width used by the executed models (EvalDims in the bench
+/// context mirrors this).
+pub const GNN_WIDTH: u64 = 256;
+/// RNN hidden width of the paper's EvolveGCN-style recurrent cell.
+pub const RNN_WIDTH: u64 = 256;
+/// Scale range `scaled_down` must stay consistent over.
+pub const MAX_SCALE: u64 = 64;
+
+/// The fig12 evaluation shapes: every Table-I dataset at the paper's model
+/// widths.
+pub fn fig12_shapes() -> Vec<WorkloadShape> {
+    ALL_DATASETS
+        .iter()
+        .map(|d| WorkloadShape {
+            name: d.short,
+            vertices: d.vertices as u64,
+            edges: d.edges as u64,
+            features: d.features as u64,
+            gnn_width: GNN_WIDTH,
+            rnn_width: RNN_WIDTH,
+        })
+        .collect()
+}
+
+/// The combined static verifier: scaling consistency, α/β MAC-share
+/// granularity, per-shape tile budgets, and Eqs. 16–22 schedule
+/// feasibility, in that order. Returns human-readable violations (empty =
+/// the config sustains every shape).
+///
+/// This is the exact check the `idgnn-lint` `hw-budget` rule applies to the
+/// shipped config (the rule wraps each returned string in a finding
+/// unchanged), and the check `idgnn-dse` uses to prune candidate designs.
+pub fn verify_config(cfg: &AcceleratorConfig, shapes: &[WorkloadShape]) -> Vec<String> {
+    let mut out = verify_scaling(cfg, MAX_SCALE);
+    if MIN_SHARE * (cfg.macs_per_pe as f64) < 1.0 {
+        out.push(format!(
+            "alpha/beta granularity infeasible: a {MIN_SHARE} MAC share of {} MACs/PE is \
+             less than one unit; the Eqs. 16-22 partition cannot be realized",
+            cfg.macs_per_pe
+        ));
+    }
+    for shape in shapes {
+        out.extend(verify_workload(cfg, shape));
+        out.extend(verify_schedule(cfg, shape));
+    }
+    out
+}
+
+/// Checks that the Eqs. 16–22 optimizer produces a feasible α/β partition
+/// for `shape` on `cfg`. Returns human-readable violations (empty = a
+/// balanced schedule exists inside the share bounds).
+pub fn verify_schedule(cfg: &AcceleratorConfig, shape: &WorkloadShape) -> Vec<String> {
+    let mut out = Vec::new();
+    let w = PipelineWorkload::for_shape(
+        cfg,
+        shape.vertices,
+        shape.edges,
+        shape.features,
+        shape.gnn_width,
+        shape.rnn_width,
+    );
+    match PipelineScheduler.optimize(&w) {
+        Ok(sched) => {
+            let feasible = sched.alpha >= MIN_SHARE
+                && sched.beta >= MIN_SHARE
+                && (sched.alpha + sched.beta - 1.0).abs() < 1e-9;
+            if !feasible {
+                out.push(format!(
+                    "{}: optimizer schedule alpha={:.4} beta={:.4} violates the \
+                     [{MIN_SHARE}, {}] share bounds",
+                    shape.name,
+                    sched.alpha,
+                    sched.beta,
+                    1.0 - MIN_SHARE
+                ));
+            }
+        }
+        Err(e) => out.push(format!("{}: Eqs. 16-22 scheduler rejected the config: {e}", shape.name)),
+    }
+    out
+}
+
+/// Why a candidate configuration was rejected, in check order: the first
+/// failing stage wins (an invalid config is never budget-classified, a
+/// budget overflow is never schedule-classified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// `AcceleratorConfig::validate` failed (zero grid/MACs/frequency/BW).
+    InvalidConfig,
+    /// A per-PE GSB/LB tile or the GLB residency overflows its capacity
+    /// for at least one shape.
+    BudgetOverflow,
+    /// The α/β MAC partition cannot be realized (granularity) or the
+    /// optimizer's schedule violates the share bounds for some shape.
+    ScheduleInfeasible,
+}
+
+impl PruneReason {
+    /// Stable slug used in DSE reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            PruneReason::InvalidConfig => "invalid-config",
+            PruneReason::BudgetOverflow => "budget-overflow",
+            PruneReason::ScheduleInfeasible => "schedule-infeasible",
+        }
+    }
+}
+
+/// Worst-case (minimum over shapes) headroom between each buffer's capacity
+/// and its irreducible footprint, in bytes. Negative headroom means the
+/// tightest shape overflows that buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetMargins {
+    /// `gsb_bytes − max_shape(gsb_tile_bytes)`.
+    pub gsb_headroom_bytes: i64,
+    /// `lb_bytes − max_shape(lb_tile_bytes)`.
+    pub lb_headroom_bytes: i64,
+    /// `glb_bytes − max_shape(glb_resident_bytes)`.
+    pub glb_headroom_bytes: i64,
+}
+
+impl BudgetMargins {
+    /// True when every buffer has non-negative headroom.
+    pub fn all_non_negative(&self) -> bool {
+        self.gsb_headroom_bytes >= 0 && self.lb_headroom_bytes >= 0 && self.glb_headroom_bytes >= 0
+    }
+}
+
+/// Computes the worst-case budget margins of `cfg` across `shapes`
+/// (saturating at `i64` bounds; an empty shape list yields the full
+/// capacities as headroom).
+pub fn worst_case_margins(cfg: &AcceleratorConfig, shapes: &[WorkloadShape]) -> BudgetMargins {
+    let to_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+    let mut m = BudgetMargins {
+        gsb_headroom_bytes: to_i64(cfg.gsb_bytes),
+        lb_headroom_bytes: to_i64(cfg.lb_bytes),
+        glb_headroom_bytes: to_i64(cfg.glb_bytes),
+    };
+    for shape in shapes {
+        let fp = tile_footprint(cfg, shape);
+        m.gsb_headroom_bytes =
+            m.gsb_headroom_bytes.min(to_i64(cfg.gsb_bytes).saturating_sub(to_i64(fp.gsb_tile_bytes)));
+        m.lb_headroom_bytes =
+            m.lb_headroom_bytes.min(to_i64(cfg.lb_bytes).saturating_sub(to_i64(fp.lb_tile_bytes)));
+        m.glb_headroom_bytes = m
+            .glb_headroom_bytes
+            .min(to_i64(cfg.glb_bytes).saturating_sub(to_i64(fp.glb_resident_bytes)));
+    }
+    m
+}
+
+/// Structured feasibility verdict for one candidate config: the margins are
+/// always computed (diagnosable even when pruned); `prune` is `None` iff
+/// the config passes every stage of [`verify_config`] except the scaling
+/// sweep, which is a property of the *shipped* config's `scaled_down`
+/// consistency rather than of a sweep candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feasibility {
+    /// Worst-case buffer headroom across the shapes.
+    pub margins: BudgetMargins,
+    /// First failing stage, or `None` when the config is feasible.
+    pub prune: Option<PruneReason>,
+}
+
+/// Classifies `cfg` against `shapes` for design-space pruning: config
+/// validity, then tile budgets, then schedule feasibility (granularity and
+/// the Eqs. 16–22 optimizer).
+pub fn feasibility(cfg: &AcceleratorConfig, shapes: &[WorkloadShape]) -> Feasibility {
+    let margins = worst_case_margins(cfg, shapes);
+    let prune = if cfg.validate().is_err() {
+        Some(PruneReason::InvalidConfig)
+    } else if !margins.all_non_negative() {
+        Some(PruneReason::BudgetOverflow)
+    } else if MIN_SHARE * (cfg.macs_per_pe as f64) < 1.0
+        || shapes.iter().any(|s| !verify_schedule(cfg, s).is_empty())
+    {
+        Some(PruneReason::ScheduleInfeasible)
+    } else {
+        None
+    };
+    Feasibility { margins, prune }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +418,90 @@ mod tests {
         let cfg = AcceleratorConfig::paper_default();
         let violations = verify_scaling(&cfg, 64);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn fig12_shapes_cover_all_table_i_datasets() {
+        let shapes = fig12_shapes();
+        assert_eq!(shapes.len(), 6);
+        let names: Vec<&str> = shapes.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["PM", "RD", "MB", "TW", "WD", "FK"]);
+        assert!(shapes.iter().all(|s| s.gnn_width == GNN_WIDTH && s.rnn_width == RNN_WIDTH));
+    }
+
+    #[test]
+    fn verify_config_accepts_paper_default() {
+        let cfg = AcceleratorConfig::paper_default();
+        let violations = verify_config(&cfg, &fig12_shapes());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn verify_config_orders_scaling_granularity_then_shapes() {
+        // A config broken in every stage emits scaling first, then the
+        // granularity message, then per-shape messages — the order the
+        // lint rule has always reported (byte-compat contract).
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.macs_per_pe = 8;
+        cfg.gsb_bytes = 512;
+        let violations = verify_config(&cfg, &fig12_shapes());
+        let granularity =
+            violations.iter().position(|v| v.contains("granularity")).expect("granularity msg");
+        let first_shape =
+            violations.iter().position(|v| v.starts_with("PM:")).expect("per-shape msg");
+        assert!(granularity < first_shape, "{violations:?}");
+    }
+
+    #[test]
+    fn feasibility_classifies_paper_default_as_feasible() {
+        let cfg = AcceleratorConfig::paper_default();
+        let f = feasibility(&cfg, &fig12_shapes());
+        assert_eq!(f.prune, None);
+        assert!(f.margins.all_non_negative());
+        // Flickr's 2249-row partition dominates the margins: GSB tile is
+        // 9240 B under the 128 KB budget.
+        assert_eq!(f.margins.gsb_headroom_bytes, 128 * 1024 - 9240);
+        assert_eq!(f.margins.lb_headroom_bytes, 100 * 1024 - 17992);
+    }
+
+    #[test]
+    fn feasibility_prunes_in_stage_order() {
+        let shapes = fig12_shapes();
+
+        // Invalid config wins over everything else.
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.pe_rows = 0;
+        cfg.gsb_bytes = 1;
+        assert_eq!(feasibility(&cfg, &shapes).prune, Some(PruneReason::InvalidConfig));
+
+        // Budget overflow wins over schedule infeasibility.
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.gsb_bytes = 512;
+        cfg.macs_per_pe = 8;
+        let f = feasibility(&cfg, &shapes);
+        assert_eq!(f.prune, Some(PruneReason::BudgetOverflow));
+        assert!(f.margins.gsb_headroom_bytes < 0);
+
+        // Granularity alone is a schedule prune.
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.macs_per_pe = 8;
+        assert_eq!(feasibility(&cfg, &shapes).prune, Some(PruneReason::ScheduleInfeasible));
+    }
+
+    #[test]
+    fn prune_reason_slugs_are_stable() {
+        assert_eq!(PruneReason::InvalidConfig.slug(), "invalid-config");
+        assert_eq!(PruneReason::BudgetOverflow.slug(), "budget-overflow");
+        assert_eq!(PruneReason::ScheduleInfeasible.slug(), "schedule-infeasible");
+    }
+
+    #[test]
+    fn margins_over_empty_shape_list_are_full_capacities() {
+        let cfg = AcceleratorConfig::paper_default();
+        let m = worst_case_margins(&cfg, &[]);
+        assert_eq!(m.gsb_headroom_bytes, 128 * 1024);
+        assert_eq!(m.lb_headroom_bytes, 100 * 1024);
+        assert_eq!(m.glb_headroom_bytes, 64 * 1024 * 1024);
     }
 
     #[test]

@@ -36,11 +36,16 @@ mod microsim;
 mod ringsim;
 mod noc;
 mod pe;
+pub mod schedule;
 
 pub mod utilization;
 
 pub use area::{AreaModel, ChipArea, PeArea};
-pub use budget::{tile_footprint, verify_scaling, verify_workload, TileFootprint, WorkloadShape};
+pub use budget::{
+    feasibility, fig12_shapes, tile_footprint, verify_config, verify_scaling, verify_schedule,
+    verify_workload, worst_case_margins, BudgetMargins, Feasibility, PruneReason, TileFootprint,
+    WorkloadShape, GNN_WIDTH, MAX_SCALE, RNN_WIDTH,
+};
 pub use config::{nearest_square_side, AcceleratorConfig};
 pub use dram::{AccessPattern, DramModel, BURST_BYTES, ROW_MISS_PENALTY_CYCLES};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -50,3 +55,4 @@ pub use microsim::{MicrosimResult, PeMicrosim, TileWork};
 pub use ringsim::RingSim;
 pub use noc::{Topology, TrafficPattern, HOP_LATENCY_CYCLES, LINK_BYTES_PER_CYCLE};
 pub use pe::{mac_cycles, transpose_cycles, DatapathMode, ReconfigurablePe, RECONFIG_CYCLES};
+pub use schedule::{PipelineSchedule, PipelineScheduler, PipelineWorkload, MIN_SHARE};

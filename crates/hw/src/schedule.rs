@@ -7,8 +7,14 @@
 //! `min |CompT_G^t − CompT_RA^{t-1} − CompT_RB^t|` — equalizing the two
 //! pipeline legs. Because every phase latency is `work / (M·share)`, the
 //! optimum has the closed form `α* = W_G / (W_G + W_R)`.
+//!
+//! This model lived in `idgnn-core` through PR 5; it moved here so that the
+//! static budget verifier ([`crate::budget`]) and the design-space
+//! exploration engine (`idgnn-dse`) can evaluate schedule feasibility
+//! without pulling in the full-system simulator. `idgnn-core` re-exports
+//! every item, so downstream callers are unaffected.
 
-use crate::error::{CoreError, Result};
+use crate::error::{HwError, Result};
 
 /// Workload parameters of one snapshot transition feeding Eqs. 18–22.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +45,7 @@ impl PipelineWorkload {
     /// is an order of magnitude sparser (`s = p/10`, the §V-B observation
     /// that ΔA carries ~a tenth of the active structure per snapshot).
     pub fn for_shape(
-        cfg: &idgnn_hw::AcceleratorConfig,
+        cfg: &crate::config::AcceleratorConfig,
         vertices: u64,
         edges: u64,
         features: u64,
@@ -146,12 +152,13 @@ impl PipelineScheduler {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Hw`] if the workload is degenerate (no PEs).
+    /// Returns [`HwError::InvalidConfig`] if the workload is degenerate
+    /// (no PEs).
     pub fn optimize(&self, w: &PipelineWorkload) -> Result<PipelineSchedule> {
         if w.pes < 1.0 || w.macs_per_pe < 1.0 {
-            return Err(CoreError::Hw(idgnn_hw::HwError::InvalidConfig {
+            return Err(HwError::InvalidConfig {
                 reason: "scheduler requires at least one PE with one MAC",
-            }));
+            });
         }
         // Work terms (numerators) at unit share.
         let g = w.comp_t_gnn(1.0);
@@ -182,7 +189,7 @@ mod tests {
 
     #[test]
     fn for_shape_matches_manual_construction() {
-        let cfg = idgnn_hw::AcceleratorConfig::paper_default();
+        let cfg = crate::config::AcceleratorConfig::paper_default();
         let w = PipelineWorkload::for_shape(&cfg, 9227, 157_474, 172, 256, 256);
         assert_eq!(w.pes, 1024.0);
         assert_eq!(w.macs_per_pe, 16.0);

@@ -2,27 +2,30 @@
 //! budgets, evaluated at lint time against the *real* workspace types.
 //!
 //! Unlike the token and flow rules, this rule does not read source text at
-//! all — the lint crate links `idgnn-hw`, `idgnn-core`, and `idgnn-graph`
-//! and evaluates:
+//! all — since PR 6 the entire check lives in the shared
+//! [`idgnn_hw::budget`] API ([`idgnn_hw::budget::verify_config`]), which
+//! this rule applies to the shipped
+//! [`idgnn_hw::AcceleratorConfig::paper_default`]:
 //!
-//! 1. **Tile budgets** — for every Table-I dataset shape, the per-PE
-//!    GSB/LB tile footprints and GLB residency of
-//!    [`idgnn_hw::budget::tile_footprint`] must fit the shipped
-//!    [`idgnn_hw::AcceleratorConfig::paper_default`] (128 KB / 100 KB /
-//!    64 MB).
-//! 2. **Schedule feasibility** — the Eqs. 16–22 optimizer must produce an
-//!    `α/β` MAC partition inside `[MIN_SHARE, 1 − MIN_SHARE]` for every
-//!    shape, and the 1/16 share granularity must be representable on the
-//!    config's MAC array at all (`MIN_SHARE · macs_per_pe ≥ 1`).
-//! 3. **Scaling consistency** — `scaled_down` must stay on the nearest
+//! 1. **Scaling consistency** — `scaled_down` must stay on the nearest
 //!    square torus with matching topology dims at every scale 1–64.
+//! 2. **Schedule granularity** — the 1/16 `MIN_SHARE` must be representable
+//!    on the config's MAC array at all (`MIN_SHARE · macs_per_pe ≥ 1`).
+//! 3. **Tile budgets** — for every Table-I dataset shape, the per-PE
+//!    GSB/LB tile footprints and GLB residency of
+//!    [`idgnn_hw::budget::tile_footprint`] must fit the config's buffers
+//!    (128 KB / 100 KB / 64 MB on the paper default).
+//! 4. **Schedule feasibility** — the Eqs. 16–22 optimizer (now in
+//!    `idgnn_hw::schedule`) must produce an `α/β` MAC partition inside
+//!    `[MIN_SHARE, 1 − MIN_SHARE]` for every shape.
 //!
-//! Findings anchor at `crates/hw/src/config.rs` (the file a config change
-//! would edit). A change that shrinks a buffer, widens a model, or breaks
-//! the grid rounding fails the lint before any simulation runs.
+//! The same `verify_config` is the pruning predicate of the `idgnn-dse`
+//! design-space engine, so a config that survives DSE by construction also
+//! passes this lint. Findings anchor at `crates/hw/src/config.rs` (the file
+//! a config change would edit). A change that shrinks a buffer, widens a
+//! model, or breaks the grid rounding fails the lint before any simulation
+//! runs.
 
-use idgnn_core::{PipelineScheduler, PipelineWorkload, MIN_SHARE};
-use idgnn_graph::datasets::ALL_DATASETS;
 use idgnn_hw::{budget, AcceleratorConfig, WorkloadShape};
 
 use crate::rules::{Finding, Rule};
@@ -30,85 +33,27 @@ use crate::rules::{Finding, Rule};
 /// The file hw-budget findings anchor at.
 const CONFIG_FILE: &str = "crates/hw/src/config.rs";
 
-/// GNN output width used by the executed models (EvalDims in the bench
-/// context mirrors this).
-const GNN_WIDTH: u64 = 256;
-/// RNN hidden width of the paper's EvolveGCN-style recurrent cell.
-const RNN_WIDTH: u64 = 256;
-/// Scale range `scaled_down` must stay consistent over.
-const MAX_SCALE: u64 = 64;
-
 /// The fig12 evaluation shapes: every Table-I dataset at the paper's model
-/// widths.
+/// widths (re-exported from the shared budget API for rule-level tests).
 pub fn fig12_shapes() -> Vec<WorkloadShape> {
-    ALL_DATASETS
-        .iter()
-        .map(|d| WorkloadShape {
-            name: d.short,
-            vertices: d.vertices as u64,
-            edges: d.edges as u64,
-            features: d.features as u64,
-            gnn_width: GNN_WIDTH,
-            rnn_width: RNN_WIDTH,
-        })
-        .collect()
+    budget::fig12_shapes()
 }
 
 /// Verifies `cfg` against `shapes` and the scaling sweep; returns findings
-/// anchored at `crates/hw/src/config.rs`. This is the testable core —
-/// [`check_workspace`] applies it to the shipped config.
+/// anchored at `crates/hw/src/config.rs`. The check itself is
+/// [`budget::verify_config`]; this wrapper only maps each violation string
+/// onto a [`Finding`] unchanged, so the rule's messages are byte-identical
+/// to the shared API's.
 pub fn check_config(cfg: &AcceleratorConfig, shapes: &[WorkloadShape]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut push = |message: String| {
-        findings.push(Finding {
+    budget::verify_config(cfg, shapes)
+        .into_iter()
+        .map(|message| Finding {
             rule: Rule::HwBudget,
             file: CONFIG_FILE.to_string(),
             line: 1,
             message,
-        });
-    };
-    for v in budget::verify_scaling(cfg, MAX_SCALE) {
-        push(v);
-    }
-    if MIN_SHARE * (cfg.macs_per_pe as f64) < 1.0 {
-        push(format!(
-            "alpha/beta granularity infeasible: a {MIN_SHARE} MAC share of {} MACs/PE is \
-             less than one unit; the Eqs. 16-22 partition cannot be realized",
-            cfg.macs_per_pe
-        ));
-    }
-    for shape in shapes {
-        for v in budget::verify_workload(cfg, shape) {
-            push(v);
-        }
-        let w = PipelineWorkload::for_shape(
-            cfg,
-            shape.vertices,
-            shape.edges,
-            shape.features,
-            shape.gnn_width,
-            shape.rnn_width,
-        );
-        match PipelineScheduler.optimize(&w) {
-            Ok(sched) => {
-                let feasible = sched.alpha >= MIN_SHARE
-                    && sched.beta >= MIN_SHARE
-                    && (sched.alpha + sched.beta - 1.0).abs() < 1e-9;
-                if !feasible {
-                    push(format!(
-                        "{}: optimizer schedule alpha={:.4} beta={:.4} violates the \
-                         [{MIN_SHARE}, {}] share bounds",
-                        shape.name,
-                        sched.alpha,
-                        sched.beta,
-                        1.0 - MIN_SHARE
-                    ));
-                }
-            }
-            Err(e) => push(format!("{}: Eqs. 16-22 scheduler rejected the config: {e}", shape.name)),
-        }
-    }
-    findings
+        })
+        .collect()
 }
 
 /// The workspace-scan entry point: the shipped paper config against the
@@ -154,5 +99,42 @@ mod tests {
         assert_eq!(shapes.len(), 6);
         let names: Vec<&str> = shapes.iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["PM", "RD", "MB", "TW", "WD", "FK"]);
+    }
+
+    /// The PR 6 refactor contract: the rule's findings on the seeded
+    /// oversized-tile fixtures are byte-identical to the pre-refactor
+    /// messages (captured verbatim before `verify_config` moved from this
+    /// rule into `idgnn_hw::budget`).
+    #[test]
+    fn refactored_findings_are_byte_identical_to_pre_refactor_capture() {
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.gsb_bytes = 512;
+        let gsb: Vec<String> =
+            check_config(&cfg, &fig12_shapes()).into_iter().map(|f| f.message).collect();
+        assert_eq!(
+            gsb,
+            vec![
+                "PM: per-PE GSB tile 764 B (indptr 2 rows + 2x mean-degree 47 row) exceeds \
+                 the 512 B GSB",
+                "MB: per-PE GSB tile 1448 B (indptr 333 rows + 2x mean-degree 7 row) exceeds \
+                 the 512 B GSB",
+                "FK: per-PE GSB tile 9240 B (indptr 2249 rows + 2x mean-degree 15 row) \
+                 exceeds the 512 B GSB",
+            ]
+        );
+
+        let mut cfg = AcceleratorConfig::paper_default();
+        cfg.lb_bytes = 1024;
+        let lb: Vec<String> =
+            check_config(&cfg, &fig12_shapes()).into_iter().map(|f| f.message).collect();
+        assert_eq!(
+            lb,
+            vec![
+                "MB: per-PE LB tile 2664 B (double-buffered feature column of 333 rows) \
+                 exceeds the 1024 B LB",
+                "FK: per-PE LB tile 17992 B (double-buffered feature column of 2249 rows) \
+                 exceeds the 1024 B LB",
+            ]
+        );
     }
 }

@@ -148,8 +148,9 @@ impl Rule {
                 `// lint: allow(opstats-flow) -- <why the counts are audited elsewhere>`.",
             Rule::HwBudget => "hw-budget — the shipped accelerator config must satisfy the paper's\n\
                 budgets before any simulation runs.\n\n\
-                Static verifier over the Eqs. 16–22 pipeline model (crates/core\n\
-                scheduler) and the AcceleratorConfig invariants (crates/hw): for every\n\
+                Static verifier over the shared `idgnn_hw::budget::verify_config` API\n\
+                (Eqs. 16–22 pipeline model in crates/hw/src/schedule.rs, also the\n\
+                idgnn-dse pruning predicate): for every\n\
                 Table-I dataset shape, the per-PE GSB tile (indptr slice + double-\n\
                 buffered mean-degree row) must fit the 128 KB GSB, the double-buffered\n\
                 feature-column tile must fit the 100 KB LB, resident weights plus\n\

@@ -8,7 +8,8 @@
 #    re-asserted at every construction/splice/assemble site);
 # 4. idgnn-lint workspace scan against the checked-in lint.baseline ratchet;
 # 5. kernel-benchmark smoke run + structural JSON validation;
-# 6. clippy over every target with warnings denied.
+# 6. DSE smoke sweep regenerating results/dse.json + structural validation;
+# 7. clippy over every target with warnings denied.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +41,21 @@ echo "==> bench kernels --smoke"
 smoke_json="target/BENCH_kernels_smoke.json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --smoke --out "$smoke_json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --validate "$smoke_json"
+
+echo "==> bench dse --smoke"
+# The design-space sweep: enumerate the smoke grid (hundreds of candidates),
+# prune with the shared hw-budget verifier, rank with the analytical cost
+# model, and extract the Pareto front. The binary re-reads and validates its
+# own JSON; `--validate` then re-checks the committed report from the
+# outside (candidate accounting, non-negative front headrooms, canonical
+# order, and the paper's 32x32 baseline on the front). The sweep is
+# deterministic, so the regenerated file must match the committed one.
+cargo run --release -q -p idgnn-bench --bin dse -- --smoke --out results/dse.json
+cargo run --release -q -p idgnn-bench --bin dse -- --validate results/dse.json
+git diff --exit-code -- results/dse.json || {
+  echo "error: results/dse.json drifted from the committed sweep" >&2
+  exit 1
+}
 
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -19,6 +19,7 @@
 //! | [`hw`] | NoC / DRAM / energy / area models, the phase timing engine |
 //! | [`core`] | the I-DGNN accelerator: DIU, scheduler, dataflow, full simulation |
 //! | [`baselines`] | ReaDy, DGNN-Booster, RACE |
+//! | [`dse`] | design-space exploration: grid sweep, budget pruning, cost ranking, Pareto front |
 //! | `bench` | per-figure experiment harness |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use idgnn_analytics as analytics;
 pub use idgnn_baselines as baselines;
 pub use idgnn_bench as bench;
 pub use idgnn_core as core;
+pub use idgnn_dse as dse;
 pub use idgnn_graph as graph;
 pub use idgnn_hw as hw;
 pub use idgnn_model as model;
