@@ -56,30 +56,48 @@ pub struct KernelBenchConfig {
     /// How many Fig. 12 datasets the delta-rate sweep covers (in Table-I
     /// order).
     pub delta_datasets: usize,
+    /// Element count per array of the DRAM-sized STREAM-triad baseline
+    /// (three `f32` arrays; pick a size whose combined footprint exceeds
+    /// every cache level so the measurement is memory-bound).
+    pub triad_dram_elements: usize,
 }
 
+/// Element count per array of the cache-resident triad baseline: three
+/// arrays × 8192 × 4 B = 96 KiB, inside a typical ≥256 KiB L2. Its
+/// bandwidth bounds what any cache-hot kernel can achieve, which is why the
+/// roofline gate compares against the *peak* of the two triad runs.
+pub const TRIAD_L2_ELEMENTS: usize = 8 * 1024;
+
 /// Drops requested thread counts the host cannot provide, keeping at least
-/// `[1]` so the sweep never ends up empty.
+/// `[1]` so the sweep never ends up empty. Every dropped count is named on
+/// stderr so a clamped report is self-explaining next to its host.
 fn clamp_threads(counts: Vec<usize>) -> Vec<usize> {
-    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let kept: Vec<usize> = counts.into_iter().filter(|&t| t <= host).collect();
-    if kept.is_empty() {
-        vec![1]
-    } else {
-        kept
+    let host = parallel::host_cores();
+    let mut kept = Vec::new();
+    for t in counts {
+        if t <= host {
+            kept.push(t);
+        } else {
+            eprintln!("kernels: requested {t} threads, host has {host}; dropping {t} from the sweep");
+        }
     }
+    if kept.is_empty() {
+        eprintln!("kernels: no requested thread count fits the host ({host} cores); running the serial baseline only");
+        kept.push(1);
+    }
+    kept
 }
 
 impl KernelBenchConfig {
     /// The full configuration behind the committed `BENCH_kernels.json`:
-    /// all six datasets at standard scale, 1/4/8 requested threads (clamped
-    /// to the host at run time), and the 0.1%/1%/10% churn sweep over every
-    /// Fig. 12 dataset.
+    /// all six datasets at standard scale, 1/4/8/16 requested threads
+    /// (clamped to the host at run time), and the 0.1%/1%/10% churn sweep
+    /// over every Fig. 12 dataset.
     pub fn full() -> Self {
         Self {
             scale: ExperimentScale::Standard,
             seed: 42,
-            thread_counts: vec![1, 4, 8],
+            thread_counts: vec![1, 4, 8, 16],
             samples: 5,
             datasets: usize::MAX,
             // L = 4: the warm chain skips three of the six power products
@@ -89,6 +107,8 @@ impl KernelBenchConfig {
             layers: 4,
             delta_rates: vec![0.001, 0.01, 0.1],
             delta_datasets: usize::MAX,
+            // Three arrays × 4 MiB elements × 4 B = 48 MiB: past any L3.
+            triad_dram_elements: 4 * 1024 * 1024,
         }
     }
 
@@ -104,6 +124,7 @@ impl KernelBenchConfig {
             layers: 3,
             delta_rates: vec![0.01],
             delta_datasets: 2,
+            triad_dram_elements: 1024 * 1024,
         }
     }
 }
@@ -121,6 +142,100 @@ pub struct KernelTiming {
     pub wall_ms: f64,
     /// Samples taken.
     pub samples: usize,
+}
+
+/// One cell of the interleaved thread-scaling sweep: the minimum wall time
+/// of one kernel on one dataset at one pinned thread count, with speedup
+/// and parallel efficiency relative to the smallest swept count.
+///
+/// Every sample visits every (dataset, thread count, kernel) cell before
+/// the next sample starts, so a slow window on a shared host (frequency
+/// drift, co-tenants) lands on all cells instead of biasing whichever cell
+/// happened to run last.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingTiming {
+    /// Kernel name (`spgemm` | `spmm`).
+    pub kernel: String,
+    /// Dataset short code.
+    pub dataset: String,
+    /// Operand dimension (rows of the square operator) — lets the validator
+    /// rank datasets by size without re-deriving operands.
+    pub rows: usize,
+    /// Operand nonzeros.
+    pub nnz: usize,
+    /// Kernel threads the timed region was pinned to.
+    pub threads: usize,
+    /// Minimum wall time across the interleaved samples, milliseconds.
+    pub wall_ms: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// `wall(baseline) / wall(this)` where baseline is the smallest swept
+    /// thread count (1 whenever the host permits).
+    pub speedup: f64,
+    /// `speedup × baseline_threads / threads` — 1.0 means perfect scaling.
+    pub efficiency: f64,
+}
+
+/// Roofline-style characterization of one kernel on one dataset at the
+/// baseline thread count: exact FLOPs (from [`OpStats`]) over the minimum
+/// bytes the operands and output occupy (CSR/dense footprints), against the
+/// wall time measured in the scaling sweep.
+///
+/// The byte count is a *footprint* lower bound on traffic — a cache-hot run
+/// moves each byte once, a thrashing run more — so `achieved_gbps` is the
+/// kernel's effective bandwidth demand and must not exceed what the host
+/// demonstrably sustains (the triad peak), which is what the validator
+/// gates on.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflineEntry {
+    /// Kernel name (`spgemm` | `spmm`).
+    pub kernel: String,
+    /// Dataset short code.
+    pub dataset: String,
+    /// Exact scalar multiply + add count ([`OpStats`] `mults + adds`).
+    pub flops: u64,
+    /// Footprint bytes: CSR operands/output at `8 B` per index and `4 B`
+    /// per value, dense operands at `4 B` per element.
+    pub bytes: u64,
+    /// `flops / bytes` — where the kernel sits on the roofline's x-axis.
+    pub arithmetic_intensity: f64,
+    /// Wall time the rates below are computed from (the scaling sweep's
+    /// baseline-thread-count minimum), milliseconds.
+    pub wall_ms: f64,
+    /// `flops / wall` in GFLOP/s.
+    pub achieved_gflops: f64,
+    /// `bytes / wall` in GB/s.
+    pub achieved_gbps: f64,
+}
+
+/// STREAM-like triad (`a[i] = b[i] + s·c[i]`) bandwidth baselines measured
+/// on this host in the same process as the kernel timings.
+///
+/// Two sizes bound the two regimes a kernel can be in: a cache-resident run
+/// (`l2_*`) bounds cache-hot kernels, a DRAM-sized run (`dram_*`) bounds
+/// streaming kernels. `peak_gbps` is the larger of the two — the roofline
+/// gate compares kernel bandwidth against it.
+#[derive(Debug, Clone, Serialize)]
+pub struct TriadBaseline {
+    /// Elements per array of the cache-resident run.
+    pub l2_elements: usize,
+    /// Best-of-samples bandwidth of the cache-resident run, GB/s.
+    pub l2_gbps: f64,
+    /// Elements per array of the DRAM-sized run.
+    pub dram_elements: usize,
+    /// Best-of-samples bandwidth of the DRAM-sized run, GB/s.
+    pub dram_gbps: f64,
+    /// `max(l2_gbps, dram_gbps)`.
+    pub peak_gbps: f64,
+}
+
+impl TriadBaseline {
+    /// Measures both triad sizes (best of `samples`, at least 3).
+    fn measure(l2_elements: usize, dram_elements: usize, samples: usize) -> Self {
+        let l2_gbps = triad_gbps(l2_elements, samples);
+        let dram_gbps = triad_gbps(dram_elements, samples);
+        Self { l2_elements, l2_gbps, dram_elements, dram_gbps, peak_gbps: l2_gbps.max(dram_gbps) }
+    }
 }
 
 /// Cold vs warm power-chain timing on one dataset at one thread count.
@@ -211,8 +326,18 @@ pub struct KernelBenchReport {
     pub thread_counts: Vec<usize>,
     /// Thread counts the configuration asked for, before host clamping.
     pub requested_thread_counts: Vec<usize>,
+    /// Logical cores the host reported at run time — the clamp reference
+    /// for `thread_counts` and the condition on the efficiency gate.
+    pub host_cores: usize,
     /// Per-kernel timings, dataset-major then thread-major.
     pub kernels: Vec<KernelTiming>,
+    /// Interleaved thread-scaling sweep (speedup / parallel efficiency per
+    /// kernel, dataset, and swept count).
+    pub scaling: Vec<ScalingTiming>,
+    /// Roofline characterization at the baseline thread count.
+    pub roofline: Vec<RooflineEntry>,
+    /// Triad bandwidth baselines the roofline entries are gated against.
+    pub triad: TriadBaseline,
     /// Power-chain cold/warm comparison per dataset and thread count.
     pub power_chain: Vec<PowerChainTiming>,
     /// Full-rebuild vs incremental-patch sweep per (dataset, churn rate,
@@ -288,6 +413,160 @@ fn delta_operands(cfg: &KernelBenchConfig, rate: f64) -> Result<Vec<Operands>> {
             cfg.seed.wrapping_add(i as u64),
         )?;
         out.push(graph_operands(spec.short, &w.graph)?);
+    }
+    Ok(out)
+}
+
+/// The kernels the scaling sweep and roofline cover: the two the fused
+/// vectorized pass accelerates.
+const SCALING_KERNELS: [&str; 2] = ["spgemm", "spmm"];
+
+/// Measures one STREAM-like triad (`a[i] = b[i] + s·c[i]`) at `n` elements
+/// per array, best of `samples` (at least 3), in GB/s. Small sizes repeat
+/// the pass inside the timed region so the measurement never collapses into
+/// timer granularity; 12 bytes move per element per pass (read `b`, read
+/// `c`, write `a`).
+fn triad_gbps(n: usize, samples: usize) -> f64 {
+    let mut a = vec![0.0f32; n];
+    let b = vec![1.5f32; n];
+    let c = vec![2.5f32; n];
+    let scalar = 3.0f32;
+    let passes = (4 * 1024 * 1024 / n.max(1)).max(1);
+    let mut best = f64::MAX;
+    for _ in 0..samples.max(3) {
+        let t0 = std::time::Instant::now();
+        for _ in 0..passes {
+            for ((av, &bv), &cv) in a.iter_mut().zip(&b).zip(&c) {
+                *av = bv + scalar * cv;
+            }
+            black_box(&mut a);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    if best <= 0.0 {
+        return 0.0;
+    }
+    (3 * 4 * n * passes) as f64 / best / 1e9
+}
+
+/// CSR storage footprint: `usize` indices (`indptr` + `indices`) plus `f32`
+/// values — the bytes a streaming pass over the matrix must touch.
+fn csr_footprint_bytes(m: &CsrMatrix) -> u64 {
+    let idx = std::mem::size_of::<usize>() as u64;
+    idx * (m.rows() as u64 + 1) + (idx + 4) * m.nnz() as u64
+}
+
+/// Dense storage footprint (`f32` elements).
+fn dense_footprint_bytes(rows: usize, cols: usize) -> u64 {
+    4 * rows as u64 * cols as u64
+}
+
+/// The interleaved min-of-N thread-scaling sweep over every dataset and
+/// swept count (see [`ScalingTiming`] for why interleaved). Outputs are
+/// recycled into the workspace pool between samples so steady-state
+/// allocation behavior is what gets timed.
+fn measure_scaling(
+    sets: &[Operands],
+    counts: &[usize],
+    samples: usize,
+) -> Result<Vec<ScalingTiming>> {
+    let samples = samples.max(3);
+    let mut mins = vec![f64::MAX; sets.len() * counts.len() * SCALING_KERNELS.len()];
+    for _ in 0..samples {
+        for (si, set) in sets.iter().enumerate() {
+            for (ti, &t) in counts.iter().enumerate() {
+                let _scope = parallel::kernel_scope(Parallelism::new(t));
+                let cell = (si * counts.len() + ti) * SCALING_KERNELS.len();
+                let t0 = std::time::Instant::now();
+                let prod = ops::spgemm(black_box(&set.a), black_box(&set.a))?;
+                let el = t0.elapsed().as_secs_f64() * 1e3;
+                idgnn_sparse::workspace::recycle(black_box(prod));
+                // lint: allow(panic-surface) -- in-bounds: `mins` was sized over the same three loop ranges
+                mins[cell] = mins[cell].min(el);
+                let t0 = std::time::Instant::now();
+                let agg = ops::spmm(black_box(&set.a), black_box(&set.x))?;
+                let el = t0.elapsed().as_secs_f64() * 1e3;
+                idgnn_sparse::workspace::recycle_dense(black_box(agg));
+                // lint: allow(panic-surface) -- in-bounds: `mins` was sized over the same three loop ranges
+                mins[cell + 1] = mins[cell + 1].min(el);
+            }
+        }
+    }
+    let (baseline_ti, baseline_t) = counts
+        .iter()
+        .copied()
+        .enumerate()
+        .min_by_key(|&(_, t)| t)
+        .unwrap_or((0, 1));
+    let mut out = Vec::new();
+    for (si, set) in sets.iter().enumerate() {
+        for (ki, kernel) in SCALING_KERNELS.iter().enumerate() {
+            // lint: allow(panic-surface) -- in-bounds: `mins` was sized over the same three loop ranges
+            let cell = |ti: usize| mins[(si * counts.len() + ti) * SCALING_KERNELS.len() + ki];
+            let base_ms = cell(baseline_ti);
+            for (ti, &t) in counts.iter().enumerate() {
+                let wall_ms = cell(ti);
+                let speedup = if wall_ms > 0.0 { base_ms / wall_ms } else { 0.0 };
+                out.push(ScalingTiming {
+                    kernel: (*kernel).to_string(),
+                    dataset: set.short.clone(),
+                    rows: set.a.rows(),
+                    nnz: set.a.nnz(),
+                    threads: t,
+                    wall_ms,
+                    samples,
+                    speedup,
+                    efficiency: speedup * baseline_t as f64 / t as f64,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the roofline entries from exact op counts, storage footprints, and
+/// the scaling sweep's baseline-thread-count wall times.
+fn roofline_entries(
+    sets: &[Operands],
+    scaling: &[ScalingTiming],
+    baseline_threads: usize,
+) -> Result<Vec<RooflineEntry>> {
+    let wall_of = |kernel: &str, dataset: &str| {
+        scaling
+            .iter()
+            .find(|s| s.kernel == kernel && s.dataset == dataset && s.threads == baseline_threads)
+            .map(|s| s.wall_ms)
+    };
+    let entry = |kernel: &str, dataset: &str, flops: u64, bytes: u64, wall_ms: f64| {
+        let secs = wall_ms / 1e3;
+        RooflineEntry {
+            kernel: kernel.to_string(),
+            dataset: dataset.to_string(),
+            flops,
+            bytes,
+            arithmetic_intensity: flops as f64 / bytes as f64,
+            wall_ms,
+            achieved_gflops: if secs > 0.0 { flops as f64 / secs / 1e9 } else { 0.0 },
+            achieved_gbps: if secs > 0.0 { bytes as f64 / secs / 1e9 } else { 0.0 },
+        }
+    };
+    let par = Parallelism::new(baseline_threads);
+    let mut out = Vec::new();
+    for set in sets {
+        let (prod, st) = ops::spgemm_par_with_stats(&set.a, &set.a, par)?;
+        let bytes = 2 * csr_footprint_bytes(&set.a) + csr_footprint_bytes(&prod);
+        idgnn_sparse::workspace::recycle(prod);
+        if let Some(wall_ms) = wall_of("spgemm", &set.short) {
+            out.push(entry("spgemm", &set.short, st.total(), bytes, wall_ms));
+        }
+        let (agg, st) = ops::spmm_par_with_stats(&set.a, &set.x, par)?;
+        let bytes = csr_footprint_bytes(&set.a)
+            + dense_footprint_bytes(set.x.rows(), set.x.cols())
+            + dense_footprint_bytes(agg.rows(), agg.cols());
+        idgnn_sparse::workspace::recycle_dense(agg);
+        if let Some(wall_ms) = wall_of("spmm", &set.short) {
+            out.push(entry("spmm", &set.short, st.total(), bytes, wall_ms));
+        }
     }
     Ok(out)
 }
@@ -556,6 +835,13 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         }
     }
 
+    // The thread-scaling sweep, its roofline reading, and the triad
+    // baselines the roofline is gated against (DESIGN.md §13).
+    let scaling = measure_scaling(&sets, &thread_counts, cfg.samples)?;
+    let baseline_threads = thread_counts.iter().copied().min().unwrap_or(1);
+    let roofline = roofline_entries(&sets, &scaling, baseline_threads)?;
+    let triad = TriadBaseline::measure(TRIAD_L2_ELEMENTS, cfg.triad_dram_elements, cfg.samples);
+
     let (pool_hits, pool_misses) = idgnn_sparse::workspace::pool_counters();
     let max_warm_speedup =
         power_chain.iter().map(|p| p.warm_speedup).fold(0.0f64, f64::max);
@@ -567,7 +853,11 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         samples: cfg.samples,
         thread_counts,
         requested_thread_counts: cfg.thread_counts.clone(),
+        host_cores: parallel::host_cores(),
         kernels,
+        scaling,
+        roofline,
+        triad,
         power_chain,
         delta_rates,
         delta_saved_total,
@@ -600,6 +890,67 @@ impl std::fmt::Display for KernelBenchReport {
                 &rows,
             )
         )?;
+        if !self.scaling.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .scaling
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.dataset.clone(),
+                        s.kernel.clone(),
+                        s.threads.to_string(),
+                        format!("{:.3}", s.wall_ms),
+                        format!("{:.2}x", s.speedup),
+                        format!("{:.0}%", s.efficiency * 100.0),
+                    ]
+                })
+                .collect();
+            writeln!(
+                f,
+                "{}",
+                table(
+                    &format!(
+                        "Thread scaling, interleaved min of samples (host: {} cores)",
+                        self.host_cores
+                    ),
+                    &["dataset", "kernel", "threads", "ms", "speedup", "efficiency"],
+                    &rows,
+                )
+            )?;
+        }
+        if !self.roofline.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .roofline
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.dataset.clone(),
+                        r.kernel.clone(),
+                        format!("{:.2}", r.arithmetic_intensity),
+                        format!("{:.3}", r.achieved_gflops),
+                        format!("{:.3}", r.achieved_gbps),
+                    ]
+                })
+                .collect();
+            writeln!(
+                f,
+                "{}",
+                table(
+                    "Roofline at the baseline thread count (exact FLOPs / footprint bytes)",
+                    &["dataset", "kernel", "flop/byte", "GFLOP/s", "GB/s"],
+                    &rows,
+                )
+            )?;
+            writeln!(
+                f,
+                "triad baseline: {:.2} GB/s cache-resident ({} el), {:.2} GB/s DRAM ({} el), peak {:.2} GB/s",
+                self.triad.l2_gbps,
+                self.triad.l2_elements,
+                self.triad.dram_gbps,
+                self.triad.dram_elements,
+                self.triad.peak_gbps,
+            )?;
+        }
         let rows: Vec<Vec<String>> = self
             .power_chain
             .iter()
@@ -730,6 +1081,10 @@ pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
         "\"thread_counts\"",
         "\"delta_rates\"",
         "\"max_warm_speedup\"",
+        "\"host_cores\"",
+        "\"scaling\"",
+        "\"roofline\"",
+        "\"triad\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -858,6 +1213,132 @@ pub fn validate_report_structure(text: &str) -> std::result::Result<(), String> 
     if number("samples")? < 1.0 {
         return Err("`samples` must be at least 1".to_string());
     }
+
+    // --- scaling / roofline / triad (the thread-scaling tentpole) ---
+    let host_cores = number("host_cores")?;
+    if host_cores < 1.0 {
+        return Err("`host_cores` must be at least 1".to_string());
+    }
+    non_empty_array("scaling")?;
+    let scaling = doc.get("scaling").and_then(Json::as_array).unwrap_or(&[]);
+    let min_swept = swept.iter().copied().fold(f64::MAX, f64::min);
+    let mut scaling_counts: Vec<f64> = Vec::new();
+    let mut gate_rows: Vec<(String, String, f64, f64)> = Vec::new();
+    for (i, row) in scaling.iter().enumerate() {
+        let field = |name: &str| {
+            row.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`scaling[{i}]` lacks numeric field `{name}`"))
+        };
+        let t = field("threads")?;
+        if !swept.contains(&t) {
+            return Err(format!(
+                "`scaling[{i}]` ran at {t} threads, outside the recorded sweep {swept:?}"
+            ));
+        }
+        if !scaling_counts.contains(&t) {
+            scaling_counts.push(t);
+        }
+        if field("wall_ms")? <= 0.0 {
+            return Err(format!("`scaling[{i}]` reports a non-positive wall time"));
+        }
+        let efficiency = field("efficiency")?;
+        if efficiency <= 0.0 {
+            return Err(format!("`scaling[{i}]` reports a non-positive efficiency"));
+        }
+        #[allow(clippy::float_cmp)]
+        if t == min_swept && (efficiency - 1.0).abs() > 1e-6 {
+            return Err(format!(
+                "`scaling[{i}]` is a baseline row (threads = {t}) but reports efficiency \
+                 {efficiency} instead of 1"
+            ));
+        }
+        let kernel = row.get("kernel").and_then(Json::as_str).unwrap_or("?").to_string();
+        let dataset = row.get("dataset").and_then(Json::as_str).unwrap_or("?").to_string();
+        #[allow(clippy::float_cmp)]
+        if t == 4.0 {
+            gate_rows.push((kernel, dataset, field("rows")?, efficiency));
+        }
+    }
+    if scaling_counts.len() != swept.len() {
+        return Err(format!(
+            "`scaling` rows cover thread counts {scaling_counts:?}, not the recorded sweep \
+             {swept:?}"
+        ));
+    }
+    // Regression gate: when the host genuinely ran 4 threads, the two
+    // largest datasets must scale at ≥60% parallel efficiency per kernel.
+    // A clamped host (no 4-thread rows) skips the gate by construction.
+    if host_cores >= 4.0 {
+        let mut kernels_at_4: Vec<&str> = Vec::new();
+        for (k, ..) in &gate_rows {
+            if !kernels_at_4.contains(&k.as_str()) {
+                kernels_at_4.push(k);
+            }
+        }
+        for kernel in kernels_at_4 {
+            let mut rows_of_kernel: Vec<&(String, String, f64, f64)> =
+                gate_rows.iter().filter(|(k, ..)| k == kernel).collect();
+            rows_of_kernel
+                .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            for (_, dataset, _, efficiency) in rows_of_kernel.iter().take(2) {
+                if *efficiency < 0.6 {
+                    return Err(format!(
+                        "`scaling`: {kernel} on {dataset} reaches only {:.0}% parallel \
+                         efficiency at 4 threads (gate: ≥60% on the two largest datasets)",
+                        efficiency * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    let triad = doc.get("triad").ok_or("`triad` is missing")?;
+    let tnum = |name: &str| {
+        triad
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`triad` lacks numeric field `{name}`"))
+    };
+    let l2 = tnum("l2_gbps")?;
+    let dram = tnum("dram_gbps")?;
+    let peak = tnum("peak_gbps")?;
+    if l2 <= 0.0 || dram <= 0.0 {
+        return Err("`triad` bandwidths must be positive".to_string());
+    }
+    if (peak - l2.max(dram)).abs() > 1e-9 * peak.abs().max(1.0) {
+        return Err(format!(
+            "`triad.peak_gbps` ({peak}) is not the larger triad measurement \
+             (l2 {l2}, dram {dram})"
+        ));
+    }
+
+    non_empty_array("roofline")?;
+    for (i, row) in doc.get("roofline").and_then(Json::as_array).unwrap_or(&[]).iter().enumerate()
+    {
+        let field = |name: &str| {
+            row.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`roofline[{i}]` lacks numeric field `{name}`"))
+        };
+        if field("arithmetic_intensity")? <= 0.0 {
+            return Err(format!("`roofline[{i}]` has non-positive arithmetic intensity"));
+        }
+        let gbps = field("achieved_gbps")?;
+        if gbps <= 0.0 {
+            return Err(format!("`roofline[{i}]` has non-positive achieved bandwidth"));
+        }
+        // Footprint bytes are a traffic lower bound, so effective bandwidth
+        // cannot exceed what the host demonstrably sustains. 5% headroom
+        // absorbs timer jitter between the two measurements.
+        if gbps > peak * 1.05 {
+            let dataset = row.get("dataset").and_then(Json::as_str).unwrap_or("?");
+            return Err(format!(
+                "`roofline[{i}]` ({dataset}) claims {gbps:.2} GB/s, above the measured triad \
+                 peak {peak:.2} GB/s — footprint bytes or timing are inconsistent"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -886,10 +1367,35 @@ mod tests {
         assert!(d.fused_full_ms > 0.0 && d.fused_incremental_ms > 0.0);
         assert!(r.delta_saved_total > 0, "reuse must avoid real work in the sweep");
         assert_eq!(d.saved_mults + d.saved_adds, r.delta_saved_total);
+        assert!(r.host_cores >= 1);
+        assert_eq!(r.scaling.len(), 2, "spgemm+spmm for one dataset x one thread count");
+        for s in &r.scaling {
+            assert!(s.wall_ms > 0.0);
+            assert!((s.efficiency - 1.0).abs() < 1e-9, "the baseline count scales perfectly");
+            assert!(s.rows > 0 && s.nnz > 0, "operand size must be recorded");
+        }
+        assert_eq!(r.roofline.len(), 2, "spgemm+spmm entries");
+        for e in &r.roofline {
+            assert!(e.flops > 0 && e.bytes > 0);
+            assert!(e.achieved_gbps > 0.0);
+            assert!(
+                e.achieved_gbps <= r.triad.peak_gbps * 1.05,
+                "{} on {} claims {:.2} GB/s vs triad peak {:.2}",
+                e.kernel,
+                e.dataset,
+                e.achieved_gbps,
+                r.triad.peak_gbps
+            );
+        }
+        assert!(r.triad.l2_gbps > 0.0 && r.triad.dram_gbps > 0.0);
+        assert_eq!(r.triad.peak_gbps, r.triad.l2_gbps.max(r.triad.dram_gbps));
         let text = r.to_string();
         assert!(text.contains("Power chain"));
         assert!(text.contains("spgemm"));
         assert!(text.contains("Edge-churn sweep"));
+        assert!(text.contains("Thread scaling"));
+        assert!(text.contains("Roofline"));
+        assert!(text.contains("triad baseline"));
         let json = serde_json::to_string_pretty(&r).unwrap();
         validate_report_json(&json).unwrap();
         validate_report_structure(&json).unwrap();
@@ -900,12 +1406,14 @@ mod tests {
         // The substring validator accepts these; the structural one must not.
         let empty_sections = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
              \"kernels\": [], \"power_chain\": [], \"delta_rates\": [], \
+             \"host_cores\": 1, \"scaling\": [], \"roofline\": [], \"triad\": {}, \
              \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
         validate_report_json(empty_sections).unwrap();
         assert!(validate_report_structure(empty_sections).is_err());
 
         let wrong_types = "{\"scale\": 1, \"samples\": \"many\", \"thread_counts\": 1, \
              \"kernels\": {}, \"power_chain\": 0, \"delta_rates\": \"x\", \
+             \"host_cores\": \"two\", \"scaling\": 0, \"roofline\": {}, \"triad\": [], \
              \"delta_saved_total\": [], \"max_warm_speedup\": \"big\"}";
         validate_report_json(wrong_types).unwrap();
         assert!(validate_report_structure(wrong_types).is_err());
@@ -954,7 +1462,7 @@ mod tests {
     #[test]
     fn report_records_both_requested_and_clamped_sweeps() {
         let cfg = KernelBenchConfig::full();
-        assert_eq!(cfg.thread_counts, vec![1, 4, 8], "the request is no longer pre-clamped");
+        assert_eq!(cfg.thread_counts, vec![1, 4, 8, 16], "the request is no longer pre-clamped");
         let swept = clamp_threads(cfg.thread_counts.clone());
         assert!(!swept.is_empty());
         assert!(swept.iter().all(|t| cfg.thread_counts.contains(t)));
@@ -979,9 +1487,109 @@ mod tests {
         assert!(validate_report_json("{}]").is_err());
         // Well-formed but missing required keys.
         assert!(validate_report_json("{\"kernels\": []}").is_err());
-        let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
+        let missing_scaling = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
                   \"delta_rates\": [], \"max_warm_speedup\": 1.0}";
+        assert!(validate_report_json(missing_scaling).is_err());
+        let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
+                  \"delta_rates\": [], \"max_warm_speedup\": 1.0, \"host_cores\": 1, \
+                  \"scaling\": [], \"roofline\": [], \"triad\": {}}";
         validate_report_json(ok).unwrap();
+    }
+
+    /// A structurally complete report with parameterizable scaling/roofline/
+    /// triad sections, for exercising the validator's tentpole gates.
+    fn report_fixture(host_cores: u32, scaling: &str, roofline: &str, triad: &str) -> String {
+        format!(
+            "{{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1, 4], \
+              \"requested_thread_counts\": [1, 4], \"host_cores\": {host_cores}, \
+              \"kernels\": [{{\"kernel\": \"spgemm\", \"dataset\": \"AS\", \"threads\": 1}}, \
+                            {{\"kernel\": \"spgemm\", \"dataset\": \"AS\", \"threads\": 4}}], \
+              \"power_chain\": [{{\"dataset\": \"AS\", \"threads\": 1}}], \
+              \"delta_rates\": [{{\"dataset\": \"AS\", \"threads\": 1}}], \
+              \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2, \
+              \"scaling\": [{scaling}], \"roofline\": [{roofline}], \"triad\": {triad}}}"
+        )
+    }
+
+    fn scaling_row(dataset: &str, rows: u32, threads: u32, efficiency: f64) -> String {
+        format!(
+            "{{\"kernel\": \"spgemm\", \"dataset\": \"{dataset}\", \"rows\": {rows}, \
+              \"nnz\": 10, \"threads\": {threads}, \"wall_ms\": 1.0, \"samples\": 3, \
+              \"speedup\": 1.0, \"efficiency\": {efficiency:?}}}"
+        )
+    }
+
+    const GOOD_ROOFLINE: &str = "{\"kernel\": \"spgemm\", \"dataset\": \"AS\", \"flops\": 100, \
+         \"bytes\": 50, \"arithmetic_intensity\": 2.0, \"wall_ms\": 1.0, \
+         \"achieved_gflops\": 0.1, \"achieved_gbps\": 0.05}";
+    const GOOD_TRIAD: &str = "{\"l2_elements\": 8192, \"l2_gbps\": 40.0, \
+         \"dram_elements\": 1000, \"dram_gbps\": 15.0, \"peak_gbps\": 40.0}";
+
+    fn good_scaling() -> String {
+        [
+            scaling_row("AS", 1000, 1, 1.0),
+            scaling_row("AS", 1000, 4, 0.7),
+            scaling_row("BB", 200, 1, 1.0),
+            scaling_row("BB", 200, 4, 0.65),
+        ]
+        .join(", ")
+    }
+
+    #[test]
+    fn validator_gates_scaling_coverage_and_baselines() {
+        let good = report_fixture(8, &good_scaling(), GOOD_ROOFLINE, GOOD_TRIAD);
+        validate_report_structure(&good).unwrap();
+
+        // Scaling rows that never ran the 4-thread half of the sweep.
+        let partial = [scaling_row("AS", 1000, 1, 1.0), scaling_row("BB", 200, 1, 1.0)].join(", ");
+        let err = validate_report_structure(&report_fixture(8, &partial, GOOD_ROOFLINE, GOOD_TRIAD))
+            .unwrap_err();
+        assert!(err.contains("not the recorded sweep"), "{err}");
+
+        // A baseline row must report unit efficiency by construction.
+        let skewed = good.replace("\"speedup\": 1.0, \"efficiency\": 1.0}", "\"speedup\": 1.0, \"efficiency\": 0.9}");
+        let err = validate_report_structure(&skewed).unwrap_err();
+        assert!(err.contains("baseline row"), "{err}");
+    }
+
+    #[test]
+    fn validator_gates_four_thread_efficiency_when_cores_permit() {
+        // 30% efficiency at 4 threads on the largest dataset: rejected on a
+        // host with ≥4 cores…
+        let weak = [
+            scaling_row("AS", 1000, 1, 1.0),
+            scaling_row("AS", 1000, 4, 0.3),
+            scaling_row("BB", 200, 1, 1.0),
+            scaling_row("BB", 200, 4, 0.65),
+        ]
+        .join(", ");
+        let err = validate_report_structure(&report_fixture(8, &weak, GOOD_ROOFLINE, GOOD_TRIAD))
+            .unwrap_err();
+        assert!(err.contains("parallel"), "{err}");
+        assert!(err.contains("AS"), "{err}");
+        // …but the gate is conditional: a clamped host skips it.
+        validate_report_structure(&report_fixture(2, &weak, GOOD_ROOFLINE, GOOD_TRIAD)).unwrap();
+    }
+
+    #[test]
+    fn validator_gates_roofline_against_triad_peak() {
+        // A kernel cannot claim more effective bandwidth than the host
+        // demonstrably sustains.
+        let too_fast = GOOD_ROOFLINE.replace("\"achieved_gbps\": 0.05", "\"achieved_gbps\": 100.0");
+        let err = validate_report_structure(&report_fixture(8, &good_scaling(), &too_fast, GOOD_TRIAD))
+            .unwrap_err();
+        assert!(err.contains("triad peak"), "{err}");
+
+        // The recorded peak must be the max of the two measurements.
+        let bad_peak = GOOD_TRIAD.replace("\"peak_gbps\": 40.0", "\"peak_gbps\": 10.0");
+        let err = validate_report_structure(&report_fixture(8, &good_scaling(), GOOD_ROOFLINE, &bad_peak))
+            .unwrap_err();
+        assert!(err.contains("larger triad measurement"), "{err}");
+
+        let zero_ai = GOOD_ROOFLINE.replace("\"arithmetic_intensity\": 2.0", "\"arithmetic_intensity\": 0.0");
+        let err = validate_report_structure(&report_fixture(8, &good_scaling(), &zero_ai, GOOD_TRIAD))
+            .unwrap_err();
+        assert!(err.contains("arithmetic intensity"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub const HOT_MODULES: &[&str] = &[
     "crates/sparse/src/ops.rs",
     "crates/sparse/src/frontier.rs",
     "crates/sparse/src/parallel.rs",
+    "crates/sparse/src/simd.rs",
 ];
 
 /// The one file allowed to build `OpStats` from raw counts.

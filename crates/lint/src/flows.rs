@@ -41,6 +41,7 @@ const KERNEL_FILES: &[&str] = &[
     "crates/sparse/src/ops.rs",
     "crates/sparse/src/frontier.rs",
     "crates/sparse/src/parallel.rs",
+    "crates/sparse/src/simd.rs",
 ];
 
 /// How file paths scope the rules.

@@ -138,7 +138,7 @@ impl Rule {
                 taking buffers, or the error path leaks.",
             Rule::OpstatsFlow => "opstats-flow — every counted FLOP must reach the accounting.\n\n\
                 Call-graph reachability rule: every public kernel in\n\
-                crates/sparse/src/{ops,frontier,parallel}.rs whose return type carries\n\
+                crates/sparse/src/{ops,frontier,parallel,simd}.rs whose return type carries\n\
                 `OpStats` must share a (transitive) caller with an accounting sink\n\
                 (a function marked `// lint: opstats-sink`, e.g. the bench\n\
                 `ExecAccounting` builder). A kernel nobody joins to a sink produces\n\

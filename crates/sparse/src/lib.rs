@@ -45,6 +45,7 @@ mod error;
 pub mod frontier;
 pub mod ops;
 pub mod parallel;
+pub mod simd;
 pub mod stats;
 pub mod workspace;
 

@@ -24,15 +24,36 @@
 //!
 //! ## Allocation discipline
 //!
-//! SpGEMM runs in two phases over a reusable [`Workspace`] arena: a
-//! *symbolic* pass that computes each row's exact output structure (sorted
-//! column indices and per-row lengths), then a *numeric* pass that fills an
-//! exactly-sized value buffer in the same accumulation order as the legacy
-//! single-pass kernel — so results stay bit-identical while `indices` /
-//! `values` never re-grow. Dense scratch and CSR output buffers come from the
-//! global pool in [`crate::workspace`]; consumed intermediates are handed
-//! back with [`workspace::recycle`], making repeated same-shape products
-//! allocation-free in steady state. See DESIGN.md §8.
+//! SpGEMM runs over a reusable [`Workspace`] arena. The default fused pass
+//! discovers each row's structure and accumulates its values in a single
+//! traversal; the scalar reference keeps the explicit *symbolic* /
+//! *numeric* split. Either way the output buffers never re-grow in steady
+//! state. Dense scratch and CSR output buffers come from
+//! the global pool in [`crate::workspace`]; consumed intermediates are
+//! handed back with [`workspace::recycle`], making repeated same-shape
+//! products allocation-free in steady state. See DESIGN.md §8.
+//!
+//! ## Fused vectorized pass, and cache blocking on the reference path
+//!
+//! The default SpGEMM path is *fused single-visit*: one traversal of each
+//! row's B segments both discovers the output structure and accumulates the
+//! values, using the chunked inner loops in [`crate::simd`] (products
+//! computed in fixed-width autovectorizable chunks, scatter keeping the
+//! scalar stamp check). Discovered columns are sorted and the accumulator
+//! gathered per row, so emission order — and therefore every bit of the
+//! output and every [`OpStats`] count — matches the two-phase reference
+//! exactly (each SPA slot still receives its products in ascending-`k`
+//! order; see the `simd` module docs for the chunking half of the
+//! argument).
+//!
+//! The scalar reference (`*_scalar_*` entry points) keeps the explicit
+//! two-phase structure the fused pass superseded, including its *cache
+//! blocking*: symbolic and numeric passes interleave in blocks of at most
+//! [`CACHE_BLOCK_ENTRIES`] output entries so the numeric re-walk of the
+//! structure (and the B rows it came from) stays L2-resident. Blocking
+//! mitigates the re-walk; fusion eliminates it — proving the fused path
+//! bit-identical to the blocked two-phase path (property-tested) covers
+//! both transformations at once. See DESIGN.md §13.
 
 use crate::error::{Result, SparseError};
 use crate::parallel::{self, Parallelism};
@@ -109,22 +130,68 @@ fn assemble_csr(rows: usize, cols: usize, blocks: Vec<CsrBlock>) -> (CsrMatrix, 
     (m, stats)
 }
 
+/// Upper bound on output entries per symbolic/numeric cache block.
+///
+/// At 12 bytes per entry (8-byte index + 4-byte value) the blocked working
+/// set tops out near 192 KiB — inside a typical 256 KiB+ L2 — so the numeric
+/// pass re-reads the structure the symbolic pass just wrote (and re-walks
+/// the same B rows) from cache instead of from memory. The value only
+/// affects locality, never results: blocking changes when rows are visited,
+/// not what each row computes or the order entries are emitted.
+pub const CACHE_BLOCK_ENTRIES: usize = 16 * 1024;
+
 /// The Gustavson SpGEMM inner loop over one contiguous row block — the same
 /// code path in the serial and every parallel configuration. Checks a
 /// [`Workspace`] out of the global pool for the duration of the block.
-fn spgemm_block(a: &CsrMatrix, b: &CsrMatrix, rows: std::ops::Range<usize>) -> CsrBlock {
-    workspace::with_workspace(|ws| spgemm_block_in(a, b, rows, ws))
+fn spgemm_block<const CHUNKED: bool>(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    rows: std::ops::Range<usize>,
+) -> CsrBlock {
+    workspace::with_workspace(|ws| spgemm_block_in::<CHUNKED>(a, b, rows, ws))
 }
 
-/// Two-phase (symbolic then numeric) Gustavson SpGEMM over one row block,
-/// using a caller-provided workspace arena.
+/// Runs the scalar numeric pass for a contiguous batch of already-symbolic'd
+/// rows, advancing `emitted` past the batch's entries.
+#[allow(clippy::too_many_arguments)]
+fn spgemm_numeric_batch(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    batch: std::ops::Range<usize>,
+    ws: &mut Workspace,
+    batch_lens: &[usize],
+    indices: &[usize],
+    emitted: &mut usize,
+    values: &mut Vec<f32>,
+    stats: &mut OpStats,
+) {
+    for (i, r) in batch.enumerate() {
+        // lint: allow(panic-surface) -- in-bounds by construction: one length per batch row
+        let row_end = *emitted + batch_lens[i];
+        // lint: allow(panic-surface) -- in-bounds by construction: the symbolic pass sized this range
+        spgemm_row_numeric_scalar(a, b, r, ws, &indices[*emitted..row_end], values, stats);
+        *emitted = row_end;
+    }
+}
+
+/// Gustavson SpGEMM over one row block, using a caller-provided workspace
+/// arena.
 ///
-/// The symbolic pass stamps each row's reachable columns once, writing the
-/// sorted output structure and exact per-row lengths; the numeric pass then
-/// accumulates into the dense SPA in the *same visit order* as the legacy
-/// single-pass kernel and emits values into an exactly-sized buffer — the
-/// output (and [`OpStats`]) is bit-identical to the legacy path.
-fn spgemm_block_in(
+/// `CHUNKED = true` (the default path) runs the fused single-visit pass per
+/// row: one traversal of the B segments discovers structure and accumulates
+/// values through the chunked loops in [`crate::simd`].
+///
+/// `CHUNKED = false` is the scalar two-phase reference: a symbolic pass
+/// stamps each row's reachable columns and writes the sorted structure, a
+/// numeric pass re-walks the segments and accumulates — interleaved in
+/// cache blocks of at most [`CACHE_BLOCK_ENTRIES`] output entries so the
+/// numeric re-walk hits L2-resident data (see the module docs).
+///
+/// Both paths emit identical bits and identical [`OpStats`]
+/// (property-tested): per SPA slot the products arrive in the same
+/// ascending-`k` order, the discovered structure is sorted identically, and
+/// blocking only changes when rows are visited, never what they compute.
+fn spgemm_block_in<const CHUNKED: bool>(
     a: &CsrMatrix,
     b: &CsrMatrix,
     rows: std::ops::Range<usize>,
@@ -133,24 +200,81 @@ fn spgemm_block_in(
     ws.ensure_width(b.cols());
     let mut row_lens = workspace::take_index_buffer(rows.len());
     let mut indices = workspace::take_index_buffer(0);
-
-    // Symbolic phase: structure only — no multiplies, no value traffic.
+    let mut values = workspace::take_value_buffer(0);
+    let mut stats = OpStats::default();
+    if CHUNKED {
+        for r in rows {
+            spgemm_row_fused(a, b, r, ws, &mut indices, &mut values, &mut row_lens, &mut stats);
+        }
+        return CsrBlock { row_lens, indices, values, stats };
+    }
+    let mut emitted = 0usize;
+    let mut batch_start = rows.start;
+    let mut batch_first_len = 0usize;
     for r in rows.clone() {
         spgemm_row_symbolic(a, b, r, ws, &mut indices, &mut row_lens);
+        if indices.len() - emitted >= CACHE_BLOCK_ENTRIES {
+            spgemm_numeric_batch(
+                a,
+                b,
+                batch_start..r + 1,
+                ws,
+                // lint: allow(panic-surface) -- in-bounds: one length was pushed per symbolic'd row
+                &row_lens[batch_first_len..],
+                &indices,
+                &mut emitted,
+                &mut values,
+                &mut stats,
+            );
+            batch_start = r + 1;
+            batch_first_len = row_lens.len();
+        }
     }
-
-    // Numeric phase: the value buffer is sized exactly by the symbolic pass.
-    let mut values = workspace::take_value_buffer(indices.len());
-    let mut stats = OpStats::default();
-    let mut emitted = 0usize;
-    for (i, r) in rows.enumerate() {
-        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-        let row_end = emitted + row_lens[i];
-        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-        spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
-        emitted = row_end;
-    }
+    spgemm_numeric_batch(
+        a,
+        b,
+        batch_start..rows.end,
+        ws,
+        // lint: allow(panic-surface) -- in-bounds: one length was pushed per symbolic'd row
+        &row_lens[batch_first_len..],
+        &indices,
+        &mut emitted,
+        &mut values,
+        &mut stats,
+    );
     CsrBlock { row_lens, indices, values, stats }
+}
+
+/// The fused single-visit pass over one output row: for each `a[r, k]` the
+/// B segment is multiplied and scattered through
+/// [`crate::simd::spgemm_segment_fused`], which stamps, accumulates, and
+/// records first-touched columns in one traversal. The discovered columns
+/// are then sorted and the accumulator gathered in sorted order — the same
+/// emission the two-phase reference produces, so outputs and [`OpStats`]
+/// are bit-identical to it (each SPA slot sees its products in the same
+/// ascending-`k` order; sorting distinct indices is order-deterministic).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn spgemm_row_fused(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    r: usize,
+    ws: &mut Workspace,
+    indices: &mut Vec<usize>,
+    values: &mut Vec<f32>,
+    row_lens: &mut Vec<usize>,
+    stats: &mut OpStats,
+) {
+    let generation = ws.next_generation();
+    let start = indices.len();
+    for (k, va) in a.row_iter(r) {
+        crate::simd::spgemm_segment_fused(b, k, va, ws, generation, indices, stats);
+    }
+    // lint: allow(panic-surface) -- in-bounds: `start` was the length of `indices` above
+    indices[start..].sort_unstable();
+    row_lens.push(indices.len() - start);
+    // lint: allow(panic-surface) -- in-bounds: the scatter stamped every recorded column
+    values.extend(indices[start..].iter().map(|&c| ws.acc[c]));
 }
 
 /// The symbolic (structure-only) pass over one output row — shared verbatim
@@ -182,11 +306,11 @@ fn spgemm_row_symbolic(
     row_lens.push(indices.len() - start);
 }
 
-/// The numeric pass over one output row, accumulating in the same visit
-/// order as the legacy single-pass kernel — shared verbatim by every SpGEMM
-/// entry point so recomputed rows are bit-identical to a cold build.
+/// The legacy scalar numeric pass, accumulating one product at a time in the
+/// same visit order as the original single-pass kernel — kept callable as
+/// the reference the fused chunked path is proven against.
 #[inline]
-fn spgemm_row_numeric(
+fn spgemm_row_numeric_scalar(
     a: &CsrMatrix,
     b: &CsrMatrix,
     r: usize,
@@ -259,6 +383,31 @@ pub fn spgemm_par_with_stats(
     b: &CsrMatrix,
     par: Parallelism,
 ) -> Result<(CsrMatrix, OpStats)> {
+    spgemm_par_impl::<true>(a, b, par)
+}
+
+/// Sparse × sparse product forced onto the *scalar* numeric pass — the
+/// reference the default chunked path is proven bit-identical to (see
+/// [`crate::simd`] and `tests/proptests.rs`). Accepts any worker count so
+/// the equivalence holds per parallel configuration, not just serially.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != b.rows()`.
+// lint: allow(opstats-flow) -- scalar reference path; only the chunked-equivalence tests run it
+pub fn spgemm_scalar_with_stats(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    par: Parallelism,
+) -> Result<(CsrMatrix, OpStats)> {
+    spgemm_par_impl::<false>(a, b, par)
+}
+
+fn spgemm_par_impl<const CHUNKED: bool>(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    par: Parallelism,
+) -> Result<(CsrMatrix, OpStats)> {
     if a.cols() != b.rows() {
         return Err(SparseError::DimensionMismatch {
             op: "spgemm",
@@ -266,7 +415,8 @@ pub fn spgemm_par_with_stats(
             rhs: b.shape(),
         });
     }
-    let blocks = parallel::map_blocks(a.rows(), par, |range| spgemm_block(a, b, range));
+    let blocks =
+        parallel::map_blocks(a.rows(), par, |range| spgemm_block::<CHUNKED>(a, b, range));
     Ok(assemble_csr(a.rows(), b.cols(), blocks))
 }
 
@@ -292,7 +442,7 @@ pub fn spgemm_with_workspace(
             rhs: b.shape(),
         });
     }
-    let block = spgemm_block_in(a, b, 0..a.rows(), ws);
+    let block = spgemm_block_in::<true>(a, b, 0..a.rows(), ws);
     // lint: allow(hot-path-alloc) -- one-element block list per call, consumed by assemble_csr
     Ok(assemble_csr(a.rows(), b.cols(), vec![block]))
 }
@@ -301,7 +451,7 @@ pub fn spgemm_with_workspace(
 /// of the `rows.len()` × `b.cols()` result is row `rows[j]` of `a · b`.
 ///
 /// Each selected row runs the *unchanged* serial per-row routine
-/// ([`spgemm_row_symbolic`] / [`spgemm_row_numeric`]), so recomputed rows are
+/// ([`spgemm_row_fused`]), so recomputed rows are
 /// bit-identical to the same rows of a cold [`spgemm`] — the contract the
 /// incremental power-chain update relies on (see
 /// [`crate::frontier`] and `CsrMatrix::splice_rows`). [`OpStats`] counts only
@@ -313,6 +463,32 @@ pub fn spgemm_with_workspace(
 /// [`SparseError::InvalidStructure`] if `rows` is not strictly increasing,
 /// and [`SparseError::IndexOutOfBounds`] if a row is out of range.
 pub fn row_masked_spgemm_with_workspace(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    rows: &[usize],
+    ws: &mut Workspace,
+) -> Result<(CsrMatrix, OpStats)> {
+    row_masked_spgemm_impl::<true>(a, b, rows, ws)
+}
+
+/// The row-masked product forced onto the *scalar* numeric pass — the
+/// reference for the chunked-equivalence proptests covering the frontier
+/// patcher's kernel.
+///
+/// # Errors
+///
+/// Same contract as [`row_masked_spgemm_with_workspace`].
+// lint: allow(opstats-flow) -- scalar reference path; only the chunked-equivalence tests run it
+pub fn row_masked_spgemm_scalar_with_workspace(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    rows: &[usize],
+    ws: &mut Workspace,
+) -> Result<(CsrMatrix, OpStats)> {
+    row_masked_spgemm_impl::<false>(a, b, rows, ws)
+}
+
+fn row_masked_spgemm_impl<const CHUNKED: bool>(
     a: &CsrMatrix,
     b: &CsrMatrix,
     rows: &[usize],
@@ -339,18 +515,25 @@ pub fn row_masked_spgemm_with_workspace(
     ws.ensure_width(b.cols());
     let mut row_lens = workspace::take_index_buffer(rows.len());
     let mut indices = workspace::take_index_buffer(0);
-    for &r in rows {
-        spgemm_row_symbolic(a, b, r, ws, &mut indices, &mut row_lens);
-    }
-    let mut values = workspace::take_value_buffer(indices.len());
+    let mut values = workspace::take_value_buffer(0);
     let mut stats = OpStats::default();
-    let mut emitted = 0usize;
-    for (j, &r) in rows.iter().enumerate() {
-        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-        let row_end = emitted + row_lens[j];
-        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-        spgemm_row_numeric(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
-        emitted = row_end;
+    if CHUNKED {
+        for &r in rows {
+            spgemm_row_fused(a, b, r, ws, &mut indices, &mut values, &mut row_lens, &mut stats);
+        }
+    } else {
+        for &r in rows {
+            spgemm_row_symbolic(a, b, r, ws, &mut indices, &mut row_lens);
+        }
+        values.reserve_exact(indices.len());
+        let mut emitted = 0usize;
+        for (j, &r) in rows.iter().enumerate() {
+            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
+            let row_end = emitted + row_lens[j];
+            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
+            spgemm_row_numeric_scalar(a, b, r, ws, &indices[emitted..row_end], &mut values, &mut stats);
+            emitted = row_end;
+        }
     }
     let block = CsrBlock { row_lens, indices, values, stats };
     // lint: allow(hot-path-alloc) -- one-element block list per call, consumed by assemble_csr
@@ -539,7 +722,10 @@ pub fn spmm(a: &CsrMatrix, x: &DenseMatrix) -> Result<DenseMatrix> {
 
 /// The SpMM inner loop over one contiguous row block, returning the dense
 /// output rows of the block — the same code path in every execution mode.
-fn spmm_block(
+/// `CHUNKED` selects the vectorizable AXPY in [`crate::simd`] (the default)
+/// or the scalar reference; both are bit-identical because every output
+/// slot accumulates its products in unchanged ascending-`k` order.
+fn spmm_block<const CHUNKED: bool>(
     a: &CsrMatrix,
     x: &DenseMatrix,
     rows: std::ops::Range<usize>,
@@ -555,8 +741,12 @@ fn spmm_block(
             let xrow = x.row(c);
             // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
             let orow = &mut out[(r - base) * k..(r - base + 1) * k];
-            for (o, &xv) in orow.iter_mut().zip(xrow) {
-                *o += v * xv;
+            if CHUNKED {
+                crate::simd::axpy_chunked(orow, xrow, v);
+            } else {
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
             }
         }
         stats.mults += row_nnz * k as u64;
@@ -594,6 +784,29 @@ pub fn spmm_par_with_stats(
     x: &DenseMatrix,
     par: Parallelism,
 ) -> Result<(DenseMatrix, OpStats)> {
+    spmm_par_impl::<true>(a, x, par)
+}
+
+/// Sparse × dense product forced onto the *scalar* inner loop — the
+/// reference the default chunked AXPY is proven bit-identical to.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `a.cols() != x.rows()`.
+// lint: allow(opstats-flow) -- scalar reference path; only the chunked-equivalence tests run it
+pub fn spmm_scalar_with_stats(
+    a: &CsrMatrix,
+    x: &DenseMatrix,
+    par: Parallelism,
+) -> Result<(DenseMatrix, OpStats)> {
+    spmm_par_impl::<false>(a, x, par)
+}
+
+fn spmm_par_impl<const CHUNKED: bool>(
+    a: &CsrMatrix,
+    x: &DenseMatrix,
+    par: Parallelism,
+) -> Result<(DenseMatrix, OpStats)> {
     if a.cols() != x.rows() {
         return Err(SparseError::DimensionMismatch {
             op: "spmm",
@@ -602,7 +815,8 @@ pub fn spmm_par_with_stats(
         });
     }
     let k = x.cols();
-    let mut blocks = parallel::map_blocks(a.rows(), par, |range| spmm_block(a, x, range));
+    let mut blocks =
+        parallel::map_blocks(a.rows(), par, |range| spmm_block::<CHUNKED>(a, x, range));
     let (data, stats) = if blocks.len() == 1 {
         // Single block (the serial path): the chunk *is* the output — move it.
         // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
@@ -1036,6 +1250,72 @@ mod tests {
         let (step3, s3) = spgemm_serial_with_stats(&step2, &a).unwrap();
         assert_csr_identical(&p3, &step3);
         assert_eq!(st3, s2 + s3);
+    }
+
+    #[test]
+    fn chunked_numeric_phase_matches_scalar_on_dense_rows() {
+        // Rows wide enough to exercise full LANES chunks plus ragged tails,
+        // and enough rows to cross several cache blocks when batched.
+        let a = random_sparse(300, 20_000, 77);
+        let b = random_sparse(300, 18_000, 78);
+        for threads in [1usize, 4] {
+            let par = Parallelism::new(threads);
+            let (scalar, st_s) = spgemm_scalar_with_stats(&a, &b, par).unwrap();
+            let (chunked, st_c) = spgemm_par_with_stats(&a, &b, par).unwrap();
+            assert_csr_identical(&scalar, &chunked);
+            assert_eq!(st_s, st_c, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn spmm_chunked_matches_scalar_across_widths() {
+        let a = random_sparse(150, 2_000, 80);
+        // Feature widths straddling the chunk width (LANES = 8).
+        for k in [1usize, 7, 8, 9, 33] {
+            let x = DenseMatrix::from_vec(
+                150,
+                k,
+                (0..150 * k).map(|i| (i as f32 * 0.11).cos()).collect(),
+            )
+            .unwrap();
+            for threads in [1usize, 4] {
+                let par = Parallelism::new(threads);
+                let (scalar, st_s) = spmm_scalar_with_stats(&a, &x, par).unwrap();
+                let (chunked, st_c) = spmm_par_with_stats(&a, &x, par).unwrap();
+                assert_eq!(bits(scalar.as_slice()), bits(chunked.as_slice()), "k={k}");
+                assert_eq!(st_s, st_c);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_blocking_is_invisible_in_the_output() {
+        // An output far larger than one cache block must still be identical
+        // to the with-workspace path (which runs the same batched code) and
+        // to the scalar reference.
+        let a = random_sparse(400, 30_000, 81);
+        let (chunked, st_c) = spgemm_with_stats(&a, &a).unwrap();
+        assert!(
+            chunked.nnz() > CACHE_BLOCK_ENTRIES,
+            "test needs multiple cache blocks, got {} entries",
+            chunked.nnz()
+        );
+        let (scalar, st_s) = spgemm_scalar_with_stats(&a, &a, Parallelism::serial()).unwrap();
+        assert_csr_identical(&scalar, &chunked);
+        assert_eq!(st_s, st_c);
+    }
+
+    #[test]
+    fn row_masked_scalar_matches_chunked() {
+        let a = random_sparse(120, 3_000, 82);
+        let rows: Vec<usize> = (0..120).step_by(3).collect();
+        let mut ws = Workspace::new();
+        let (chunked, st_c) =
+            row_masked_spgemm_with_workspace(&a, &a, &rows, &mut ws).unwrap();
+        let (scalar, st_s) =
+            row_masked_spgemm_scalar_with_workspace(&a, &a, &rows, &mut ws).unwrap();
+        assert_csr_identical(&scalar, &chunked);
+        assert_eq!(st_s, st_c);
     }
 
     #[test]

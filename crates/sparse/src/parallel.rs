@@ -55,7 +55,7 @@ impl Parallelism {
 
     /// One worker per hardware thread.
     pub fn available() -> Self {
-        Self { threads: std::thread::available_parallelism().map_or(1, |n| n.get()) }
+        Self { threads: host_cores() }
     }
 
     /// Reads [`PARALLELISM_ENV`]; unset, `0` or unparsable values resolve to
@@ -93,6 +93,18 @@ impl std::fmt::Display for Parallelism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.threads)
     }
+}
+
+/// The host's hardware thread count (≥ 1), as reported by
+/// [`std::thread::available_parallelism`].
+///
+/// This is the clamp reference for thread-count sweeps: timing more workers
+/// than the host can actually run in parallel only measures
+/// oversubscription noise, so benches drop such counts and record this
+/// value (`host_cores` in `BENCH_kernels.json`) to make clamped runs
+/// self-explaining.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Process-wide default (0 = not yet resolved from the environment).

@@ -56,10 +56,17 @@ impl Workspace {
     }
 
     /// Grows the accumulator and stamp arrays to at least `cols` slots.
+    ///
+    /// Growth is geometric (next power of two): a workspace alternating
+    /// between matrix widths — e.g. a full product followed by a row-masked
+    /// patch on a narrower operand — settles at the largest width seen and
+    /// never reallocates again, instead of re-growing the SPA on every
+    /// width increase past a previous exact fit.
     pub(crate) fn ensure_width(&mut self, cols: usize) {
         if self.stamp.len() < cols {
-            self.acc.resize(cols, 0.0);
-            self.stamp.resize(cols, usize::MAX);
+            let target = cols.next_power_of_two();
+            self.acc.resize(target, 0.0);
+            self.stamp.resize(target, usize::MAX);
         }
     }
 
@@ -207,6 +214,28 @@ mod tests {
         ws.ensure_width(16);
         assert_eq!(ws.stamp[0], g2);
         assert_eq!(ws.stamp[15], usize::MAX);
+    }
+
+    #[test]
+    fn ensure_width_growth_is_geometric_and_pointer_stable() {
+        let mut ws = Workspace::new();
+        ws.ensure_width(100);
+        assert_eq!(ws.acc.len(), 128, "rounds up to the next power of two");
+        assert_eq!(ws.stamp.len(), 128);
+        let acc_ptr = ws.acc.as_ptr();
+        let stamp_ptr = ws.stamp.as_ptr();
+        // Shrink-grow-shrink within the geometric envelope: every call is a
+        // no-op, so the backing storage must not move.
+        for width in [30usize, 128, 60, 100, 1, 128] {
+            ws.ensure_width(width);
+            assert_eq!(ws.acc.as_ptr(), acc_ptr, "width {width} reallocated the SPA");
+            assert_eq!(ws.stamp.as_ptr(), stamp_ptr, "width {width} reallocated the stamps");
+            assert_eq!(ws.acc.len(), 128);
+        }
+        // Exceeding the envelope grows to the next power of two again.
+        ws.ensure_width(129);
+        assert_eq!(ws.acc.len(), 256);
+        assert_eq!(ws.stamp.len(), 256);
     }
 
     #[test]

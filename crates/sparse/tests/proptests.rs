@@ -312,6 +312,71 @@ proptest! {
     }
 
     #[test]
+    fn fused_chunked_spgemm_matches_scalar_reference(
+        a in sparse_square(14, 80),
+        b in sparse_square(14, 80),
+        threads in (0u8..2).prop_map(|i| if i == 0 { 1usize } else { 4 }),
+    ) {
+        // The default path (fused single-visit, LANES-chunked inner loops)
+        // against the blocked two-phase scalar reference, at serial and
+        // 4-way parallelism: one property pins fusion, chunking, and cache
+        // blocking to bit-identical values AND identical OpStats.
+        let par = idgnn_sparse::Parallelism::new(threads);
+        let (s, s_st) = ops::spgemm_scalar_with_stats(&a, &b, par).unwrap();
+        let (c, c_st) = ops::spgemm_par_with_stats(&a, &b, par).unwrap();
+        prop_assert_eq!(s.indptr(), c.indptr());
+        prop_assert_eq!(s.indices(), c.indices());
+        let sv: Vec<u32> = s.values().iter().map(|v| v.to_bits()).collect();
+        let cv: Vec<u32> = c.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sv, cv);
+        prop_assert_eq!(s_st, c_st);
+    }
+
+    #[test]
+    fn chunked_spmm_matches_scalar_reference(
+        a in sparse_square(10, 40),
+        xs in prop::collection::vec(-2.0f32..2.0, 10 * 9),
+        threads in (0u8..2).prop_map(|i| if i == 0 { 1usize } else { 4 }),
+    ) {
+        // Nine feature columns: one full LANES chunk plus a ragged tail, so
+        // both the chunked body and the remainder loop are exercised.
+        let x = DenseMatrix::from_vec(10, 9, xs).unwrap();
+        let par = idgnn_sparse::Parallelism::new(threads);
+        let (s, s_st) = ops::spmm_scalar_with_stats(&a, &x, par).unwrap();
+        let (c, c_st) = ops::spmm_par_with_stats(&a, &x, par).unwrap();
+        prop_assert_eq!(s_st, c_st);
+        let sv: Vec<u32> = s.into_vec().iter().map(|v| v.to_bits()).collect();
+        let cv: Vec<u32> = c.into_vec().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sv, cv);
+    }
+
+    #[test]
+    fn fused_row_masked_product_matches_scalar_reference(
+        a in sparse_square(12, 60),
+        b in sparse_square(12, 60),
+        mask in prop::collection::vec(0u8..2, 12),
+        threads in (0u8..2).prop_map(|i| if i == 0 { 1usize } else { 4 }),
+    ) {
+        // The incremental dirty-row path: fused chunked vs two-phase scalar
+        // on an arbitrary strictly-increasing row mask. The kernel itself is
+        // per-row serial; the ambient parallelism scope must not leak into
+        // its results either way.
+        let rows: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &m)| m == 1).map(|(r, _)| r).collect();
+        let _scope = idgnn_sparse::parallel::kernel_scope(idgnn_sparse::Parallelism::new(threads));
+        let mut ws_s = Workspace::new();
+        let mut ws_c = Workspace::new();
+        let (s, s_st) = ops::row_masked_spgemm_scalar_with_workspace(&a, &b, &rows, &mut ws_s).unwrap();
+        let (c, c_st) = ops::row_masked_spgemm_with_workspace(&a, &b, &rows, &mut ws_c).unwrap();
+        prop_assert_eq!(s.indptr(), c.indptr());
+        prop_assert_eq!(s.indices(), c.indices());
+        let sv: Vec<u32> = s.values().iter().map(|v| v.to_bits()).collect();
+        let cv: Vec<u32> = c.values().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(sv, cv);
+        prop_assert_eq!(s_st, c_st);
+    }
+
+    #[test]
     fn dense_matmul_associative(
         xs in prop::collection::vec(-2.0f32..2.0, 4 * 4),
         ys in prop::collection::vec(-2.0f32..2.0, 4 * 4),

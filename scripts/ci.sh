@@ -41,6 +41,10 @@ echo "==> bench kernels --smoke"
 smoke_json="target/BENCH_kernels_smoke.json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --smoke --out "$smoke_json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --validate "$smoke_json"
+# The committed full-run report must also satisfy the current schema and
+# gates (thread-scaling coverage, baseline efficiency, roofline vs triad
+# peak) so a kernel or schema change cannot leave a stale baseline behind.
+cargo run --release -q -p idgnn-bench --bin kernels -- --validate BENCH_kernels.json
 
 echo "==> bench dse --smoke"
 # The design-space sweep: enumerate the smoke grid (hundreds of candidates),
