@@ -18,6 +18,7 @@ use serde::Serialize;
 
 use idgnn_graph::datasets::ALL_DATASETS;
 use idgnn_graph::generate::StreamConfig;
+use idgnn_graph::reorder::{self, ALL_STRATEGIES};
 use idgnn_graph::{DynamicGraph, Normalization};
 use idgnn_model::onepass::{
     advance_power_chains, fused_dissimilarity, fused_dissimilarity_cached, DissimilarityStrategy,
@@ -60,6 +61,10 @@ pub struct KernelBenchConfig {
     /// (three `f32` arrays; pick a size whose combined footprint exceeds
     /// every cache level so the measurement is memory-bound).
     pub triad_dram_elements: usize,
+    /// Edge-churn rates for the locality sweep's survival check: the
+    /// reordering must leave the dirty-row patch accounting (hits, patches,
+    /// saved ops) bit-exactly where the identity labeling puts it.
+    pub locality_rates: Vec<f64>,
 }
 
 /// Element count per array of the cache-resident triad baseline: three
@@ -109,6 +114,9 @@ impl KernelBenchConfig {
             delta_datasets: usize::MAX,
             // Three arrays × 4 MiB elements × 4 B = 48 MiB: past any L3.
             triad_dram_elements: 4 * 1024 * 1024,
+            // The paper-relevant low-churn regimes, where the dirty-row
+            // patch actually fires (10% churn trips the fallback anyway).
+            locality_rates: vec![0.001, 0.01],
         }
     }
 
@@ -125,6 +133,7 @@ impl KernelBenchConfig {
             delta_rates: vec![0.01],
             delta_datasets: 2,
             triad_dram_elements: 1024 * 1024,
+            locality_rates: vec![0.01],
         }
     }
 }
@@ -314,6 +323,106 @@ pub struct DeltaRateTiming {
     pub saved_adds: u64,
 }
 
+/// Single-thread kernel wall time on one dataset under one vertex ordering
+/// — the timing half of the locality sweep (DESIGN.md §14).
+///
+/// Every ordering row times the *same computation* as the identity row (a
+/// symmetric permutation is a similarity transform; the proptests in
+/// `idgnn-sparse` pin the outputs bitwise on exact-arithmetic inputs), so
+/// any wall-time difference is purely a memory-locality effect.
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalityTiming {
+    /// Dataset short code.
+    pub dataset: String,
+    /// Ordering slug (`identity` | `degree` | `rcm` | `island`).
+    pub ordering: String,
+    /// Operand dimension (rows of the square operator).
+    pub rows: usize,
+    /// Operand nonzeros (invariant across orderings by construction).
+    pub nnz: usize,
+    /// Minimum wall time of `SpGEMM(Â, Â)` on the permuted operator, ms.
+    pub spgemm_ms: f64,
+    /// Minimum wall time of `SpMM(Â, X)` on the permuted operands, ms.
+    pub spmm_ms: f64,
+    /// `identity spgemm_ms / this spgemm_ms` — above 1 means this ordering
+    /// is faster than the as-generated labeling.
+    pub spgemm_speedup: f64,
+    /// `identity spmm_ms / this spmm_ms`.
+    pub spmm_speedup: f64,
+    /// Samples taken (interleaved; the minimum is reported).
+    pub samples: usize,
+}
+
+/// Churn behavior of one vertex ordering at one edge-churn rate: whether
+/// reordering preserves the dirty-row patch path and its saved-work
+/// accounting (it must — the patch threshold and the `saved` counters are
+/// structural quantities, invariant under vertex relabeling).
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalityChurn {
+    /// Dataset short code.
+    pub dataset: String,
+    /// Ordering slug (`identity` | `degree` | `rcm` | `island`).
+    pub ordering: String,
+    /// Stream edge-churn rate (fraction of edges perturbed per delta).
+    pub delta_rate: f64,
+    /// Snapshot deltas in the timed region (the priming delta is excluded).
+    pub timed_deltas: usize,
+    /// Warm cache hits across the chain replay.
+    pub cache_hits: u64,
+    /// Hits served by the dirty-row patch (vs threshold fallback).
+    pub patches: u64,
+    /// `patches / cache_hits` ∈ [0, 1] — the patch-threshold survival rate.
+    pub patch_survival: f64,
+    /// Multiplies avoided by reuse across the timed deltas.
+    pub saved_mults: u64,
+    /// Additions avoided by reuse across the timed deltas.
+    pub saved_adds: u64,
+    /// Cache-less chain production on the permuted chain, ms.
+    pub full_rebuild_ms: f64,
+    /// Incremental chain production on the permuted chain, ms.
+    pub incremental_ms: f64,
+    /// `full_rebuild_ms / incremental_ms`.
+    pub incremental_speedup: f64,
+}
+
+/// The locality sweep's pass/fail verdict, recorded in the report so the
+/// structural validator (and CI) can gate on it without re-running.
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalityGate {
+    /// The non-identity ordering with the most per-dataset SpGEMM wins.
+    pub best_ordering: String,
+    /// Datasets on which `best_ordering` beat the identity labeling on
+    /// single-thread SpGEMM wall time.
+    pub spgemm_wins: usize,
+    /// Datasets swept.
+    pub datasets: usize,
+    /// Wins required to pass: 4 for the full six-dataset standard-scale
+    /// run, 0 otherwise (smoke runs are too small and too noisy to gate on
+    /// wall time, mirroring the conditional `host_cores` efficiency gate).
+    pub required_wins: usize,
+    /// Exact structural parity: every ordering reproduced the identity
+    /// labeling's `cache_hits` / `patches` / saved-op accounting at every
+    /// churn rate — reordering did not regress the incremental path.
+    pub churn_parity: bool,
+    /// `spgemm_wins >= required_wins && churn_parity`.
+    pub passed: bool,
+}
+
+/// The locality section of the report: per-ordering kernel timings, the
+/// churn-survival sweep, and the gate verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalityReport {
+    /// Ordering slugs swept, in report order (identity first — it is the
+    /// speedup baseline).
+    pub orderings: Vec<String>,
+    /// Per-(dataset, ordering) single-thread kernel timings.
+    pub timings: Vec<LocalityTiming>,
+    /// Per-(rate, dataset, ordering) churn-survival rows.
+    pub churn: Vec<LocalityChurn>,
+    /// The sweep's verdict.
+    pub gate: LocalityGate,
+}
+
 /// The whole kernel-benchmark report (serialized to `BENCH_kernels.json`).
 #[derive(Debug, Clone, Serialize)]
 pub struct KernelBenchReport {
@@ -343,6 +452,9 @@ pub struct KernelBenchReport {
     /// Full-rebuild vs incremental-patch sweep per (dataset, churn rate,
     /// thread count).
     pub delta_rates: Vec<DeltaRateTiming>,
+    /// Locality sweep: kernel wall time and churn survival per vertex
+    /// ordering, with the gate verdict.
+    pub locality: LocalityReport,
     /// Total ops (mults + adds) avoided by reuse across the delta-rate
     /// sweep's instrumented passes.
     pub delta_saved_total: u64,
@@ -461,6 +573,29 @@ fn dense_footprint_bytes(rows: usize, cols: usize) -> u64 {
     4 * rows as u64 * cols as u64
 }
 
+/// The interleaved min-of-N driver shared by the thread-scaling, edge-churn,
+/// and locality sweeps: every sample visits every cell before the next
+/// sample starts, so a slow window on a shared host (frequency drift,
+/// co-tenants) lands on all cells instead of biasing whichever cell happened
+/// to run last. `time_cell` performs one timed measurement of one cell and
+/// returns its wall time in milliseconds; the result holds each cell's
+/// minimum over `samples` samples.
+fn interleaved_min_ms<F>(cells: usize, samples: usize, mut time_cell: F) -> Result<Vec<f64>>
+where
+    F: FnMut(usize) -> Result<f64>,
+{
+    let mut mins = vec![f64::MAX; cells];
+    for _ in 0..samples {
+        for (cell, min) in mins.iter_mut().enumerate() {
+            let ms = time_cell(cell)?;
+            if ms < *min {
+                *min = ms;
+            }
+        }
+    }
+    Ok(mins)
+}
+
 /// The interleaved min-of-N thread-scaling sweep over every dataset and
 /// swept count (see [`ScalingTiming`] for why interleaved). Outputs are
 /// recycled into the workspace pool between samples so steady-state
@@ -471,27 +606,28 @@ fn measure_scaling(
     samples: usize,
 ) -> Result<Vec<ScalingTiming>> {
     let samples = samples.max(3);
-    let mut mins = vec![f64::MAX; sets.len() * counts.len() * SCALING_KERNELS.len()];
-    for _ in 0..samples {
-        for (si, set) in sets.iter().enumerate() {
-            for (ti, &t) in counts.iter().enumerate() {
-                let _scope = parallel::kernel_scope(Parallelism::new(t));
-                let cell = (si * counts.len() + ti) * SCALING_KERNELS.len();
-                let t0 = std::time::Instant::now();
-                let prod = ops::spgemm(black_box(&set.a), black_box(&set.a))?;
-                let el = t0.elapsed().as_secs_f64() * 1e3;
-                idgnn_sparse::workspace::recycle(black_box(prod));
-                // lint: allow(panic-surface) -- in-bounds: `mins` was sized over the same three loop ranges
-                mins[cell] = mins[cell].min(el);
-                let t0 = std::time::Instant::now();
-                let agg = ops::spmm(black_box(&set.a), black_box(&set.x))?;
-                let el = t0.elapsed().as_secs_f64() * 1e3;
-                idgnn_sparse::workspace::recycle_dense(black_box(agg));
-                // lint: allow(panic-surface) -- in-bounds: `mins` was sized over the same three loop ranges
-                mins[cell + 1] = mins[cell + 1].min(el);
-            }
-        }
-    }
+    let k = SCALING_KERNELS.len();
+    let mins = interleaved_min_ms(sets.len() * counts.len() * k, samples, |cell| {
+        // Cell layout `(si * counts.len() + ti) * k + ki` — dataset-major,
+        // then thread count, then kernel; the readout below matches it.
+        let (ki, ti, si) = (cell % k, (cell / k) % counts.len(), cell / (k * counts.len()));
+        // lint: allow(panic-surface) -- in-bounds: `cell` decodes over the same three ranges the driver was sized with
+        let (set, t) = (&sets[si], counts[ti]);
+        let _scope = parallel::kernel_scope(Parallelism::new(t));
+        let t0 = std::time::Instant::now();
+        // lint: allow(panic-surface) -- in-bounds: `ki` is `cell % SCALING_KERNELS.len()`
+        Ok(if SCALING_KERNELS[ki] == "spgemm" {
+            let prod = ops::spgemm(black_box(&set.a), black_box(&set.a))?;
+            let el = t0.elapsed().as_secs_f64() * 1e3;
+            idgnn_sparse::workspace::recycle(black_box(prod));
+            el
+        } else {
+            let agg = ops::spmm(black_box(&set.a), black_box(&set.x))?;
+            let el = t0.elapsed().as_secs_f64() * 1e3;
+            idgnn_sparse::workspace::recycle_dense(black_box(agg));
+            el
+        })
+    })?;
     let (baseline_ti, baseline_t) = counts
         .iter()
         .copied()
@@ -569,6 +705,199 @@ fn roofline_entries(
         }
     }
     Ok(out)
+}
+
+/// The locality sweep (DESIGN.md §14): permute each dataset's operands once
+/// under every reorder strategy, time the single-thread kernels on the
+/// permuted operands through the shared interleaved driver, then replay
+/// controlled-churn chains per ordering to check that reordering leaves the
+/// dirty-row patch accounting exactly where the identity labeling puts it.
+fn measure_locality(
+    cfg: &KernelBenchConfig,
+    sets: &[Operands],
+    samples: usize,
+) -> Result<LocalityReport> {
+    let samples = samples.max(3);
+    let strategy = DissimilarityStrategy::General;
+    let orderings: Vec<String> = ALL_STRATEGIES.iter().map(|s| s.slug().to_string()).collect();
+
+    // Permuted operand variants, dataset-major then strategy in report
+    // order (identity first: its row is the speedup baseline). The identity
+    // variant goes through the same permute call as the others, so all four
+    // rows time freshly-assembled matrices with identical layout provenance.
+    struct Variant {
+        dataset: String,
+        ordering: &'static str,
+        a: CsrMatrix,
+        x: idgnn_sparse::DenseMatrix,
+    }
+    let mut variants = Vec::new();
+    for set in sets {
+        for s in ALL_STRATEGIES {
+            let p = reorder::reorder(&set.a, s)?;
+            variants.push(Variant {
+                dataset: set.short.clone(),
+                ordering: s.slug(),
+                a: set.a.permute_symmetric(p.forward())?,
+                x: set.x.permute_rows(p.forward())?,
+            });
+        }
+    }
+
+    let scope = parallel::kernel_scope(Parallelism::new(1));
+    let mins = interleaved_min_ms(variants.len() * 2, samples, |cell| {
+        // Cell layout `vi * 2 + (0 = spgemm, 1 = spmm)`.
+        // lint: allow(panic-surface) -- in-bounds: `cell` decodes over the ranges the driver was sized with
+        let v = &variants[cell / 2];
+        let t0 = std::time::Instant::now();
+        Ok(if cell % 2 == 0 {
+            let prod = ops::spgemm(black_box(&v.a), black_box(&v.a))?;
+            let el = t0.elapsed().as_secs_f64() * 1e3;
+            idgnn_sparse::workspace::recycle(black_box(prod));
+            el
+        } else {
+            let agg = ops::spmm(black_box(&v.a), black_box(&v.x))?;
+            let el = t0.elapsed().as_secs_f64() * 1e3;
+            idgnn_sparse::workspace::recycle_dense(black_box(agg));
+            el
+        })
+    })?;
+    drop(scope);
+
+    let strat_n = ALL_STRATEGIES.len();
+    let ratio = |base: f64, this: f64| if this > 0.0 { base / this } else { 0.0 };
+    let mut timings = Vec::new();
+    for (vi, v) in variants.iter().enumerate() {
+        // The identity row of this variant's dataset.
+        let base = (vi / strat_n) * strat_n;
+        // lint: allow(panic-surface) -- in-bounds: `mins` holds two cells per variant by construction
+        let (spgemm_ms, spmm_ms) = (mins[vi * 2], mins[vi * 2 + 1]);
+        timings.push(LocalityTiming {
+            dataset: v.dataset.clone(),
+            ordering: v.ordering.to_string(),
+            rows: v.a.rows(),
+            nnz: v.a.nnz(),
+            spgemm_ms,
+            spmm_ms,
+            // lint: allow(panic-surface) -- in-bounds: `base` indexes the identity variant of the same dataset
+            spgemm_speedup: ratio(mins[base * 2], spgemm_ms),
+            // lint: allow(panic-surface) -- in-bounds: `base` indexes the identity variant of the same dataset
+            spmm_speedup: ratio(mins[base * 2 + 1], spmm_ms),
+            samples,
+        });
+    }
+
+    // Churn half: per (rate, dataset), replay the chain under every
+    // ordering. The hit/patch/saved accounting is structural — a vertex
+    // relabeling must reproduce the identity numbers exactly, which is the
+    // `churn_parity` half of the gate.
+    let mut churn = Vec::new();
+    let mut churn_parity = true;
+    for &rate in &cfg.locality_rates {
+        let dsets = delta_operands(cfg, rate)?;
+        for set in &dsets {
+            let mut identity_account: Option<(u64, u64, u64, u64)> = None;
+            for s in ALL_STRATEGIES {
+                let p = reorder::reorder(&set.a, s)?;
+                let chain = set
+                    .chain
+                    .iter()
+                    .map(|(rs, d)| {
+                        Ok((
+                            rs.permute_symmetric(p.forward())?,
+                            d.permute_symmetric(p.forward())?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+
+                // Instrumented (untimed) pass: hit/patch/saved accounting.
+                let mut cache = PowerCache::new();
+                let mut saved = OpStats::default();
+                for (i, (rs, d)) in chain.iter().enumerate() {
+                    let dis = fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut cache)?;
+                    if i > 0 {
+                        saved += dis.saved;
+                    }
+                }
+                let (hits, patches) = (cache.hits(), cache.patches());
+                let account = (hits, patches, saved.mults, saved.adds);
+                match identity_account {
+                    None => identity_account = Some(account),
+                    Some(id) => churn_parity &= id == account,
+                }
+
+                // Timed pair on the permuted chain, single thread.
+                let scope = parallel::kernel_scope(Parallelism::new(1));
+                let pair = interleaved_min_ms(2, samples, |cell| {
+                    let mut c = (cell == 1).then(|| {
+                        let mut c = PowerCache::new();
+                        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
+                        let (rs, d) = &chain[0];
+                        // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
+                        advance_power_chains(rs, d, cfg.layers, Some(&mut c)).expect("valid");
+                        c
+                    });
+                    let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
+                    for (rs, d) in &chain[1..] {
+                        black_box(advance_power_chains(rs, d, cfg.layers, c.as_mut())?);
+                    }
+                    Ok(t0.elapsed().as_secs_f64() * 1e3)
+                })?;
+                drop(scope);
+                // lint: allow(panic-surface) -- exactly two cells were requested from the driver above
+                let (full_ms, incremental_ms) = (pair[0], pair[1]);
+
+                churn.push(LocalityChurn {
+                    dataset: set.short.clone(),
+                    ordering: s.slug().to_string(),
+                    delta_rate: rate,
+                    timed_deltas: chain.len().saturating_sub(1),
+                    cache_hits: hits,
+                    patches,
+                    patch_survival: if hits > 0 { patches as f64 / hits as f64 } else { 0.0 },
+                    saved_mults: saved.mults,
+                    saved_adds: saved.adds,
+                    full_rebuild_ms: full_ms,
+                    incremental_ms,
+                    incremental_speedup: ratio(full_ms, incremental_ms),
+                });
+            }
+        }
+    }
+
+    // Gate: the non-identity ordering with the most per-dataset SpGEMM wins
+    // (ties break toward the earlier strategy in report order) must beat
+    // identity on enough datasets — 4 of the 6 Fig. 12 datasets at full
+    // standard scale, unconditionally passing at smoke where wall times are
+    // microseconds and the verdict would be noise.
+    let datasets_n = sets.len();
+    let mut best = (ALL_STRATEGIES.get(1).map_or("identity", |s| s.slug()), 0usize);
+    for (si, s) in ALL_STRATEGIES.iter().enumerate().skip(1) {
+        let mut wins = 0;
+        for di in 0..datasets_n {
+            // lint: allow(panic-surface) -- in-bounds: `timings` holds one row per (dataset, strategy) by construction
+            let id_ms = timings[di * strat_n].spgemm_ms;
+            // lint: allow(panic-surface) -- in-bounds: `timings` holds one row per (dataset, strategy) by construction
+            if timings[di * strat_n + si].spgemm_ms < id_ms {
+                wins += 1;
+            }
+        }
+        if wins > best.1 {
+            best = (s.slug(), wins);
+        }
+    }
+    let required_wins =
+        if matches!(cfg.scale, ExperimentScale::Standard) && datasets_n >= 6 { 4 } else { 0 };
+    let gate = LocalityGate {
+        best_ordering: best.0.to_string(),
+        spgemm_wins: best.1,
+        datasets: datasets_n,
+        required_wins,
+        churn_parity,
+        passed: best.1 >= required_wins && churn_parity,
+    };
+    Ok(LocalityReport { orderings, timings, churn, gate })
 }
 
 /// Panics unless the incremental result is bitwise identical to the full
@@ -743,77 +1072,54 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
 
             for &t in &thread_counts {
                 let par = Parallelism::new(t);
-                // Timed by hand rather than through the criterion stub: all
-                // four paths alternate inside every sample so slow windows of
-                // a shared host (frequency drift, co-tenants) hit them
-                // equally instead of biasing whichever group ran last. Each
-                // reported number is the minimum over the samples; warm
-                // passes re-prime their cache in untimed setup, exactly like
-                // the power-chain bench above.
-                let mut full_ms = f64::MAX;
-                let mut incremental_ms = f64::MAX;
-                let mut fused_full_ms = f64::MAX;
-                let mut fused_incremental_ms = f64::MAX;
+                // Driven by the shared interleaved driver rather than the
+                // criterion stub: all four paths alternate inside every
+                // sample so slow windows of a shared host hit them equally
+                // instead of biasing whichever group ran last. Warm cells
+                // re-prime their cache in untimed setup, exactly like the
+                // power-chain bench above. Cells: 0 chain-full,
+                // 1 chain-incremental, 2 fused-full, 3 fused-incremental.
                 let _scope = parallel::kernel_scope(par);
-                for _ in 0..cfg.samples.max(5) {
-                    // Headline pair: chain production only.
-                    let t0 = std::time::Instant::now();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    for (rs, d) in &set.chain[1..] {
-                        black_box(
+                let mins = interleaved_min_ms(4, cfg.samples.max(5), |cell| {
+                    let warm_cache = (cell % 2 == 1).then(|| {
+                        let mut c = PowerCache::new();
+                        // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
+                        let (rs, d) = &set.chain[0];
+                        if cell == 1 {
                             // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                            advance_power_chains(rs, d, cfg.layers, None).expect("valid"),
-                        );
-                    }
-                    full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-
-                    let mut c = PowerCache::new();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    let (rs, d) = &set.chain[0];
-                    // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                    advance_power_chains(rs, d, cfg.layers, Some(&mut c)).expect("valid");
-                    let t0 = std::time::Instant::now();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    for (rs, d) in &set.chain[1..] {
-                        black_box(
-                            advance_power_chains(rs, d, cfg.layers, Some(&mut c))
-                                // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                                .expect("valid"),
-                        );
-                    }
-                    incremental_ms = incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-
-                    // Context pair: the whole fused kernel (chain phase plus
-                    // the Eq. 13 term products shared by both paths).
-                    let t0 = std::time::Instant::now();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    for (rs, d) in &set.chain[1..] {
-                        black_box(
-                            // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                            fused_dissimilarity(rs, d, cfg.layers, strategy).expect("valid"),
-                        );
-                    }
-                    fused_full_ms = fused_full_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-
-                    let mut c = PowerCache::new();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    let (rs, d) = &set.chain[0];
-                    fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
-                        // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                        .expect("valid");
-                    let t0 = std::time::Instant::now();
-                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
-                    for (rs, d) in &set.chain[1..] {
-                        black_box(
+                            advance_power_chains(rs, d, cfg.layers, Some(&mut c)).expect("valid");
+                        } else {
                             fused_dissimilarity_cached(rs, d, cfg.layers, strategy, &mut c)
                                 // lint: allow(panic-surface) -- bench fail-fast plumbing; aborting on an impossible state is intended here
-                                .expect("valid"),
-                        );
+                                .expect("valid");
+                        }
+                        c
+                    });
+                    let mut c = warm_cache;
+                    let t0 = std::time::Instant::now();
+                    // lint: allow(panic-surface) -- bench-only table/row indexing; fail-fast on malformed data is intended here
+                    for (rs, d) in &set.chain[1..] {
+                        if cell < 2 {
+                            // Headline pair: chain production only.
+                            black_box(advance_power_chains(rs, d, cfg.layers, c.as_mut())?);
+                        } else if let Some(c) = c.as_mut() {
+                            // Context pair: the whole fused kernel (chain
+                            // phase plus the Eq. 13 term products shared by
+                            // both paths).
+                            black_box(fused_dissimilarity_cached(
+                                rs, d, cfg.layers, strategy, c,
+                            )?);
+                        } else {
+                            black_box(fused_dissimilarity(rs, d, cfg.layers, strategy)?);
+                        }
                     }
-                    fused_incremental_ms =
-                        fused_incremental_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-                }
+                    Ok(t0.elapsed().as_secs_f64() * 1e3)
+                })?;
                 drop(_scope);
+                // lint: allow(panic-surface) -- exactly four cells were requested from the driver above
+                let [full_ms, incremental_ms, fused_full_ms, fused_incremental_ms]: [f64; 4] =
+                    // lint: allow(panic-surface) -- exactly four cells were requested from the driver above
+                    mins.try_into().expect("four churn cells");
                 let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
                 delta_rates.push(DeltaRateTiming {
                     dataset: set.short.clone(),
@@ -842,6 +1148,10 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
     let roofline = roofline_entries(&sets, &scaling, baseline_threads)?;
     let triad = TriadBaseline::measure(TRIAD_L2_ELEMENTS, cfg.triad_dram_elements, cfg.samples);
 
+    // Locality sweep: single-thread kernels and churn survival per vertex
+    // ordering (DESIGN.md §14).
+    let locality = measure_locality(cfg, &sets, cfg.samples)?;
+
     let (pool_hits, pool_misses) = idgnn_sparse::workspace::pool_counters();
     let max_warm_speedup =
         power_chain.iter().map(|p| p.warm_speedup).fold(0.0f64, f64::max);
@@ -860,6 +1170,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Result<KernelBenchReport> {
         triad,
         power_chain,
         delta_rates,
+        locality,
         delta_saved_total,
         max_warm_speedup,
         pool_hits,
@@ -1007,6 +1318,72 @@ impl std::fmt::Display for KernelBenchReport {
                 )
             )?;
         }
+        if !self.locality.timings.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .locality
+                .timings
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.dataset.clone(),
+                        t.ordering.clone(),
+                        format!("{:.3}", t.spgemm_ms),
+                        format!("{:.2}x", t.spgemm_speedup),
+                        format!("{:.3}", t.spmm_ms),
+                        format!("{:.2}x", t.spmm_speedup),
+                    ]
+                })
+                .collect();
+            writeln!(
+                f,
+                "{}",
+                table(
+                    "Locality — single-thread kernels per vertex ordering (speedup vs identity)",
+                    &["dataset", "ordering", "spgemm ms", "speedup", "spmm ms", "speedup"],
+                    &rows,
+                )
+            )?;
+            let rows: Vec<Vec<String>> = self
+                .locality
+                .churn
+                .iter()
+                .map(|c| {
+                    vec![
+                        c.dataset.clone(),
+                        c.ordering.clone(),
+                        format!("{:.1}%", c.delta_rate * 100.0),
+                        format!("{:.0}%", c.patch_survival * 100.0),
+                        c.patches.to_string(),
+                        c.saved_mults.to_string(),
+                        format!("{:.2}x", c.incremental_speedup),
+                    ]
+                })
+                .collect();
+            writeln!(
+                f,
+                "{}",
+                table(
+                    "Locality churn — patch survival per vertex ordering",
+                    &[
+                        "dataset", "ordering", "churn", "survival", "patches", "saved mults",
+                        "incr speedup",
+                    ],
+                    &rows,
+                )
+            )?;
+            let g = &self.locality.gate;
+            writeln!(
+                f,
+                "locality gate: {} beats identity on spgemm for {}/{} datasets \
+                 (required {}, churn parity: {}) => {}",
+                g.best_ordering,
+                g.spgemm_wins,
+                g.datasets,
+                g.required_wins,
+                g.churn_parity,
+                if g.passed { "pass" } else { "FAIL" },
+            )?;
+        }
         writeln!(f, "best warm speedup: {:.2}x", self.max_warm_speedup)
     }
 }
@@ -1085,6 +1462,7 @@ pub fn validate_report_json(text: &str) -> std::result::Result<(), String> {
         "\"scaling\"",
         "\"roofline\"",
         "\"triad\"",
+        "\"locality\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -1339,6 +1717,124 @@ pub fn validate_report_structure(text: &str) -> std::result::Result<(), String> 
             ));
         }
     }
+
+    // --- locality (the reordering tentpole) ---
+    let locality = doc.get("locality").ok_or("`locality` is missing")?;
+    let orderings: Vec<&str> = locality
+        .get("orderings")
+        .and_then(Json::as_array)
+        .ok_or("`locality.orderings` is missing or not an array")?
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    for required in ["identity", "degree", "rcm", "island"] {
+        if !orderings.contains(&required) {
+            return Err(format!("`locality.orderings` lacks the `{required}` strategy"));
+        }
+    }
+    let timings = locality
+        .get("timings")
+        .and_then(Json::as_array)
+        .ok_or("`locality.timings` is missing or not an array")?;
+    if timings.is_empty() {
+        return Err("`locality.timings` is empty".to_string());
+    }
+    let mut timed_orderings: Vec<&str> = Vec::new();
+    for (i, row) in timings.iter().enumerate() {
+        let ordering = row
+            .get("ordering")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("`locality.timings[{i}]` lacks string field `ordering`"))?;
+        if !orderings.contains(&ordering) {
+            return Err(format!(
+                "`locality.timings[{i}]` uses ordering `{ordering}`, not in `locality.orderings`"
+            ));
+        }
+        if !timed_orderings.contains(&ordering) {
+            timed_orderings.push(ordering);
+        }
+        for field in ["spgemm_ms", "spmm_ms", "spgemm_speedup", "spmm_speedup"] {
+            let v = row.get(field).and_then(Json::as_f64).ok_or_else(|| {
+                format!("`locality.timings[{i}]` lacks numeric field `{field}`")
+            })?;
+            if v <= 0.0 {
+                return Err(format!("`locality.timings[{i}]` has non-positive `{field}`"));
+            }
+        }
+    }
+    if timed_orderings.len() != orderings.len() {
+        return Err(format!(
+            "`locality.timings` covers orderings {timed_orderings:?}, not the advertised \
+             {orderings:?}"
+        ));
+    }
+    let churn_rows = locality
+        .get("churn")
+        .and_then(Json::as_array)
+        .ok_or("`locality.churn` is missing or not an array")?;
+    if churn_rows.is_empty() {
+        return Err("`locality.churn` is empty".to_string());
+    }
+    for (i, row) in churn_rows.iter().enumerate() {
+        let survival = row
+            .get("patch_survival")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`locality.churn[{i}]` lacks numeric `patch_survival`"))?;
+        if !(0.0..=1.0).contains(&survival) {
+            return Err(format!(
+                "`locality.churn[{i}]` reports patch survival {survival}, outside [0, 1]"
+            ));
+        }
+        let ordering = row.get("ordering").and_then(Json::as_str).unwrap_or("?");
+        if !orderings.contains(&ordering) {
+            return Err(format!(
+                "`locality.churn[{i}]` uses ordering `{ordering}`, not in `locality.orderings`"
+            ));
+        }
+    }
+    let gate = locality.get("gate").ok_or("`locality.gate` is missing")?;
+    let gnum = |name: &str| {
+        gate.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("`locality.gate` lacks numeric field `{name}`"))
+    };
+    let best = gate
+        .get("best_ordering")
+        .and_then(Json::as_str)
+        .ok_or("`locality.gate` lacks string field `best_ordering`")?;
+    if !orderings.contains(&best) {
+        return Err(format!(
+            "`locality.gate.best_ordering` (`{best}`) is not in `locality.orderings`"
+        ));
+    }
+    let (wins, datasets, required) =
+        (gnum("spgemm_wins")?, gnum("datasets")?, gnum("required_wins")?);
+    if wins > datasets {
+        return Err(format!(
+            "`locality.gate` claims {wins} wins over {datasets} datasets"
+        ));
+    }
+    // The full standard-scale run must actually enforce the paper gate —
+    // best ordering beating identity on ≥4 of the 6 Fig. 12 datasets — so a
+    // hollow report cannot sneak through with `required_wins: 0`.
+    let scale = doc.get("scale").and_then(Json::as_str).unwrap_or("");
+    if scale == "standard" && datasets >= 6.0 && required < 4.0 {
+        return Err(format!(
+            "`locality.gate.required_wins` is {required} on a full standard-scale report \
+             (gate: ≥4 of the Fig. 12 datasets)"
+        ));
+    }
+    if gate.get("churn_parity") != Some(&Json::Bool(true)) {
+        return Err("`locality.gate.churn_parity` is not true: reordering perturbed the \
+                    dirty-row patch accounting"
+            .to_string());
+    }
+    if gate.get("passed") != Some(&Json::Bool(true)) {
+        return Err(format!(
+            "`locality.gate` failed: best ordering `{best}` won {wins}/{datasets} datasets \
+             (required {required})"
+        ));
+    }
     Ok(())
 }
 
@@ -1389,6 +1885,29 @@ mod tests {
         }
         assert!(r.triad.l2_gbps > 0.0 && r.triad.dram_gbps > 0.0);
         assert_eq!(r.triad.peak_gbps, r.triad.l2_gbps.max(r.triad.dram_gbps));
+        assert_eq!(r.locality.orderings, ["identity", "degree", "rcm", "island"]);
+        assert_eq!(r.locality.timings.len(), 4, "one dataset x four orderings");
+        for t in &r.locality.timings {
+            assert!(t.spgemm_ms > 0.0 && t.spmm_ms > 0.0);
+            assert!(t.rows > 0 && t.nnz > 0);
+            if t.ordering == "identity" {
+                assert!(
+                    (t.spgemm_speedup - 1.0).abs() < 1e-9 && (t.spmm_speedup - 1.0).abs() < 1e-9,
+                    "identity is its own speedup baseline"
+                );
+            }
+        }
+        assert_eq!(r.locality.churn.len(), 4, "one rate x one dataset x four orderings");
+        for c in &r.locality.churn {
+            assert!((0.0..=1.0).contains(&c.patch_survival));
+            assert!(c.full_rebuild_ms > 0.0 && c.incremental_ms > 0.0);
+        }
+        assert!(
+            r.locality.gate.churn_parity,
+            "a vertex relabeling must not perturb the patch/saved accounting"
+        );
+        assert!(r.locality.gate.passed, "the smoke gate is unconditional");
+        assert_eq!(r.locality.gate.required_wins, 0, "quick scale never enforces the win gate");
         let text = r.to_string();
         assert!(text.contains("Power chain"));
         assert!(text.contains("spgemm"));
@@ -1396,6 +1915,8 @@ mod tests {
         assert!(text.contains("Thread scaling"));
         assert!(text.contains("Roofline"));
         assert!(text.contains("triad baseline"));
+        assert!(text.contains("Locality"));
+        assert!(text.contains("locality gate"));
         let json = serde_json::to_string_pretty(&r).unwrap();
         validate_report_json(&json).unwrap();
         validate_report_structure(&json).unwrap();
@@ -1407,14 +1928,14 @@ mod tests {
         let empty_sections = "{\"scale\": \"smoke\", \"samples\": 1, \"thread_counts\": [1], \
              \"kernels\": [], \"power_chain\": [], \"delta_rates\": [], \
              \"host_cores\": 1, \"scaling\": [], \"roofline\": [], \"triad\": {}, \
-             \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
+             \"locality\": {}, \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2}";
         validate_report_json(empty_sections).unwrap();
         assert!(validate_report_structure(empty_sections).is_err());
 
         let wrong_types = "{\"scale\": 1, \"samples\": \"many\", \"thread_counts\": 1, \
              \"kernels\": {}, \"power_chain\": 0, \"delta_rates\": \"x\", \
              \"host_cores\": \"two\", \"scaling\": 0, \"roofline\": {}, \"triad\": [], \
-             \"delta_saved_total\": [], \"max_warm_speedup\": \"big\"}";
+             \"locality\": 0, \"delta_saved_total\": [], \"max_warm_speedup\": \"big\"}";
         validate_report_json(wrong_types).unwrap();
         assert!(validate_report_structure(wrong_types).is_err());
 
@@ -1490,10 +2011,42 @@ mod tests {
         let missing_scaling = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
                   \"delta_rates\": [], \"max_warm_speedup\": 1.0}";
         assert!(validate_report_json(missing_scaling).is_err());
-        let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
+        // The locality section is now required alongside the rest.
+        let missing_locality = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
                   \"delta_rates\": [], \"max_warm_speedup\": 1.0, \"host_cores\": 1, \
                   \"scaling\": [], \"roofline\": [], \"triad\": {}}";
+        assert!(validate_report_json(missing_locality).is_err());
+        let ok = "{\"kernels\": [], \"power_chain\": [], \"thread_counts\": [1], \
+                  \"delta_rates\": [], \"max_warm_speedup\": 1.0, \"host_cores\": 1, \
+                  \"scaling\": [], \"roofline\": [], \"triad\": {}, \"locality\": {}}";
         validate_report_json(ok).unwrap();
+    }
+
+    /// A structurally valid locality section: identity slowest on SpGEMM,
+    /// rcm fastest, full churn survival, and a passing gate.
+    fn locality_fixture() -> String {
+        let timing = |ordering: &str, ms: f64| {
+            format!(
+                "{{\"dataset\": \"AS\", \"ordering\": \"{ordering}\", \"rows\": 1000, \
+                  \"nnz\": 10, \"spgemm_ms\": {ms:?}, \"spmm_ms\": 1.0, \
+                  \"spgemm_speedup\": 1.0, \"spmm_speedup\": 1.0, \"samples\": 3}}"
+            )
+        };
+        format!(
+            "{{\"orderings\": [\"identity\", \"degree\", \"rcm\", \"island\"], \
+              \"timings\": [{}, {}, {}, {}], \
+              \"churn\": [{{\"dataset\": \"AS\", \"ordering\": \"identity\", \
+                 \"delta_rate\": 0.01, \"timed_deltas\": 3, \"cache_hits\": 3, \"patches\": 3, \
+                 \"patch_survival\": 1.0, \"saved_mults\": 5, \"saved_adds\": 5, \
+                 \"full_rebuild_ms\": 1.0, \"incremental_ms\": 0.5, \
+                 \"incremental_speedup\": 2.0}}], \
+              \"gate\": {{\"best_ordering\": \"rcm\", \"spgemm_wins\": 1, \"datasets\": 1, \
+                 \"required_wins\": 0, \"churn_parity\": true, \"passed\": true}}}}",
+            timing("identity", 1.0),
+            timing("degree", 0.9),
+            timing("rcm", 0.8),
+            timing("island", 0.95),
+        )
     }
 
     /// A structurally complete report with parameterizable scaling/roofline/
@@ -1507,7 +2060,9 @@ mod tests {
               \"power_chain\": [{{\"dataset\": \"AS\", \"threads\": 1}}], \
               \"delta_rates\": [{{\"dataset\": \"AS\", \"threads\": 1}}], \
               \"delta_saved_total\": 5, \"max_warm_speedup\": 1.2, \
-              \"scaling\": [{scaling}], \"roofline\": [{roofline}], \"triad\": {triad}}}"
+              \"scaling\": [{scaling}], \"roofline\": [{roofline}], \"triad\": {triad}, \
+              \"locality\": {}}}",
+            locality_fixture()
         )
     }
 
@@ -1590,6 +2145,48 @@ mod tests {
         let err = validate_report_structure(&report_fixture(8, &good_scaling(), &zero_ai, GOOD_TRIAD))
             .unwrap_err();
         assert!(err.contains("arithmetic intensity"), "{err}");
+    }
+
+    #[test]
+    fn validator_gates_locality_section() {
+        let good = report_fixture(8, &good_scaling(), GOOD_ROOFLINE, GOOD_TRIAD);
+        validate_report_structure(&good).unwrap();
+
+        // A survival rate outside [0, 1] is structurally impossible.
+        let bad_survival = good.replace("\"patch_survival\": 1.0", "\"patch_survival\": 1.5");
+        let err = validate_report_structure(&bad_survival).unwrap_err();
+        assert!(err.contains("patch survival"), "{err}");
+
+        // Every advertised ordering must actually have timing rows.
+        let missing_island = good.replace(
+            "\"orderings\": [\"identity\", \"degree\", \"rcm\", \"island\"]",
+            "\"orderings\": [\"identity\", \"degree\", \"rcm\", \"island\", \"hilbert\"]",
+        );
+        let err = validate_report_structure(&missing_island).unwrap_err();
+        assert!(err.contains("not the advertised"), "{err}");
+
+        // Dropping a required strategy from the sweep is rejected outright.
+        let no_rcm = good.replace(
+            "\"orderings\": [\"identity\", \"degree\", \"rcm\", \"island\"]",
+            "\"orderings\": [\"identity\", \"degree\", \"island\"]",
+        );
+        let err = validate_report_structure(&no_rcm).unwrap_err();
+        assert!(err.contains("rcm"), "{err}");
+
+        // A failed gate fails validation, as does broken churn parity.
+        let failed = good.replace("\"passed\": true", "\"passed\": false");
+        let err = validate_report_structure(&failed).unwrap_err();
+        assert!(err.contains("gate"), "{err}");
+        let no_parity = good.replace("\"churn_parity\": true", "\"churn_parity\": false");
+        let err = validate_report_structure(&no_parity).unwrap_err();
+        assert!(err.contains("parity"), "{err}");
+
+        // A full standard-scale report cannot opt out of the ≥4-win gate.
+        let hollow_full = good
+            .replace("\"scale\": \"smoke\"", "\"scale\": \"standard\"")
+            .replace("\"spgemm_wins\": 1, \"datasets\": 1", "\"spgemm_wins\": 6, \"datasets\": 6");
+        let err = validate_report_structure(&hollow_full).unwrap_err();
+        assert!(err.contains("required_wins"), "{err}");
     }
 
     #[test]

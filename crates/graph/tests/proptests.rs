@@ -1,7 +1,7 @@
 //! Property-based tests for dynamic-graph construction and evolution.
 
 use idgnn_graph::generate::{generate_dynamic_graph, GraphConfig, StreamConfig};
-use idgnn_graph::{adjacency_from_edges, GraphDelta, GraphSnapshot, Normalization};
+use idgnn_graph::{adjacency_from_edges, reorder, GraphDelta, GraphSnapshot, Normalization};
 use idgnn_sparse::{ops, DenseMatrix};
 use proptest::prelude::*;
 
@@ -109,5 +109,30 @@ proptest! {
         let a = adjacency_from_edges(12, &edges).unwrap();
         let m = Normalization::Symmetric.apply(&a);
         prop_assert!(m.values().iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn reorder_strategies_always_yield_valid_bijections(edges in edge_list(13, 36)) {
+        // Every strategy on every random graph: a checked bijection whose
+        // round trip through permute_symmetric reproduces the adjacency
+        // bit-for-bit, and which never changes nnz or per-vertex degree
+        // multisets (the quantities OpStats accounting is built from).
+        let a = adjacency_from_edges(13, &edges).unwrap();
+        for s in reorder::ALL_STRATEGIES {
+            let p = reorder::reorder(&a, s).unwrap();
+            prop_assert_eq!(p.len(), 13, "{}", s);
+            for (old, &new) in p.forward().iter().enumerate() {
+                prop_assert_eq!(p.inverse()[new], old, "{}", s);
+            }
+            let pa = a.permute_symmetric(p.forward()).unwrap();
+            prop_assert_eq!(pa.nnz(), a.nnz(), "{}", s);
+            let mut base_degrees: Vec<usize> = (0..13).map(|r| a.row_nnz(r)).collect();
+            let mut perm_degrees: Vec<usize> = (0..13).map(|r| pa.row_nnz(r)).collect();
+            base_degrees.sort_unstable();
+            perm_degrees.sort_unstable();
+            prop_assert_eq!(base_degrees, perm_degrees, "{}", s);
+            let back = pa.permute_symmetric(p.inverse()).unwrap();
+            prop_assert_eq!(back, a.clone(), "{}", s);
+        }
     }
 }

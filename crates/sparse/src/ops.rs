@@ -415,8 +415,14 @@ fn spgemm_par_impl<const CHUNKED: bool>(
             rhs: b.shape(),
         });
     }
-    let blocks =
-        parallel::map_blocks(a.rows(), par, |range| spgemm_block::<CHUNKED>(a, b, range));
+    // Cost-balance by lhs row nnz: Gustavson's per-row work is proportional
+    // to the entries visited in `a`'s row, not the row count.
+    let blocks = parallel::map_blocks_by_cost(
+        a.rows(),
+        par,
+        |r| a.row_nnz(r) as u64,
+        |range| spgemm_block::<CHUNKED>(a, b, range),
+    );
     Ok(assemble_csr(a.rows(), b.cols(), blocks))
 }
 
@@ -669,9 +675,13 @@ fn sp_axpby_par_impl<const PRUNE: bool>(
             rhs: b.shape(),
         });
     }
-    let blocks = parallel::map_blocks(a.rows(), par, |range| {
-        sp_axpby_block::<PRUNE>(alpha, a, beta, b, range)
-    });
+    // The two-pointer merge touches every stored entry of both rows.
+    let blocks = parallel::map_blocks_by_cost(
+        a.rows(),
+        par,
+        |r| (a.row_nnz(r) + b.row_nnz(r)) as u64,
+        |range| sp_axpby_block::<PRUNE>(alpha, a, beta, b, range),
+    );
     Ok(assemble_csr(a.rows(), a.cols(), blocks).0)
 }
 
@@ -815,8 +825,13 @@ fn spmm_par_impl<const CHUNKED: bool>(
         });
     }
     let k = x.cols();
-    let mut blocks =
-        parallel::map_blocks(a.rows(), par, |range| spmm_block::<CHUNKED>(a, x, range));
+    // Cost-balance by row nnz: each stored entry drives one width-`k` AXPY.
+    let mut blocks = parallel::map_blocks_by_cost(
+        a.rows(),
+        par,
+        |r| a.row_nnz(r) as u64,
+        |range| spmm_block::<CHUNKED>(a, x, range),
+    );
     let (data, stats) = if blocks.len() == 1 {
         // Single block (the serial path): the chunk *is* the output — move it.
         // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero

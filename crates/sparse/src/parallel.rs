@@ -185,6 +185,85 @@ pub fn partition(items: usize, blocks: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Splits `0..items` into at most `blocks` contiguous, non-empty ranges in
+/// ascending order, balancing the **sum of `cost(item)`** per block instead
+/// of the item count.
+///
+/// The cut points are the cost quantiles: block `b` ends at the first item
+/// whose cumulative cost reaches `total * (b + 1) / blocks`, so every block's
+/// cost is at most `total / blocks + max_item_cost` — on a skewed row-nnz
+/// distribution this keeps the heaviest worker within one hub row of the
+/// mean, where a row-count split can be arbitrarily lopsided. When every
+/// item costs zero the split degrades to the uniform [`partition`].
+///
+/// Only the block *boundaries* differ from [`partition`]; per-item work and
+/// the declared merge order are unchanged, so kernels built on this split
+/// stay bit-identical to the serial path at every worker count.
+pub fn partition_by_cost<C>(items: usize, blocks: usize, cost: C) -> Vec<Range<usize>>
+where
+    C: Fn(usize) -> u64,
+{
+    let blocks = blocks.min(items).max(1);
+    if items == 0 {
+        // One empty block: callers always get at least one range to run.
+        #[allow(clippy::single_range_in_vec_init)]
+        // lint: allow(hot-path-alloc) -- one range list per kernel call, returned to the caller
+        return vec![0..0];
+    }
+    let total: u64 = (0..items).map(&cost).sum();
+    if total == 0 {
+        return partition(items, blocks);
+    }
+    let (total, blocks_u128) = (u128::from(total), blocks as u128);
+    // lint: allow(hot-path-alloc) -- one range list per kernel call, returned to the caller
+    let mut out = Vec::with_capacity(blocks);
+    let mut start = 0usize;
+    let mut acc = 0u128;
+    for b in 0..blocks - 1 {
+        let target = total * (b as u128 + 1) / blocks_u128;
+        // Reserve one item for each block still to come so none ends empty.
+        let max_end = items - (blocks - 1 - b);
+        let mut end = start + 1;
+        acc += u128::from(cost(start));
+        while end < max_end && acc < target {
+            acc += u128::from(cost(end));
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out.push(start..items);
+    out
+}
+
+/// Forks `ranges` onto scoped worker threads and joins the results in the
+/// declared range order.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread.
+fn fork_join<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            // lint: allow(hot-path-alloc) -- one join-handle vec per fork, O(workers) not O(rows)
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            // lint: allow(hot-path-alloc) -- block results in order, returned to the caller
+            .collect()
+    })
+}
+
 /// Runs `f` over contiguous index blocks on scoped worker threads and returns
 /// the per-block results **in block order** (deterministic regardless of
 /// thread scheduling). With one effective worker the closure runs inline on
@@ -209,22 +288,30 @@ where
         // lint: allow(hot-path-alloc) -- single-block result vec, returned to the caller
         return vec![f(0..items)];
     }
-    let ranges = partition(items, workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| {
-                let f = &f;
-                scope.spawn(move || f(range))
-            })
-            // lint: allow(hot-path-alloc) -- one join-handle vec per fork, O(workers) not O(rows)
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            // lint: allow(hot-path-alloc) -- block results in order, returned to the caller
-            .collect()
-    })
+    fork_join(partition(items, workers), f)
+}
+
+/// [`map_blocks`] with **cost-balanced** block boundaries: blocks are cut by
+/// [`partition_by_cost`] over `cost(item)` (row nnz for the sparse kernels)
+/// instead of item count, so a hub-heavy dataset no longer leaves all but
+/// one worker idle. Merge order and per-item computation are identical to
+/// [`map_blocks`], preserving bit-identity with the serial path.
+///
+/// # Panics
+///
+/// Re-raises a worker panic on the calling thread.
+pub fn map_blocks_by_cost<R, F, C>(items: usize, par: Parallelism, cost: C, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    C: Fn(usize) -> u64,
+{
+    let workers = par.effective(items);
+    if workers <= 1 {
+        // lint: allow(hot-path-alloc) -- single-block result vec, returned to the caller
+        return vec![f(0..items)];
+    }
+    fork_join(partition_by_cost(items, workers, cost), f)
 }
 
 /// Runs `f(index, &item)` for every item on a scoped worker pool fed by an
@@ -293,6 +380,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partition_by_cost_covers_disjointly_and_bounds_spread() {
+        // A deterministic skewed cost profile: a few hubs, a long flat tail.
+        let cost = |i: usize| -> u64 {
+            match i % 97 {
+                0 => 64,
+                1..=4 => 16,
+                _ => 1,
+            }
+        };
+        for items in [0usize, 1, 7, 97, 1000] {
+            for blocks in [1usize, 2, 3, 8, 200] {
+                let ranges = partition_by_cost(items, blocks, cost);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "{items}/{blocks}");
+                    expect = r.end;
+                }
+                assert_eq!(expect, items);
+                if items > 0 {
+                    assert!(ranges.iter().all(|r| !r.is_empty()));
+                    let total: u64 = (0..items).map(cost).sum();
+                    let max_item = (0..items).map(cost).max().unwrap();
+                    let heaviest = ranges
+                        .iter()
+                        .map(|r| r.clone().map(cost).sum::<u64>())
+                        .max()
+                        .unwrap();
+                    let effective = ranges.len() as u64;
+                    assert!(
+                        heaviest <= total / effective + max_item,
+                        "{items}/{blocks}: heaviest {heaviest} vs bound {}",
+                        total / effective + max_item
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_by_cost_zero_costs_fall_back_to_uniform() {
+        assert_eq!(partition_by_cost(100, 7, |_| 0), partition(100, 7));
+        assert_eq!(partition_by_cost(0, 4, |_| 3), vec![0..0]);
+        // Uniform costs reproduce the uniform split's balance (±1 item).
+        let ranges = partition_by_cost(100, 7, |_| 5);
+        let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced: {lens:?}");
+    }
+
+    #[test]
+    fn map_blocks_by_cost_preserves_block_order() {
+        let cost = |i: usize| if i < 10 { 50u64 } else { 1 };
+        let got = map_blocks_by_cost(100, Parallelism::new(4), cost, |r| r.clone());
+        assert_eq!(got, partition_by_cost(100, 4, cost));
+        let serial = map_blocks_by_cost(100, Parallelism::serial(), cost, |r| r.clone());
+        assert_eq!(serial, vec![0..100]);
     }
 
     #[test]

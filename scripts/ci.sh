@@ -41,6 +41,14 @@ echo "==> bench kernels --smoke"
 smoke_json="target/BENCH_kernels_smoke.json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --smoke --out "$smoke_json"
 cargo run --release -q -p idgnn-bench --bin kernels -- --validate "$smoke_json"
+# The smoke run includes a reduced locality sweep (two datasets, one churn
+# rate, all four vertex orderings); the structural validator above gates its
+# shape, gate verdict, and churn parity. This grep only guards against the
+# section silently disappearing from the writer.
+grep -q '"locality"' "$smoke_json" || {
+  echo "error: $smoke_json lacks the locality sweep section" >&2
+  exit 1
+}
 # The committed full-run report must also satisfy the current schema and
 # gates (thread-scaling coverage, baseline efficiency, roofline vs triad
 # peak) so a kernel or schema change cannot leave a stale baseline behind.
