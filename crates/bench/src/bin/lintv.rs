@@ -7,10 +7,12 @@
 //!
 //! Checks, via the [`idgnn_bench::jsonv`] parser rather than substring
 //! greps: the report version, a plausible file count, a `counts` object
-//! naming exactly the eight lint rules, well-typed finding entries whose
+//! naming exactly the twelve lint rules, well-typed finding entries whose
 //! rules come from that set, zero baseline regressions, zero new findings
-//! (every finding grandfathered), and exit code 0. Exits nonzero with a
-//! message on the first violation.
+//! (every finding grandfathered), exit code 0, and — when the report came
+//! from a `--timing` run — a per-rule `timings_ms` row for every rule and a
+//! `timing_gate` with a positive limit and no offenders. Exits nonzero with
+//! a message on the first violation.
 
 use idgnn_bench::jsonv::{self, Json};
 use std::process::ExitCode;
@@ -24,6 +26,10 @@ const RULES: &[&str] = &[
     "resource-flow",
     "opstats-flow",
     "hw-budget",
+    "unordered-iteration",
+    "float-reduction-order",
+    "ambient-nondeterminism",
+    "block-merge-order",
     "malformed-marker",
 ];
 
@@ -128,7 +134,39 @@ fn validate(path: &str) -> Result<String, String> {
         }
     }
 
-    Ok(format!("{} file(s), {total} grandfathered finding(s), 0 new", files as u64))
+    // `--timing` runs carry a per-rule wall-clock profile; when present it
+    // must cover every rule with a non-negative duration, and the gate must
+    // record a positive limit with an empty offender list.
+    let mut timed = "";
+    if let Some(timings) = doc.get("timings_ms") {
+        if !matches!(timings, Json::Object(_)) {
+            return Err("`timings_ms` is not an object".to_string());
+        }
+        for rule in RULES {
+            let ms = timings
+                .get(rule)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`timings_ms.{rule}` missing or non-numeric"))?;
+            if ms.is_nan() || ms < 0.0 {
+                return Err(format!("`timings_ms.{rule}` = {ms} is not a duration"));
+            }
+        }
+        let gate = doc.get("timing_gate").ok_or("`timings_ms` present but `timing_gate` missing")?;
+        let limit = req_f64(gate, "limit_ms")?;
+        if limit <= 0.0 {
+            return Err(format!("`timing_gate.limit_ms` = {limit} is not positive"));
+        }
+        let offenders = gate
+            .get("offenders")
+            .and_then(Json::as_array)
+            .ok_or("missing or non-array `timing_gate.offenders`")?;
+        if !offenders.is_empty() {
+            return Err(format!("{} timing-gate offender(s) recorded", offenders.len()));
+        }
+        timed = ", timing gate clean";
+    }
+
+    Ok(format!("{} file(s), {total} grandfathered finding(s), 0 new{timed}", files as u64))
 }
 
 /// Fetches a required numeric member of `doc`.

@@ -32,6 +32,7 @@ impl CommonCoreView {
     /// # Errors
     ///
     /// Propagates materialization errors from conflicting deltas.
+    // lint: order-insensitive -- hash sets serve intersection/difference membership only; core_list and extras are sorted before use
     pub fn new(dg: &DynamicGraph) -> Result<Self> {
         let snaps = dg.materialize()?;
         let edge_sets: Vec<HashSet<(usize, usize)>> = snaps

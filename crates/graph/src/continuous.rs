@@ -78,6 +78,7 @@ impl ContinuousGraph {
     ///
     /// * [`GraphError::VertexOutOfRange`] for events naming unknown vertices;
     /// * other [`GraphError`]s if the net deltas cannot be applied.
+    // lint: order-insensitive -- net-effect maps feed a delta whose application is keyed cell writes; iteration order never reaches the materialized snapshots
     pub fn discretize(&self, interval: f64) -> Result<DynamicGraph> {
         if interval <= 0.0 || !interval.is_finite() {
             return Err(GraphError::EdgeConflict {

@@ -196,6 +196,7 @@ impl GraphDelta {
     }
 
     /// Vertices touched by any change (edge endpoints and feature updates).
+    // lint: order-insensitive -- returns a membership set; callers probe it, never iterate it into ordered output
     pub fn touched_vertices(&self) -> HashSet<usize> {
         let mut set = HashSet::new();
         for &(u, v) in self.added_edges.iter().chain(&self.removed_edges) {
@@ -261,6 +262,7 @@ impl GraphDeltaBuilder {
 
     /// Finalizes the delta, de-duplicating edges (first occurrence wins
     /// across both the add and remove lists).
+    // lint: order-insensitive -- the `seen` set is a dedup membership probe; output keeps caller insertion order
     pub fn build(self) -> GraphDelta {
         let mut seen = HashSet::new();
         let mut added = Vec::new();

@@ -89,6 +89,7 @@ pub fn random_features(vertices: usize, dim: usize, rng: &mut StdRng) -> DenseMa
     DenseMatrix::from_vec(vertices, dim, data).expect("length matches by construction")
 }
 
+// lint: order-insensitive -- the set is a collision probe during seeded sampling; edges are emitted in generation order
 fn uniform_edges(n: usize, target: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
     let mut set = HashSet::with_capacity(target);
     let mut edges = Vec::with_capacity(target);
@@ -109,6 +110,7 @@ fn uniform_edges(n: usize, target: usize, rng: &mut StdRng) -> Vec<(usize, usize
     edges
 }
 
+// lint: order-insensitive -- the sets are collision/membership probes during seeded sampling; edges are emitted in generation order
 fn power_law_edges(n: usize, target: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
     let mut set: HashSet<(usize, usize)> = HashSet::with_capacity(target);
     let mut edges: Vec<(usize, usize)> = Vec::with_capacity(target);
@@ -242,6 +244,7 @@ pub fn generate_dynamic_graph(
 
 /// Generates one random delta against `current` with the configured
 /// dissimilarity and addition/deletion mix.
+// lint: order-insensitive -- the sets are collision/membership probes during seeded sampling; changes are pushed in generation order
 pub fn random_delta(current: &GraphSnapshot, cfg: &StreamConfig, rng: &mut StdRng) -> GraphDelta {
     let n = current.num_vertices();
     let a = current.adjacency();

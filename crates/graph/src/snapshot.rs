@@ -152,6 +152,7 @@ impl TryFrom<(CsrMatrix, DenseMatrix)> for GraphSnapshot {
 ///
 /// Returns [`SparseError::IndexOutOfBounds`] (wrapped) if an endpoint is
 /// `>= n`.
+// lint: order-insensitive -- the `seen` set is a dedup membership probe; COO entries are pushed in the caller's edge order
 pub fn adjacency_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<CsrMatrix> {
     let mut coo = idgnn_sparse::CooMatrix::new(n, n);
     let mut seen = std::collections::HashSet::with_capacity(edges.len());

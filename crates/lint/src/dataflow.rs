@@ -1,0 +1,441 @@
+//! Shared dataflow engine for the cross-file flow rules.
+//!
+//! [`Engine`] pairs the name-resolved call graph ([`crate::symgraph`]) with
+//! per-function **dataflow facts** recovered straight from the token
+//! stream: a linear statement walk over each `fn` body that tracks which
+//! local bindings hold unordered containers (`HashMap`/`HashSet`) and
+//! records the [`Event`]s the determinism rules consume — unordered
+//! construction, iteration over a tainted binding, float reductions fed by
+//! one, ambient wall-clock/thread/env reads, and thread fan-out.
+//!
+//! The engine is *mechanism*; policy (which events become findings, on
+//! which paths, under which markers) lives in [`crate::flows`]. The
+//! `resource-flow` / `opstats-flow` rules run on the same engine: their
+//! old per-node reachability walks (one closure per function, O(n²)) are
+//! replaced by a single reverse closure from the resolver/join base sets.
+//!
+//! Precision boundaries (deliberate, documented):
+//!
+//! * Taint covers **local** bindings only — `let`-bound maps and
+//!   `HashMap`-typed parameters. A map stored in a struct field is caught
+//!   at its construction site (the `HashMap::new()` statement is itself an
+//!   event), not at field-chained iteration sites.
+//! * Taint does not flow through derived bindings: `let v: Vec<_> =
+//!   m.keys().collect()` is flagged at the extraction point (`.keys()` on
+//!   a tainted binding); once the developer sorts `v`, downstream use is
+//!   clean by construction.
+//! * Statements are delimited by `;` / `{` / `}` — match arms and closure
+//!   bodies fold into their enclosing statement, which can only widen a
+//!   statement's use set (safe for a lint that reports, never rewrites).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::ParsedFile;
+use crate::rules::FileMarkers;
+use crate::symgraph::SymbolGraph;
+
+/// Unordered container type names (std hash collections).
+pub const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that observe a container's iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Iterator adapters that reduce with an accumulation order.
+const REDUCE_METHODS: &[&str] = &["sum", "product", "fold", "reduce"];
+
+/// `A::b` path pairs that read ambient nondeterministic state.
+const AMBIENT_PATHS: &[(&str, &str)] = &[
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("SystemTime", "duration_since"),
+    ("thread", "current"),
+    ("env", "var"),
+    ("env", "var_os"),
+    ("env", "vars"),
+    ("env", "vars_os"),
+];
+
+/// What a statement was observed doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `HashMap`/`HashSet` type name appears in a body statement
+    /// (construction, turbofish, or ascription — the container enters the
+    /// function here).
+    UnorderedConstruct,
+    /// Order-observing iteration (`.iter()`, `.keys()`, `for _ in m`, ...)
+    /// over a tainted binding.
+    UnorderedIter,
+    /// `sum`/`product`/`fold`/`reduce` with float evidence in a statement
+    /// that uses a tainted binding.
+    FloatReduction,
+    /// Wall-clock, thread-identity, or environment read.
+    Ambient,
+    /// Direct thread fan-out (`spawn(..)` call).
+    Spawn,
+}
+
+/// One dataflow event inside a function body.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// 1-based source line of the triggering token.
+    pub line: usize,
+    /// Short human description of the trigger (`HashMap`, `.keys()`, ...).
+    pub what: String,
+}
+
+/// The call graph plus per-function events, built once per analysis.
+#[derive(Debug, Default)]
+pub struct Engine {
+    /// The name-resolved workspace call graph.
+    pub graph: SymbolGraph,
+    /// Events per function, parallel to `graph.fns`.
+    pub events: Vec<Vec<Event>>,
+}
+
+impl Engine {
+    /// Builds the graph and extracts dataflow facts for every function.
+    /// `tokens` maps each file's rel path to its full token stream (the
+    /// same stream the file was parsed from — body spans index into it).
+    pub fn build(files: &[ParsedFile], tokens: &BTreeMap<String, Vec<Token>>) -> Self {
+        let graph = SymbolGraph::build(files);
+        let events = graph
+            .fns
+            .iter()
+            .map(|node| match (tokens.get(&node.file), node.item.body) {
+                (Some(toks), Some((open, close))) => {
+                    body_events(toks, open, close, &node.item.params)
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        Engine { graph, events }
+    }
+
+    /// Resolves marker lines to graph node indices: each marker attaches to
+    /// the first fn in the same file whose `fn` keyword line is >= the
+    /// marker line (markers sit directly above their fn, or at the end of
+    /// its first line).
+    pub fn marked(
+        &self,
+        markers: &BTreeMap<String, FileMarkers>,
+        select: impl Fn(&FileMarkers) -> &Vec<usize>,
+    ) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for (file, m) in markers {
+            for &line in select(m) {
+                let best = self
+                    .graph
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| &n.file == file && n.item.line >= line)
+                    .min_by_key(|(_, n)| n.item.line)
+                    .map(|(i, _)| i);
+                if let Some(idx) = best {
+                    out.insert(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every node on a deterministic path: functions from which some root
+    /// is reachable (they feed a root's inputs) plus everything a root
+    /// itself reaches (they produce a root's outputs). One reverse and one
+    /// forward closure total.
+    pub fn determinism_paths(&self, roots: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let seeds: Vec<usize> = roots.iter().copied().collect();
+        let mut paths = self.graph.callers_of(&seeds);
+        paths.extend(self.graph.reachable_from(&seeds));
+        paths
+    }
+}
+
+/// Walks one fn body and returns its events, threading the unordered-taint
+/// set through the statements in source order.
+fn body_events(
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    params: &[(String, Vec<String>)],
+) -> Vec<Event> {
+    let mut taint: BTreeSet<String> = params
+        .iter()
+        .filter(|(_, tys)| tys.iter().any(|t| UNORDERED_TYPES.contains(&t.as_str())))
+        .map(|(name, _)| name.clone())
+        .collect();
+    // Significant tokens of the body, with `#[...]` attribute groups
+    // dropped (cfg strings are not code).
+    let mut sig: Vec<&Token> = Vec::new();
+    {
+        let body = tokens.get(open + 1..close).unwrap_or(&[]);
+        let mut i = 0;
+        while let Some(t) = body.get(i) {
+            if t.is_comment() {
+                i += 1;
+                continue;
+            }
+            if t.is_punct('#') && body.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+                let mut depth = 0usize;
+                i += 1;
+                while let Some(a) = body.get(i) {
+                    if a.is_punct('[') {
+                        depth += 1;
+                    } else if a.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            sig.push(t);
+            i += 1;
+        }
+    }
+    let mut events = Vec::new();
+    let mut stmt: Vec<&Token> = Vec::new();
+    for t in sig {
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            scan_stmt(&stmt, &mut taint, &mut events);
+            stmt.clear();
+        } else {
+            stmt.push(t);
+        }
+    }
+    scan_stmt(&stmt, &mut taint, &mut events);
+    events
+}
+
+/// Scans one statement: emits events and updates the taint set.
+fn scan_stmt(stmt: &[&Token], taint: &mut BTreeSet<String>, events: &mut Vec<Event>) {
+    if stmt.is_empty() {
+        return;
+    }
+    let let_name = if stmt.first().is_some_and(|t| t.is_ident("let")) {
+        stmt.iter()
+            .skip(1)
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone())
+    } else {
+        None
+    };
+    // Unordered container entering the function (construction / ascription).
+    if let Some(t) = stmt
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && UNORDERED_TYPES.contains(&t.text.as_str()))
+    {
+        events.push(Event {
+            kind: EventKind::UnorderedConstruct,
+            line: t.line,
+            what: t.text.clone(),
+        });
+        if let Some(name) = &let_name {
+            taint.insert(name.clone());
+        }
+    }
+    // `m.keys()` / `m.drain()` / ... on a tainted binding.
+    let mut iterated = false;
+    for (i, t) in stmt.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && stmt.get(i - 1).is_some_and(|p| p.is_punct('.'))
+            && stmt
+                .get(i - 2)
+                .is_some_and(|r| r.kind == TokenKind::Ident && taint.contains(&r.text))
+        {
+            iterated = true;
+            events.push(Event {
+                kind: EventKind::UnorderedIter,
+                line: t.line,
+                what: format!(".{}()", t.text),
+            });
+        }
+    }
+    // `for _ in m` direct iteration of a tainted binding (skipped when an
+    // explicit iteration method on the same statement already fired).
+    if !iterated && stmt.first().is_some_and(|t| t.is_ident("for")) {
+        if let Some(pos) = stmt.iter().position(|t| t.is_ident("in")) {
+            if let Some(t) = stmt
+                .iter()
+                .skip(pos + 1)
+                .find(|t| t.kind == TokenKind::Ident && taint.contains(&t.text))
+            {
+                events.push(Event {
+                    kind: EventKind::UnorderedIter,
+                    line: t.line,
+                    what: format!("for .. in {}", t.text),
+                });
+            }
+        }
+    }
+    // Float reduction fed by a tainted binding.
+    let uses_taint =
+        stmt.iter().any(|t| t.kind == TokenKind::Ident && taint.contains(&t.text));
+    let float_evidence = stmt.iter().any(|t| match t.kind {
+        TokenKind::Ident => t.text == "f32" || t.text == "f64",
+        TokenKind::Number => {
+            t.text.contains('.') || t.text.contains("f32") || t.text.contains("f64")
+        }
+        _ => false,
+    });
+    if uses_taint && float_evidence {
+        for (i, t) in stmt.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && REDUCE_METHODS.contains(&t.text.as_str())
+                && i >= 1
+                && stmt.get(i - 1).is_some_and(|p| p.is_punct('.'))
+            {
+                events.push(Event {
+                    kind: EventKind::FloatReduction,
+                    line: t.line,
+                    what: format!(".{}()", t.text),
+                });
+                break;
+            }
+        }
+    }
+    // Ambient reads: `A::b` path pairs.
+    for (i, t) in stmt.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let qualified = stmt.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && stmt.get(i + 2).is_some_and(|b| b.is_punct(':'));
+        if !qualified {
+            continue;
+        }
+        if let Some(tail) = stmt.get(i + 3) {
+            if AMBIENT_PATHS.iter().any(|(a, b)| t.is_ident(a) && tail.is_ident(b)) {
+                events.push(Event {
+                    kind: EventKind::Ambient,
+                    line: t.line,
+                    what: format!("{}::{}", t.text, tail.text),
+                });
+            }
+        }
+    }
+    // Direct thread fan-out.
+    for (i, t) in stmt.iter().enumerate() {
+        if t.is_ident("spawn") && stmt.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            events.push(Event {
+                kind: EventKind::Spawn,
+                line: t.line,
+                what: "spawn(..)".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn events_of(src: &str, fn_name: &str) -> Vec<Event> {
+        let tokens = lex(src);
+        let pf = parse("a.rs", &tokens);
+        let mut map = BTreeMap::new();
+        map.insert("a.rs".to_string(), tokens);
+        let engine = Engine::build(&[pf], &map);
+        engine
+            .graph
+            .fns
+            .iter()
+            .zip(&engine.events)
+            .find(|(n, _)| n.item.name == fn_name)
+            .map(|(_, e)| e.clone())
+            .unwrap_or_default()
+    }
+
+    fn kinds(events: &[Event]) -> Vec<EventKind> {
+        events.iter().map(|e| e.kind).collect()
+    }
+
+    #[test]
+    fn construction_and_iteration_are_tracked() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for k in m.keys() { use_it(k); } }";
+        let got = events_of(src, "f");
+        assert_eq!(
+            kinds(&got),
+            vec![EventKind::UnorderedConstruct, EventKind::UnorderedIter]
+        );
+    }
+
+    #[test]
+    fn for_loop_over_tainted_binding_is_iteration() {
+        let src = "fn f() { let s: HashSet<u32> = build(); for v in &s { touch(v); } }";
+        let got = events_of(src, "f");
+        assert_eq!(
+            kinds(&got),
+            vec![EventKind::UnorderedConstruct, EventKind::UnorderedIter]
+        );
+    }
+
+    #[test]
+    fn hashmap_typed_param_taints_without_construct_event() {
+        let src = "fn f(m: &HashMap<u32, f32>) { for (k, v) in m.iter() { touch(k, v); } }";
+        let got = events_of(src, "f");
+        assert_eq!(kinds(&got), vec![EventKind::UnorderedIter]);
+    }
+
+    #[test]
+    fn float_sum_over_tainted_values_is_a_reduction_event() {
+        let src = "fn f(m: &HashMap<u32, f32>) -> f32 { let t: f32 = m.values().sum(); t }";
+        let got = events_of(src, "f");
+        assert!(kinds(&got).contains(&EventKind::FloatReduction));
+    }
+
+    #[test]
+    fn integer_sum_over_tainted_values_is_not_a_reduction_event() {
+        let src = "fn f(m: &HashMap<u32, u64>) -> u64 { let t: u64 = m.values().sum(); t }";
+        let got = events_of(src, "f");
+        assert!(!kinds(&got).contains(&EventKind::FloatReduction));
+    }
+
+    #[test]
+    fn vec_iteration_is_clean() {
+        let src = "fn f(v: &[f32]) -> f32 { v.iter().sum() }";
+        assert!(events_of(src, "f").is_empty());
+    }
+
+    #[test]
+    fn ambient_paths_are_detected_but_lookalikes_are_not() {
+        let src = "fn f() { let t = Instant::now(); let p = parallel::current(); let e = std::env::var(\"X\"); }";
+        let got = events_of(src, "f");
+        let whats: Vec<&str> = got.iter().map(|e| e.what.as_str()).collect();
+        assert_eq!(whats, vec!["Instant::now", "env::var"]);
+    }
+
+    #[test]
+    fn spawn_calls_are_detected() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| work()); }); }";
+        let got = events_of(src, "f");
+        assert_eq!(kinds(&got), vec![EventKind::Spawn]);
+    }
+
+    #[test]
+    fn attribute_contents_are_ignored() {
+        let src = "fn f() { #[cfg(feature = \"spawn\")] inner(); }";
+        assert!(events_of(src, "f").is_empty());
+    }
+}

@@ -28,6 +28,47 @@ pub struct WorkspaceRun {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files lexed and linted.
     pub files_scanned: usize,
+    /// Per-rule wall-clock profile, when requested with `--timing`.
+    pub timings: Option<RuleTimings>,
+}
+
+/// Per-rule wall-clock profile of one workspace scan (`--timing`). The
+/// gate catches accidental O(n²) rule regressions: no single rule may take
+/// more than 5× the median rule time (with a floor so a fast-lint
+/// workspace does not trip on scheduler noise).
+#[derive(Debug, Default, Clone)]
+pub struct RuleTimings {
+    /// (rule slug, milliseconds), one entry per [`Rule::all`] slug in
+    /// canonical order.
+    pub per_rule_ms: Vec<(String, f64)>,
+    /// Shared-infrastructure phases (lex+parse, graph build) reported for
+    /// context but excluded from the gate.
+    pub infra_ms: Vec<(String, f64)>,
+    /// The gate threshold in milliseconds: `5 × max(median, 25ms)`.
+    pub gate_limit_ms: f64,
+    /// Slugs of rules that exceeded the gate (non-empty ⇒ lint fails).
+    pub offenders: Vec<String>,
+}
+
+/// Gate floor in milliseconds: medians below this are clamped up so a
+/// workspace where every rule finishes in microseconds cannot trip the
+/// 5×-median gate on scheduler jitter.
+const TIMING_FLOOR_MS: f64 = 25.0;
+
+impl RuleTimings {
+    /// Computes the gate from the recorded per-rule times.
+    fn close(&mut self) {
+        let mut sorted: Vec<f64> = self.per_rule_ms.iter().map(|(_, ms)| *ms).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        self.gate_limit_ms = 5.0 * median.max(TIMING_FLOOR_MS);
+        self.offenders = self
+            .per_rule_ms
+            .iter()
+            .filter(|(_, ms)| *ms > self.gate_limit_ms)
+            .map(|(slug, _)| slug.clone())
+            .collect();
+    }
 }
 
 /// Walks up from `start` to the directory whose `Cargo.toml` declares
@@ -81,9 +122,35 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
 }
 
 /// Lints every first-party `.rs` file and manifest under `root`: the
-/// per-file token rules, then the cross-file semantic pass (symbol graph +
-/// `resource-flow` / `opstats-flow`) and the `hw-budget` config verifier.
+/// per-file token rules, then the cross-file semantic pass (dataflow
+/// engine + flow rules) and the `hw-budget` config verifier.
 pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceRun> {
+    lint_workspace_with(root, false)
+}
+
+/// The token-scan rules, timed one at a time in `--timing` mode.
+const TOKEN_RULES: [Rule; 5] = [
+    Rule::HotPathAlloc,
+    Rule::PanicSurface,
+    Rule::UnsafeCode,
+    Rule::OpstatsLiteral,
+    Rule::MalformedMarker,
+];
+
+/// Milliseconds elapsed since `t0`.
+// lint: timing-carrier -- the --timing profile measures the lint itself, never rule findings
+fn ms_since(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// [`lint_workspace`], optionally profiling per-rule wall-clock. The
+/// profile re-runs each rule in isolation (token rules via
+/// `lint_tokens_filtered`, flow rules via `FlowAnalysis::run_rule`) — by
+/// construction the per-rule passes union to the fused scan, so the timed
+/// findings are the reported findings.
+// lint: timing-carrier -- the --timing profile measures the lint itself, never rule findings
+pub fn lint_workspace_with(root: &Path, timing: bool) -> io::Result<WorkspaceRun> {
+    let t_infra = std::time::Instant::now();
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
@@ -91,20 +158,54 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceRun> {
     let mut run = WorkspaceRun::default();
     let mut parsed: Vec<parser::ParsedFile> = Vec::new();
     let mut markers: BTreeMap<String, FileMarkers> = BTreeMap::new();
+    let mut tokens: BTreeMap<String, Vec<lexer::Token>> = BTreeMap::new();
+    let mut scopes: Vec<(String, Scope)> = Vec::new();
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         if let Some(scope) = classify(rel) {
-            let tokens = lexer::lex(&source);
-            run.findings.extend(rules::lint_tokens(rel, &tokens, scope));
-            markers.insert(rel.clone(), rules::file_markers(&tokens));
-            parsed.push(parser::parse(rel, &tokens));
+            let toks = lexer::lex(&source);
+            run.findings.extend(rules::lint_tokens(rel, &toks, scope));
+            markers.insert(rel.clone(), rules::file_markers(&toks));
+            parsed.push(parser::parse(rel, &toks));
+            tokens.insert(rel.clone(), toks);
+            scopes.push((rel.clone(), scope));
         }
         run.files_scanned += 1;
     }
-    run.findings.extend(flows::analyze(&parsed, &markers, flows::AnalysisMode::Workspace));
+    let lex_parse_ms = ms_since(t_infra);
+
+    let t_graph = std::time::Instant::now();
+    let analysis =
+        flows::FlowAnalysis::new(&parsed, &tokens, &markers, flows::AnalysisMode::Workspace);
+    let graph_ms = ms_since(t_graph);
+    run.findings.extend(analysis.run());
     run.findings.extend(hwbudget::check_workspace());
     check_manifests(root, &mut run.findings)?;
     run.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if timing {
+        let mut timings = RuleTimings {
+            infra_ms: vec![("lex-parse".to_string(), lex_parse_ms), ("graph-build".to_string(), graph_ms)],
+            ..RuleTimings::default()
+        };
+        for rule in Rule::all() {
+            let t0 = std::time::Instant::now();
+            if TOKEN_RULES.contains(&rule) {
+                for (rel, scope) in &scopes {
+                    if let Some(toks) = tokens.get(rel) {
+                        rules::lint_tokens_filtered(rel, toks, *scope, Some(rule));
+                    }
+                }
+            } else if rule == Rule::HwBudget {
+                hwbudget::check_workspace();
+            } else {
+                analysis.run_rule(rule);
+            }
+            timings.per_rule_ms.push((rule.slug().to_string(), ms_since(t0)));
+        }
+        timings.close();
+        run.timings = Some(timings);
+    }
     Ok(run)
 }
 

@@ -23,6 +23,13 @@
 //!   transitive caller with an `opstats-sink` accounting entry point.
 //! * `hw-budget` — the shipped `AcceleratorConfig` must satisfy the static
 //!   Eqs. 16–22 tile/schedule budgets for every Table-I dataset shape.
+//! * the **determinism family** (`unordered-iteration`,
+//!   `float-reduction-order`, `ambient-nondeterminism`,
+//!   `block-merge-order`) — no unordered-container iteration, unpinned
+//!   float accumulation, wall-clock/thread/env reads, or unaudited thread
+//!   fan-out on any path that feeds an `OpStats` kernel, a JSON emitter,
+//!   or a `// lint: deterministic` root; built on the per-statement
+//!   def/use engine in [`dataflow`]. See DESIGN.md §15.
 //!
 //! New findings beyond the checked-in `lint.baseline` ratchet ([`baseline`])
 //! fail CI; run `idgnn-lint --explain <rule>` for each rule's rationale.
@@ -30,6 +37,7 @@
 //! relationship to the `strict-invariants` runtime feature.
 
 pub mod baseline;
+pub mod dataflow;
 pub mod driver;
 pub mod flows;
 pub mod hwbudget;

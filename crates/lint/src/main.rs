@@ -26,6 +26,7 @@ struct Cli {
     baseline_path: Option<PathBuf>,
     update_baseline: bool,
     explain: Option<String>,
+    timing: bool,
     help: bool,
 }
 
@@ -37,12 +38,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         baseline_path: None,
         update_baseline: false,
         explain: None,
+        timing: false,
         help: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => cli.json = true,
+            "--timing" => cli.timing = true,
             "--json-out" => {
                 let p = it.next().ok_or("--json-out requires a path")?;
                 cli.json = true;
@@ -77,14 +80,20 @@ options:
   --json-out PATH     write the JSON report to PATH (implies --json)
   --baseline PATH     compare against PATH instead of <root>/lint.baseline
   --update-baseline   rewrite the baseline from the current findings
-  --explain RULE      print the rationale for one rule (or `all`) and exit
+  --timing            profile per-rule wall-clock; fail when one rule runs
+                      past 5x the median (workspace mode only)
+  --explain RULE      print the rationale for one rule, the `determinism`
+                      family, or `all`, and exit
   -h, --help          print this help and exit
 
 rules: hot-path-alloc, panic-surface, unsafe-code, opstats-literal,
-       resource-flow, opstats-flow, hw-budget, malformed-marker
+       resource-flow, opstats-flow, hw-budget, unordered-iteration,
+       float-reduction-order, ambient-nondeterminism, block-merge-order,
+       malformed-marker
 
 exit codes: 0 clean or fully grandfathered; 1 findings beyond the baseline
-(any finding at all in explicit-file mode); 2 usage or I/O error.";
+(any finding at all in explicit-file mode) or a timing-gate breach; 2 usage
+or I/O error.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -116,10 +125,17 @@ fn run(args: &[String]) -> i32 {
     }
 }
 
-/// Prints the rationale for one rule slug (or every rule for `all`).
+/// Prints the rationale for one rule slug, the `determinism` family, or
+/// every rule for `all`.
 fn run_explain(slug: &str) -> i32 {
     if slug == "all" {
         for rule in Rule::all() {
+            println!("[{}]\n{}\n", rule.slug(), rule.explain());
+        }
+        return 0;
+    }
+    if slug == "determinism" {
+        for rule in Rule::determinism_family() {
             println!("[{}]\n{}\n", rule.slug(), rule.explain());
         }
         return 0;
@@ -145,15 +161,17 @@ fn run_files(cli: &Cli) -> Result<i32, String> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut parsed: Vec<parser::ParsedFile> = Vec::new();
     let mut markers: BTreeMap<String, FileMarkers> = BTreeMap::new();
+    let mut tokens: BTreeMap<String, Vec<lexer::Token>> = BTreeMap::new();
     for f in &cli.files {
         let source =
             fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
-        let tokens = lexer::lex(source.as_str());
-        findings.extend(rules::lint_tokens(f, &tokens, Scope::all()));
-        markers.insert(f.clone(), rules::file_markers(&tokens));
-        parsed.push(parser::parse(f, &tokens));
+        let toks = lexer::lex(source.as_str());
+        findings.extend(rules::lint_tokens(f, &toks, Scope::all()));
+        markers.insert(f.clone(), rules::file_markers(&toks));
+        parsed.push(parser::parse(f, &toks));
+        tokens.insert(f.clone(), toks);
     }
-    findings.extend(flows::analyze(&parsed, &markers, flows::AnalysisMode::Explicit));
+    findings.extend(flows::analyze(&parsed, &tokens, &markers, flows::AnalysisMode::Explicit));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let comparison = Comparison::default();
     let exit_code = if findings.is_empty() { 0 } else { 1 };
@@ -162,6 +180,7 @@ fn run_files(cli: &Cli) -> Result<i32, String> {
         comparison: &comparison,
         files_scanned: cli.files.len(),
         exit_code,
+        timings: None,
     };
     print!("{}", render_text(&report));
     write_json(cli, &report, None)?;
@@ -173,7 +192,7 @@ fn run_workspace(cli: &Cli) -> Result<i32, String> {
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
     let root = driver::find_workspace_root(&cwd)
         .ok_or("no workspace root (Cargo.toml with [workspace]) above current directory")?;
-    let run = driver::lint_workspace(&root).map_err(|e| e.to_string())?;
+    let run = driver::lint_workspace_with(&root, cli.timing).map_err(|e| e.to_string())?;
 
     let baseline_path =
         cli.baseline_path.clone().unwrap_or_else(|| root.join("lint.baseline"));
@@ -195,12 +214,14 @@ fn run_workspace(cli: &Cli) -> Result<i32, String> {
         Err(_) => Baseline::default(),
     };
     let comparison = baseline.compare(&run.findings);
-    let exit_code = if comparison.ok() { 0 } else { 1 };
+    let gate_breached = run.timings.as_ref().is_some_and(|t| !t.offenders.is_empty());
+    let exit_code = if comparison.ok() && !gate_breached { 0 } else { 1 };
     let report = Report {
         findings: &run.findings,
         comparison: &comparison,
         files_scanned: run.files_scanned,
         exit_code,
+        timings: run.timings.as_ref(),
     };
     print!("{}", render_text(&report));
     write_json(cli, &report, Some(&root))?;

@@ -43,6 +43,10 @@ pub struct Call {
     pub path: Vec<String>,
     /// True for `.name(...)` method-call syntax.
     pub method: bool,
+    /// For method calls, the identifier the receiver chain starts from
+    /// (`w` for `w.recycle(..)`, `self` for `self.merge(..)`); `None` when
+    /// the receiver is not a plain identifier (e.g. a call result).
+    pub recv: Option<String>,
     /// 1-based source line of the callee token.
     pub line: usize,
 }
@@ -71,6 +75,13 @@ pub struct FnItem {
     pub calls: Vec<Call>,
     /// 1-based lines of `?` early-return operators in the body.
     pub tries: Vec<usize>,
+    /// Parameters as `(name, type idents)` pairs — the type side keeps every
+    /// identifier in declaration order (`m: &HashMap<usize, f32>` yields
+    /// `("m", ["HashMap", "usize", "f32"])`). `self` receivers are skipped.
+    pub params: Vec<(String, Vec<String>)>,
+    /// Local type hints from `let` bindings in the body: `let x: T = ..`
+    /// and `let x = T::new(..)` both record `("x", "T")`, in source order.
+    pub let_types: Vec<(String, String)>,
 }
 
 impl FnItem {
@@ -397,14 +408,19 @@ fn parse_fn(
     let vis = visibility(tokens, sig, i);
     // Scan the signature: track () [] depth; at depth 0 a `{` opens the
     // body and a `;` ends a bodyless declaration. Collect return-type
-    // idents after a top-level `->`.
+    // idents after a top-level `->`, and remember the parameter-list parens
+    // (the first top-level `(` group) for [`parse_params`].
     let mut ret = Vec::new();
     let mut in_ret = false;
     let mut depth = 0usize;
     let mut body = None;
+    let mut params_open = None;
     let mut k = i + 2;
     while let Some(t) = peek(tokens, sig, k) {
         if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 && t.is_punct('(') && params_open.is_none() {
+                params_open = Some(k);
+            }
             depth += 1;
         } else if t.is_punct(')') || t.is_punct(']') {
             depth = depth.saturating_sub(1);
@@ -441,6 +457,10 @@ fn parse_fn(
     let in_test = pending.cfg_test
         || pending.test_attr
         || frames.iter().any(|f| matches!(f, Frame::Mod { test: true, .. }));
+    let params = match params_open {
+        Some(open) => parse_params(tokens, sig, open),
+        None => Vec::new(),
+    };
     let item = FnItem {
         name: name_tok.text.clone(),
         module,
@@ -452,8 +472,92 @@ fn parse_fn(
         body,
         calls: Vec::new(),
         tries: Vec::new(),
+        params,
+        let_types: Vec::new(),
     };
     Some((item, i + 2))
+}
+
+/// Qualifier idents that appear on the type side of a parameter but are not
+/// type names.
+const NON_TYPE_IDENTS: &[&str] = &["mut", "dyn", "impl", "ref", "const", "fn", "as", "where"];
+
+/// Parses the parameter list whose opening `(` sits at `sig[open]` into
+/// `(name, type idents)` pairs. Splits at commas outside nested `()`/`[]`/
+/// `<>`; each segment's name is the last ident before its top-level `:`
+/// (skipping `self` receivers), the type side keeps every ident in order.
+fn parse_params(tokens: &[Token], sig: &[usize], open: usize) -> Vec<(String, Vec<String>)> {
+    let close = match_delim(tokens, sig, open, '(', ')');
+    let mut out = Vec::new();
+    let mut seg_start = open + 1;
+    let mut paren = 0usize;
+    let mut angle = 0usize;
+    let mut k = open + 1;
+    while k <= close {
+        let boundary = k == close;
+        let t = peek(tokens, sig, k);
+        if let Some(t) = t {
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if k < close {
+                    paren = paren.saturating_sub(1);
+                }
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>')
+                && !peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_punct('-'))
+            {
+                angle = angle.saturating_sub(1);
+            }
+        }
+        if boundary || (paren == 0 && angle == 0 && t.is_some_and(|t| t.is_punct(','))) {
+            if let Some(param) = parse_param_segment(tokens, sig, seg_start, k) {
+                out.push(param);
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// One comma-separated parameter segment `sig[start..end]` → `(name, types)`.
+fn parse_param_segment(
+    tokens: &[Token],
+    sig: &[usize],
+    start: usize,
+    end: usize,
+) -> Option<(String, Vec<String>)> {
+    // Locate the top-level `:` (skip `::` path separators).
+    let mut colon = None;
+    let mut k = start;
+    while k < end {
+        let t = peek(tokens, sig, k)?;
+        if t.is_punct(':') {
+            let double = peek(tokens, sig, k + 1).is_some_and(|n| n.is_punct(':'))
+                || peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_punct(':'));
+            if !double {
+                colon = Some(k);
+                break;
+            }
+        }
+        k += 1;
+    }
+    let colon = colon?;
+    let name = (start..colon)
+        .rev()
+        .filter_map(|k| peek(tokens, sig, k))
+        .find(|t| t.kind == TokenKind::Ident && !NON_TYPE_IDENTS.contains(&t.text.as_str()))?;
+    if name.text == "self" {
+        return None;
+    }
+    let types: Vec<String> = (colon + 1..end)
+        .filter_map(|k| peek(tokens, sig, k))
+        .filter(|t| t.kind == TokenKind::Ident && !NON_TYPE_IDENTS.contains(&t.text.as_str()))
+        .map(|t| t.text.clone())
+        .collect();
+    Some((name.text.clone(), types))
 }
 
 /// Determines the visibility of the fn whose `fn` keyword sits at `sig[i]`
@@ -486,6 +590,8 @@ fn visibility(tokens: &[Token], sig: &[usize], i: usize) -> Vis {
 
 /// Second pass: records call sites inside each fn body. Nested fn bodies
 /// contribute to the outer fn as well (documented over-approximation).
+/// Also collects the `let`-binding type hints the method-call resolver and
+/// the dataflow engine consume.
 fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
     for f in fns.iter_mut() {
         let Some((open, close)) = f.body else { continue };
@@ -493,6 +599,7 @@ fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
         let mut k = sig.partition_point(|&j| j <= open);
         let mut calls = Vec::new();
         let mut tries = Vec::new();
+        let mut let_types = Vec::new();
         while let Some(t) = peek(tokens, sig, k) {
             let Some(&tok_idx) = sig.get(k) else { break };
             if tok_idx >= close {
@@ -504,6 +611,11 @@ fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
                 k = match_delim(tokens, sig, k + 1, '[', ']') + 1;
                 continue;
             }
+            if t.is_ident("let") {
+                if let Some(hint) = let_type_hint(tokens, sig, k) {
+                    let_types.push(hint);
+                }
+            }
             if t.kind == TokenKind::Ident
                 && peek(tokens, sig, k + 1).is_some_and(|n| n.is_punct('('))
                 && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
@@ -512,7 +624,8 @@ fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
                 let method =
                     peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'));
                 let path = if method { Vec::new() } else { leading_path(tokens, sig, k) };
-                calls.push(Call { name: t.text.clone(), path, method, line: t.line });
+                let recv = if method { receiver_ident(tokens, sig, k) } else { None };
+                calls.push(Call { name: t.text.clone(), path, method, recv, line: t.line });
             }
             if t.is_punct('?')
                 && peek(tokens, sig, k.wrapping_sub(1))
@@ -524,7 +637,57 @@ fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
         }
         f.calls = calls;
         f.tries = tries;
+        f.let_types = let_types;
     }
+}
+
+/// The plain-identifier receiver of the method call at `sig[k]` (the callee
+/// ident): `w.recycle()` → `Some("w")`. Field chains (`self.inner.m()`),
+/// call results, and literals yield `None` — the resolver then falls back to
+/// the name-based over-approximation.
+fn receiver_ident(tokens: &[Token], sig: &[usize], k: usize) -> Option<String> {
+    if k < 2 {
+        return None;
+    }
+    let recv = peek(tokens, sig, k - 2)?;
+    if recv.kind != TokenKind::Ident {
+        return None;
+    }
+    // `a.b.method()` — `b` is a field, not a variable; stay conservative.
+    if k >= 3 && peek(tokens, sig, k - 3).is_some_and(|p| p.is_punct('.')) {
+        return None;
+    }
+    Some(recv.text.clone())
+}
+
+/// Type hint from the `let` at `sig[k]`: handles `let [mut] x: T = ..` and
+/// `let [mut] x = T::..` (uppercase-initial `T` only).
+fn let_type_hint(tokens: &[Token], sig: &[usize], k: usize) -> Option<(String, String)> {
+    let mut j = k + 1;
+    if peek(tokens, sig, j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = peek(tokens, sig, j).filter(|t| t.kind == TokenKind::Ident)?.text.clone();
+    let next = peek(tokens, sig, j + 1)?;
+    if next.is_punct(':') && !peek(tokens, sig, j + 2).is_some_and(|t| t.is_punct(':')) {
+        let ty = (j + 2..j + 8)
+            .filter_map(|m| peek(tokens, sig, m))
+            .take_while(|t| !t.is_punct('=') && !t.is_punct(';'))
+            .find(|t| t.kind == TokenKind::Ident && !NON_TYPE_IDENTS.contains(&t.text.as_str()))?;
+        return Some((name, ty.text.clone()));
+    }
+    if next.is_punct('=') {
+        let head = peek(tokens, sig, j + 2)?;
+        let qualified = peek(tokens, sig, j + 3).is_some_and(|t| t.is_punct(':'))
+            && peek(tokens, sig, j + 4).is_some_and(|t| t.is_punct(':'));
+        if head.kind == TokenKind::Ident
+            && qualified
+            && head.text.chars().next().is_some_and(char::is_uppercase)
+        {
+            return Some((name, head.text.clone()));
+        }
+    }
+    None
 }
 
 /// Collects the `::`-joined segments preceding the ident at `sig[k]`

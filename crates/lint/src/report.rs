@@ -5,6 +5,7 @@
 //! — the lint tool deliberately depends on nothing but `std`.
 
 use crate::baseline::Comparison;
+use crate::driver::RuleTimings;
 use crate::rules::{Finding, Rule};
 
 /// Everything a run produces, ready to render.
@@ -17,6 +18,8 @@ pub struct Report<'a> {
     pub files_scanned: usize,
     /// Exit code the process will return.
     pub exit_code: i32,
+    /// Per-rule wall-clock profile (`--timing` runs only).
+    pub timings: Option<&'a RuleTimings>,
 }
 
 /// Renders the human-readable report (what goes to stdout).
@@ -43,6 +46,20 @@ pub fn render_text(r: &Report<'_>) -> String {
         r.comparison.grandfathered,
         total.saturating_sub(r.comparison.grandfathered),
     ));
+    if let Some(t) = r.timings {
+        for (slug, ms) in &t.per_rule_ms {
+            out.push_str(&format!("timing: {slug}: {ms:.2} ms\n"));
+        }
+        for (phase, ms) in &t.infra_ms {
+            out.push_str(&format!("timing: (infra) {phase}: {ms:.2} ms\n"));
+        }
+        for slug in &t.offenders {
+            out.push_str(&format!(
+                "error: rule `{slug}` exceeded the timing gate ({:.2} ms = 5x max(median, floor))\n",
+                t.gate_limit_ms
+            ));
+        }
+    }
     out
 }
 
@@ -71,6 +88,24 @@ pub fn render_json(r: &Report<'_>) -> String {
         r.comparison.regressions.len(),
         r.comparison.improvements.len(),
     ));
+
+    if let Some(t) = r.timings {
+        out.push_str("  \"timings_ms\": {");
+        let mut first = true;
+        for (slug, ms) in t.per_rule_ms.iter().chain(&t.infra_ms) {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("{}: {ms:.3}", json_str(slug)));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "  \"timing_gate\": {{\"limit_ms\": {:.3}, \"offenders\": [{}]}},\n",
+            t.gate_limit_ms,
+            t.offenders.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", "),
+        ));
+    }
 
     out.push_str("  \"findings\": [\n");
     for (i, f) in r.findings.iter().enumerate() {
@@ -125,7 +160,7 @@ mod tests {
     fn text_report_has_one_line_per_finding_plus_summary() {
         let findings = sample();
         let cmp = Comparison::default();
-        let r = Report { findings: &findings, comparison: &cmp, files_scanned: 3, exit_code: 1 };
+        let r = Report { findings: &findings, comparison: &cmp, files_scanned: 3, exit_code: 1, timings: None };
         let text = render_text(&r);
         assert!(text.contains("crates/x/src/lib.rs:7: [panic-surface]"));
         assert!(text.contains("3 file(s) scanned, 1 finding(s)"));
@@ -135,7 +170,7 @@ mod tests {
     fn json_report_escapes_and_counts() {
         let findings = sample();
         let cmp = Comparison::default();
-        let r = Report { findings: &findings, comparison: &cmp, files_scanned: 3, exit_code: 1 };
+        let r = Report { findings: &findings, comparison: &cmp, files_scanned: 3, exit_code: 1, timings: None };
         let json = render_json(&r);
         assert!(json.contains("\"panic-surface\": 1"));
         assert!(json.contains("\\\"quotes\\\""));

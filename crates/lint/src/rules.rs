@@ -15,15 +15,25 @@
 //! | `resource-flow` | pooled buffer acquisitions that miss every recycle path ([`crate::flows`]) |
 //! | `opstats-flow` | stats-returning kernels unreachable from an accounting sink ([`crate::flows`]) |
 //! | `hw-budget` | accelerator configs that break the Eqs. 16–22 budget model ([`crate::hwbudget`]) |
+//! | `unordered-iteration` | `HashMap`/`HashSet` on deterministic paths ([`crate::flows`]) |
+//! | `float-reduction-order` | float reductions whose addition order is unpinned ([`crate::flows`]) |
+//! | `ambient-nondeterminism` | wall-clock / thread-id / env reads on deterministic paths ([`crate::flows`]) |
+//! | `block-merge-order` | thread fan-out outside the audited fixed-order merge helpers ([`crate::flows`]) |
 //! | `malformed-marker` | a `// lint:` marker the tool cannot honor |
 //!
 //! Suppression: `// lint: allow(<slug>) -- <reason>` silences findings of
 //! that rule on the marker's own line and the next line. The reason is
 //! mandatory; a marker without one is itself a finding (`malformed-marker`)
-//! and suppresses nothing. Two further markers feed the semantic rules:
+//! and suppresses nothing. Further markers feed the semantic rules:
 //! `// lint: buffer-carrier -- <reason>` documents a function that moves
-//! pooled buffers out through its return value, and `// lint: opstats-sink`
-//! marks an accounting entry point for `opstats-flow` reachability.
+//! pooled buffers out through its return value, `// lint: opstats-sink`
+//! marks an accounting entry point for `opstats-flow` reachability, and the
+//! determinism family (DESIGN.md §15) adds `deterministic` (the following fn
+//! is a determinism root), `order-insensitive -- <reason>` (fn-scoped
+//! suppression of the container-order rules), `timing-carrier -- <reason>`
+//! (the following fn measures wall-clock for a sidecar by design), and
+//! `ordered-merge -- <reason>` (the following fn is a hand-audited
+//! fixed-order merge helper allowed to spawn threads).
 
 use crate::lexer::{Token, TokenKind};
 
@@ -44,6 +54,16 @@ pub enum Rule {
     OpstatsFlow,
     /// R7: accelerator configs violating the static Eqs. 16–22 budget model.
     HwBudget,
+    /// R8: `HashMap`/`HashSet` construction or iteration on deterministic
+    /// paths (the `determinism` family, DESIGN.md §15).
+    UnorderedIteration,
+    /// R9: float accumulation whose addition order is not pinned.
+    FloatReductionOrder,
+    /// R10: wall-clock, thread-identity, or environment reads on
+    /// deterministic paths.
+    AmbientNondeterminism,
+    /// R11: thread fan-out outside the audited fixed-order merge helpers.
+    BlockMergeOrder,
     /// A `// lint:` marker the tool cannot parse or honor.
     MalformedMarker,
 }
@@ -59,6 +79,10 @@ impl Rule {
             Rule::ResourceFlow => "resource-flow",
             Rule::OpstatsFlow => "opstats-flow",
             Rule::HwBudget => "hw-budget",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::FloatReductionOrder => "float-reduction-order",
+            Rule::AmbientNondeterminism => "ambient-nondeterminism",
+            Rule::BlockMergeOrder => "block-merge-order",
             Rule::MalformedMarker => "malformed-marker",
         }
     }
@@ -73,13 +97,27 @@ impl Rule {
             "resource-flow" => Some(Rule::ResourceFlow),
             "opstats-flow" => Some(Rule::OpstatsFlow),
             "hw-budget" => Some(Rule::HwBudget),
+            "unordered-iteration" => Some(Rule::UnorderedIteration),
+            "float-reduction-order" => Some(Rule::FloatReductionOrder),
+            "ambient-nondeterminism" => Some(Rule::AmbientNondeterminism),
+            "block-merge-order" => Some(Rule::BlockMergeOrder),
             "malformed-marker" => Some(Rule::MalformedMarker),
             _ => None,
         }
     }
 
+    /// The four `determinism` sub-rules (DESIGN.md §15), in report order.
+    pub fn determinism_family() -> [Rule; 4] {
+        [
+            Rule::UnorderedIteration,
+            Rule::FloatReductionOrder,
+            Rule::AmbientNondeterminism,
+            Rule::BlockMergeOrder,
+        ]
+    }
+
     /// All rules (the meta-rule last), for reporting.
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::HotPathAlloc,
             Rule::PanicSurface,
@@ -88,6 +126,10 @@ impl Rule {
             Rule::ResourceFlow,
             Rule::OpstatsFlow,
             Rule::HwBudget,
+            Rule::UnorderedIteration,
+            Rule::FloatReductionOrder,
+            Rule::AmbientNondeterminism,
+            Rule::BlockMergeOrder,
             Rule::MalformedMarker,
         ]
     }
@@ -158,6 +200,53 @@ impl Rule {
                 representable at 1/16 granularity, and `scaled_down` must stay on a\n\
                 consistent square torus at every scale 1–64. Violations point at\n\
                 crates/hw/src/config.rs and fail the lint before any run burns time.",
+            Rule::UnorderedIteration => "unordered-iteration — no unordered containers on deterministic paths.\n\n\
+                First determinism sub-rule (DESIGN.md §15). Every headline claim in this\n\
+                repo — bit-identical parallel kernels, byte-identical figure JSON, a\n\
+                parallelism-invariant DSE front — assumes nothing in a result-producing\n\
+                path depends on `HashMap`/`HashSet` iteration order. The dataflow engine\n\
+                marks a function *deterministic-path* when it transitively reaches (or is\n\
+                reached by) an `OpStats`-returning kernel, a JSON emitter, or a\n\
+                `// lint: deterministic` marker; inside such functions any\n\
+                `HashMap`/`HashSet` construction, and any iteration over a local or\n\
+                parameter the per-statement def/use analysis tainted as unordered, is a\n\
+                finding. Use `BTreeMap`/`BTreeSet` or a sorted vec, or declare\n\
+                `// lint: order-insensitive -- <why order cannot leak into results>`\n\
+                on the function.",
+            Rule::FloatReductionOrder => "float-reduction-order — float addition order must be pinned.\n\n\
+                Second determinism sub-rule (DESIGN.md §15). Float addition is not\n\
+                associative, so an `f32`/`f64` `sum()`/`fold()`/`product()` whose source\n\
+                iterates an *unordered* container (per the same def/use taint as\n\
+                unordered-iteration) can change bits run-to-run even on one thread.\n\
+                Reductions over slices, `Vec`s, ranges, and CSR rows are declared-order\n\
+                and fine; cross-block reductions belong in the fixed block-merge order\n\
+                of sparse/parallel.rs (see block-merge-order). Pin the order by sorting\n\
+                first, or declare the enclosing function\n\
+                `// lint: order-insensitive -- <why>` when the reduction provably\n\
+                commutes in exact arithmetic (integers reduced through floats do not).",
+            Rule::AmbientNondeterminism => "ambient-nondeterminism — no wall-clock, thread identity, or\n\
+                environment reads on deterministic paths.\n\n\
+                Third determinism sub-rule (DESIGN.md §15). `Instant::now`,\n\
+                `SystemTime`, `thread::current`, and `env::var*` smuggle ambient state\n\
+                into functions the repo promises are pure functions of their inputs.\n\
+                On a deterministic path (see unordered-iteration for the path\n\
+                definition) each such call is a finding. Bench timing sidecars are\n\
+                legitimate wall-clock consumers: declare the measuring function with\n\
+                `// lint: timing-carrier -- <which sidecar consumes it>` — the marker\n\
+                documents that the measurement feeds timings, never result bytes.\n\
+                One-off configuration reads carry a line-scoped\n\
+                `// lint: allow(ambient-nondeterminism) -- <reason>`.",
+            Rule::BlockMergeOrder => "block-merge-order — every thread fan-out merges in declared block order.\n\n\
+                Fourth determinism sub-rule (DESIGN.md §15). The bit-identity argument\n\
+                for the parallel kernels is structural: work is split into contiguous\n\
+                blocks and partial results are merged in *declared* block order, never\n\
+                thread completion order. That proof only covers fan-out that goes\n\
+                through the audited fixed-order merge helpers in sparse/parallel.rs\n\
+                (`map_blocks`, `map_blocks_by_cost`, `map_items` / `fork_join`), each\n\
+                carrying a `// lint: ordered-merge -- <audit argument>` marker. Any\n\
+                other function that calls `spawn` or `thread::scope` directly is a\n\
+                finding: route the fan-out through the helpers, or hand-audit the\n\
+                merge and add the marker with its argument.",
             Rule::MalformedMarker => "malformed-marker — the lint's own markers must be well-formed.\n\n\
                 A `// lint:` comment the tool cannot honor (unknown rule, missing\n\
                 mandatory `-- <reason>`, `hot-path`/`buffer-carrier` not followed by a\n\
@@ -236,6 +325,18 @@ pub struct FileMarkers {
     /// Lines of `opstats-sink` markers (the following fn is an accounting
     /// entry point).
     pub sinks: Vec<usize>,
+    /// Lines of `deterministic` markers (the following fn is a determinism
+    /// root: everything reaching it joins the deterministic-path set).
+    pub deterministic: Vec<usize>,
+    /// Lines of `order-insensitive -- <reason>` markers (fn-scoped
+    /// suppression of `unordered-iteration` / `float-reduction-order`).
+    pub order_insensitive: Vec<usize>,
+    /// Lines of `timing-carrier -- <reason>` markers (the following fn
+    /// measures wall-clock for a timing sidecar by design).
+    pub timing_carriers: Vec<usize>,
+    /// Lines of `ordered-merge -- <reason>` markers (the following fn is a
+    /// hand-audited fixed-order merge helper allowed to spawn threads).
+    pub ordered_merges: Vec<usize>,
 }
 
 /// Collects the semantic-rule markers from a token stream without emitting
@@ -248,6 +349,10 @@ pub fn file_markers(tokens: &[Token]) -> FileMarkers {
             Some(Marker::Allow(rule)) => m.allows.push(Allow { rule, line: tok.line }),
             Some(Marker::BufferCarrier) => m.carriers.push(tok.line),
             Some(Marker::OpstatsSink) => m.sinks.push(tok.line),
+            Some(Marker::Deterministic) => m.deterministic.push(tok.line),
+            Some(Marker::OrderInsensitive) => m.order_insensitive.push(tok.line),
+            Some(Marker::TimingCarrier) => m.timing_carriers.push(tok.line),
+            Some(Marker::OrderedMerge) => m.ordered_merges.push(tok.line),
             _ => {}
         }
     }
@@ -264,9 +369,29 @@ enum Marker {
     BufferCarrier,
     /// `opstats-sink`
     OpstatsSink,
+    /// `deterministic`
+    Deterministic,
+    /// `order-insensitive -- <reason>`
+    OrderInsensitive,
+    /// `timing-carrier -- <reason>`
+    TimingCarrier,
+    /// `ordered-merge -- <reason>`
+    OrderedMerge,
     /// Anything with `lint:` intent the tool cannot honor.
     Malformed(String),
 }
+
+/// A marker constructor paired with its `// lint:` keyword.
+type KeywordMarker = (&'static str, fn() -> Marker);
+
+/// Markers of the form `<keyword> -- <mandatory reason>` that attach to the
+/// following fn, mapped to their parsed meaning.
+const REASONED_FN_MARKERS: &[KeywordMarker] = &[
+    ("buffer-carrier", || Marker::BufferCarrier),
+    ("order-insensitive", || Marker::OrderInsensitive),
+    ("timing-carrier", || Marker::TimingCarrier),
+    ("ordered-merge", || Marker::OrderedMerge),
+];
 
 /// Parses the text of a plain line comment; `None` if it carries no
 /// `lint:` marker at all.
@@ -279,15 +404,19 @@ fn parse_marker_text(text: &str) -> Option<Marker> {
     if rest == "opstats-sink" {
         return Some(Marker::OpstatsSink);
     }
-    if let Some(tail) = rest.strip_prefix("buffer-carrier") {
-        let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
-        if reason.is_empty() {
-            return Some(Marker::Malformed(
-                "buffer-carrier marker is missing its mandatory `-- <where ownership goes>`"
-                    .to_string(),
-            ));
+    if rest == "deterministic" {
+        return Some(Marker::Deterministic);
+    }
+    for (keyword, make) in REASONED_FN_MARKERS {
+        if let Some(tail) = rest.strip_prefix(keyword) {
+            let reason = tail.trim().strip_prefix("--").map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                return Some(Marker::Malformed(format!(
+                    "{keyword} marker is missing its mandatory `-- <reason>`"
+                )));
+            }
+            return Some(make());
         }
-        return Some(Marker::BufferCarrier);
     }
     if let Some(inner) = rest.strip_prefix("allow(") {
         let (slug, tail) = match inner.split_once(')') {
@@ -318,6 +447,18 @@ fn parse_marker_text(text: &str) -> Option<Marker> {
 /// Lints one file's token stream under `scope`; `file` is the label used in
 /// findings. This is the pure core — no filesystem access.
 pub fn lint_tokens(file: &str, tokens: &[Token], scope: Scope) -> Vec<Finding> {
+    lint_tokens_filtered(file, tokens, scope, None)
+}
+
+/// [`lint_tokens`] restricted to a single rule, for `--timing` per-rule
+/// attribution: the union of the per-rule passes over every token rule (and
+/// `malformed-marker`) equals the fused pass finding-for-finding.
+pub fn lint_tokens_filtered(
+    file: &str,
+    tokens: &[Token],
+    scope: Scope,
+    only: Option<Rule>,
+) -> Vec<Finding> {
     let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut regions = Regions::compute(&sig);
 
@@ -359,6 +500,9 @@ pub fn lint_tokens(file: &str, tokens: &[Token], scope: Scope) -> Vec<Finding> {
                 .iter()
                 .any(|a| a.rule == f.rule && (f.line == a.line || f.line == a.line + 1))
     });
+    if let Some(rule) = only {
+        findings.retain(|f| f.rule == rule);
+    }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
 }
@@ -510,6 +654,10 @@ fn parse_marker(
         Some(Marker::Allow(rule)) => allows.push(Allow { rule, line: tok.line }),
         Some(Marker::BufferCarrier) => fn_markers.push((tok.line, "buffer-carrier")),
         Some(Marker::OpstatsSink) => fn_markers.push((tok.line, "opstats-sink")),
+        Some(Marker::Deterministic) => fn_markers.push((tok.line, "deterministic")),
+        Some(Marker::OrderInsensitive) => fn_markers.push((tok.line, "order-insensitive")),
+        Some(Marker::TimingCarrier) => fn_markers.push((tok.line, "timing-carrier")),
+        Some(Marker::OrderedMerge) => fn_markers.push((tok.line, "ordered-merge")),
         Some(Marker::Malformed(msg)) => findings.push(Finding {
             rule: Rule::MalformedMarker,
             file: file.to_string(),

@@ -1,9 +1,17 @@
 //! Cross-crate symbol table and call graph over [`crate::parser`] items.
 //!
-//! Resolution is **name-based**: a call site `foo(...)` (or `.foo(...)`)
-//! adds an edge to *every* function named `foo` in the workspace. That is a
-//! deliberate over-approximation — it can only add edges, never miss one
-//! whose callee is a parsed `fn` — which is the safe direction for the
+//! Resolution is **name-based with impl-type hints**. A call site
+//! `foo(...)` (or `.foo(...)`) adds an edge to every function named `foo`
+//! in the workspace — *unless* the receiver's type is known. When the
+//! receiver is a plain identifier whose type the parser recovered (a typed
+//! parameter, a `let x: T` / `let x = T::new()` binding, or `self` inside
+//! an `impl T`), and some `impl T` actually defines a method of that name,
+//! the edge set is restricted to those `(T, foo)` methods. Path-qualified
+//! calls (`T::foo(..)`, `Self::foo(..)`) get the same treatment. In every
+//! other case — field chains, call results, shadowed or generic receivers,
+//! types the hint machinery cannot see — resolution falls back to the
+//! name-based over-approximation, which can only add edges, never miss one
+//! whose callee is a parsed `fn`. That is the safe direction for the
 //! reachability rules built on top:
 //!
 //! * `opstats-flow` asks "does some accounting join point reach this
@@ -19,7 +27,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::parser::{FnItem, ParsedFile};
+use crate::parser::{Call, FnItem, ParsedFile};
 
 /// A function node in the workspace graph.
 #[derive(Debug, Clone)]
@@ -39,10 +47,44 @@ pub struct SymbolGraph {
     pub fns: Vec<FnNode>,
     /// name → node indices (resolution map).
     by_name: BTreeMap<String, Vec<usize>>,
+    /// (impl type, method name) → node indices (hint-restricted map).
+    by_impl: BTreeMap<(String, String), Vec<usize>>,
     /// Forward edges: caller index → callee indices (deduped, sorted).
     pub calls: Vec<Vec<usize>>,
     /// Reverse edges: callee index → caller indices.
     pub callers: Vec<Vec<usize>>,
+}
+
+/// Recovers the receiver type of a call site from the enclosing function's
+/// hints, or `None` when resolution must fall back to name matching.
+///
+/// * `self.m(..)` → the enclosing `impl` type;
+/// * `x.m(..)` → the *last* `let x: T` / `let x = T::..` hint in the body
+///   (last wins so re-bindings lean toward the binding nearest the call),
+///   else the declared type of parameter `x`;
+/// * `T::m(..)` / `Self::m(..)` → the path's final uppercase-initial
+///   segment (`Self` resolving to the enclosing `impl` type).
+fn receiver_type(item: &FnItem, call: &Call) -> Option<String> {
+    if call.method {
+        let recv = call.recv.as_deref()?;
+        if recv == "self" {
+            return item.impl_of.clone();
+        }
+        if let Some((_, ty)) = item.let_types.iter().rev().find(|(n, _)| n == recv) {
+            return Some(ty.clone());
+        }
+        let (_, tys) = item.params.iter().find(|(n, _)| n == recv)?;
+        tys.first().cloned()
+    } else {
+        let last = call.path.last()?;
+        if last == "Self" {
+            return item.impl_of.clone();
+        }
+        if last.chars().next().is_some_and(char::is_uppercase) {
+            return Some(last.clone());
+        }
+        None
+    }
 }
 
 /// Infers the crate name from a workspace-relative path:
@@ -74,13 +116,21 @@ impl SymbolGraph {
                 continue;
             }
             g.by_name.entry(node.item.name.clone()).or_default().push(idx);
+            if let Some(ty) = &node.item.impl_of {
+                g.by_impl
+                    .entry((ty.clone(), node.item.name.clone()))
+                    .or_default()
+                    .push(idx);
+            }
         }
         g.calls = vec![Vec::new(); g.fns.len()];
         g.callers = vec![Vec::new(); g.fns.len()];
         let mut edges: Vec<(usize, usize)> = Vec::new();
         for (caller, node) in g.fns.iter().enumerate() {
             for call in &node.item.calls {
-                if let Some(callees) = g.by_name.get(&call.name) {
+                let hinted = receiver_type(&node.item, call)
+                    .and_then(|ty| g.by_impl.get(&(ty, call.name.clone())));
+                if let Some(callees) = hinted.or_else(|| g.by_name.get(&call.name)) {
                     for &callee in callees {
                         edges.push((caller, callee));
                     }
@@ -200,5 +250,65 @@ mod tests {
         ]);
         let f = idx(&g, "f");
         assert!(g.reachable_from(&[f]).contains(&idx(&g, "recycle")));
+    }
+
+    /// The PR-9 conflation fix: two `fn merge` in different impls used to
+    /// cross-link every `.merge()` call site; a typed receiver now picks
+    /// exactly its own impl's method.
+    #[test]
+    fn typed_receivers_do_not_conflate_same_named_methods() {
+        let srcs = [
+            ("crates/a/src/lib.rs", "pub struct Left; impl Left { pub fn merge(&self) { left_leaf(); } } pub fn left_leaf() {}"),
+            ("crates/b/src/lib.rs", "pub struct Right; impl Right { pub fn merge(&self) { right_leaf(); } } pub fn right_leaf() {}"),
+            (
+                "crates/c/src/lib.rs",
+                "pub fn via_param(l: &Left) { l.merge(); } \
+                 pub fn via_let() { let r = Right::fresh(); r.merge(); } \
+                 pub fn via_let_ty() { let l: Left = make(); l.merge(); }",
+            ),
+        ];
+        let g = graph(&srcs);
+        let left = g.named("merge").iter().copied().find(|&i| g.fns[i].krate == "a").unwrap();
+        let right = g.named("merge").iter().copied().find(|&i| g.fns[i].krate == "b").unwrap();
+        let via_param = g.reachable_from(&[idx(&g, "via_param")]);
+        assert!(via_param.contains(&left) && !via_param.contains(&right));
+        let via_let = g.reachable_from(&[idx(&g, "via_let")]);
+        assert!(via_let.contains(&right) && !via_let.contains(&left));
+        let via_let_ty = g.reachable_from(&[idx(&g, "via_let_ty")]);
+        assert!(via_let_ty.contains(&left) && !via_let_ty.contains(&right));
+    }
+
+    /// Untyped receivers (call results, field chains) keep the documented
+    /// over-approximation: edges to every same-named method.
+    #[test]
+    fn unhinted_receivers_fall_back_to_name_resolution() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub struct Left; impl Left { pub fn merge(&self) {} }"),
+            ("crates/b/src/lib.rs", "pub struct Right; impl Right { pub fn merge(&self) {} }"),
+            ("crates/c/src/lib.rs", "pub fn untyped() { pick().merge(); } fn pick() {}"),
+        ]);
+        let reach = g.reachable_from(&[idx(&g, "untyped")]);
+        for &m in g.named("merge") {
+            assert!(reach.contains(&m), "fallback must keep every candidate");
+        }
+    }
+
+    /// `self.m()` and `Self::m()` resolve through the enclosing impl.
+    #[test]
+    fn self_calls_resolve_through_enclosing_impl() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct A; impl A { pub fn go(&self) { self.step(); Self::assoc(); } \
+                 fn step(&self) {} fn assoc() {} }",
+            ),
+            ("crates/b/src/lib.rs", "pub struct B; impl B { pub fn step(&self) {} pub fn assoc() {} }"),
+        ]);
+        let reach = g.reachable_from(&[idx(&g, "go")]);
+        let a_step = g.named("step").iter().copied().find(|&i| g.fns[i].krate == "a").unwrap();
+        let b_step = g.named("step").iter().copied().find(|&i| g.fns[i].krate == "b").unwrap();
+        assert!(reach.contains(&a_step) && !reach.contains(&b_step));
+        let b_assoc = g.named("assoc").iter().copied().find(|&i| g.fns[i].krate == "b").unwrap();
+        assert!(!reach.contains(&b_assoc));
     }
 }

@@ -1,0 +1,65 @@
+// Seeded violation fixture: R10 `ambient-nondeterminism`.
+// Wall-clock and environment reads on a deterministic path (the OpStats
+// root below reaches them): results must be a pure function of the inputs,
+// so idgnn-lint must exit nonzero with ambient-nondeterminism findings for
+// `timed_section` and `env_tuned_width`, while the `timing-carrier`-marked
+// sidecar and the helper no deterministic root ever reaches stay clean.
+
+use std::time::Instant;
+
+/// Exact operation counts (stand-in for the real accounting struct).
+pub struct OpStats(pub u64);
+
+/// The deterministic root: every callee below is on its path.
+pub fn kernel_stats(n: u64) -> OpStats {
+    let a = timed_section(n);
+    let b = env_tuned_width(n);
+    let c = timing_sidecar(n);
+    OpStats(a + b + c)
+}
+
+/// BAD: folds the wall clock into a value on the deterministic path.
+pub fn timed_section(n: u64) -> u64 {
+    let t0 = Instant::now();
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc + t0.elapsed().as_nanos() as u64
+}
+
+/// BAD: lets an environment variable steer a deterministic computation.
+pub fn env_tuned_width(n: u64) -> u64 {
+    let width: u64 = std::env::var("FIXTURE_WIDTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    n * width
+}
+
+/// GOOD: reads the clock, but the marker pins it to the timing sidecar —
+/// the measured duration never feeds a result field.
+// lint: timing-carrier -- wall-clock lands in a log line only, never in results
+pub fn timing_sidecar(n: u64) -> u64 {
+    let t0 = Instant::now();
+    let out = n.wrapping_mul(3);
+    let _elapsed = t0.elapsed();
+    out
+}
+
+/// GOOD: ambient read, but no deterministic root reaches this function.
+pub fn offline_probe() -> bool {
+    std::env::var("FIXTURE_DEBUG").is_ok()
+}
+
+/// The accounting entry point joining the root to the figure pipeline
+/// (keeps R6 `opstats-flow` satisfied so this fixture stays single-rule).
+// lint: opstats-sink
+pub fn record(stats: OpStats) -> u64 {
+    stats.0
+}
+
+/// The join point feeding the sink.
+pub fn drive(n: u64) -> u64 {
+    record(kernel_stats(n))
+}

@@ -1,0 +1,66 @@
+// Seeded violation fixture: R9 `float-reduction-order`.
+// A float accumulation folded over a hash container on a deterministic path
+// (everything here feeds the OpStats-returning root): the addition order is
+// whatever the hasher picked this process, so the sum's value bits drift
+// run to run. idgnn-lint must exit nonzero with a float-reduction-order
+// finding for `hash_mean` (the unordered iteration itself is co-reported by
+// R8), while the sorted-Vec twin and the integer fold stay clean.
+
+use std::collections::HashMap;
+
+/// Exact operation counts (stand-in for the real accounting struct).
+pub struct OpStats(pub u64);
+
+/// The deterministic root: every callee below is on its path.
+pub fn kernel_stats(weights: &HashMap<usize, f64>) -> OpStats {
+    let a = hash_mean(weights);
+    let b = sorted_mean(weights);
+    let c = integer_total(weights);
+    OpStats((a + b) as u64 + c)
+}
+
+/// BAD: sums `f64` values straight out of hash-iteration order — float
+/// addition is not associative, so the result bits are schedule-dependent.
+pub fn hash_mean(weights: &HashMap<usize, f64>) -> f64 {
+    let total: f64 = weights.values().sum();
+    total / weights.len().max(1) as f64
+}
+
+/// GOOD: pins the addition order by sorting the entries by key first.
+pub fn sorted_mean(weights: &HashMap<usize, f64>) -> f64 {
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    for_each_into(weights, &mut entries);
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut total = 0.0f64;
+    for (_, w) in &entries {
+        total += w;
+    }
+    total / entries.len().max(1) as f64
+}
+
+/// GOOD: an exact integer reduction — reassociation cannot change the
+/// result, and the marker records why the hash iteration is harmless.
+// lint: order-insensitive -- integer count; commutative and exact under any visit order
+pub fn integer_total(weights: &HashMap<usize, f64>) -> u64 {
+    weights.values().map(|w| w.to_bits().count_ones() as u64).sum()
+}
+
+/// Collection helper for the sorted twin; kept order-insensitive itself.
+// lint: order-insensitive -- output is sorted by the caller before any accumulation
+pub fn for_each_into(weights: &HashMap<usize, f64>, out: &mut Vec<(usize, f64)>) {
+    for (k, w) in weights.iter() {
+        out.push((*k, *w));
+    }
+}
+
+/// The accounting entry point joining the root to the figure pipeline
+/// (keeps R6 `opstats-flow` satisfied so this fixture stays single-rule).
+// lint: opstats-sink
+pub fn record(stats: OpStats) -> u64 {
+    stats.0
+}
+
+/// The join point feeding the sink.
+pub fn drive(weights: &std::collections::HashMap<usize, f64>) -> u64 {
+    record(kernel_stats(weights))
+}

@@ -1,0 +1,51 @@
+// Seeded violation fixture: R11 `block-merge-order`.
+// A thread fan-out whose per-worker results merge in completion order:
+// whichever worker finishes first lands first, so the merged vector's
+// layout is schedule-dependent. idgnn-lint must exit nonzero with a
+// block-merge-order finding for `racy_merge`, while the audited
+// `ordered-merge` fan-out and the serial fold stay clean.
+
+use std::sync::mpsc;
+
+/// BAD: workers push through a channel as they finish — the merge order is
+/// the completion order, not the declared block order.
+pub fn racy_merge(chunks: Vec<Vec<u64>>) -> Vec<u64> {
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::new();
+    for chunk in chunks {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let total: u64 = chunk.iter().sum();
+            let _ = tx.send(total);
+        }));
+    }
+    drop(tx);
+    let mut out: Vec<u64> = rx.iter().collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    out.reverse();
+    out
+}
+
+/// GOOD: the same fan-out, but results come back through join handles in
+/// declared order — audited and recorded with the marker.
+// lint: ordered-merge -- joins worker handles in declared chunk order; completion order never observed
+pub fn ordered_fan_out(chunks: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut handles = Vec::new();
+    for chunk in chunks {
+        handles.push(std::thread::spawn(move || chunk.iter().sum::<u64>()));
+    }
+    let mut out = Vec::new();
+    for h in handles {
+        if let Ok(total) = h.join() {
+            out.push(total);
+        }
+    }
+    out
+}
+
+/// GOOD: no threads at all — the serial fold is trivially ordered.
+pub fn serial_fold(chunks: &[Vec<u64>]) -> Vec<u64> {
+    chunks.iter().map(|c| c.iter().sum::<u64>()).collect()
+}

@@ -1,0 +1,83 @@
+// Seeded violation fixture: R8 `unordered-iteration`.
+// A kernel on a deterministic path (it feeds the OpStats-returning root
+// below) that builds and iterates a `HashMap`; idgnn-lint must exit nonzero
+// with unordered-iteration findings for `hash_walk`, while the `BTreeMap`
+// twin, the `order-insensitive`-marked membership probe, and the function
+// never reached from a deterministic root all stay clean. (A tuple struct
+// stands in for the real accounting type so R4 `opstats-literal` stays out
+// of the picture.)
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Exact operation counts (stand-in for the real accounting struct).
+pub struct OpStats(pub u64);
+
+/// The deterministic root: every callee below is on its path.
+pub fn kernel_stats(edges: &[(usize, usize)]) -> OpStats {
+    let a = hash_walk(edges);
+    let b = tree_walk(edges);
+    let c = membership_probe(edges);
+    OpStats(a + b + c)
+}
+
+/// BAD: builds a `HashMap` and iterates it — the visit order is seeded
+/// per-process, so the accumulated value bits can differ run to run.
+pub fn hash_walk(edges: &[(usize, usize)]) -> u64 {
+    let mut degree: HashMap<usize, u64> = HashMap::new();
+    for &(src, _) in edges {
+        *degree.entry(src).or_insert(0) += 1;
+    }
+    let mut acc = 0;
+    for (k, v) in degree.iter() {
+        acc = acc * 31 + (*k as u64) + v;
+    }
+    acc
+}
+
+/// GOOD: the `BTreeMap` twin — iteration order is the key order, pinned.
+pub fn tree_walk(edges: &[(usize, usize)]) -> u64 {
+    let mut degree: BTreeMap<usize, u64> = BTreeMap::new();
+    for &(src, _) in edges {
+        *degree.entry(src).or_insert(0) += 1;
+    }
+    let mut acc = 0;
+    for (k, v) in degree.iter() {
+        acc = acc * 31 + (*k as u64) + v;
+    }
+    acc
+}
+
+/// GOOD: the set is only ever probed for membership, never iterated into
+/// ordered output, and the marker says so.
+// lint: order-insensitive -- dedup membership probe only; the count is independent of hash order
+pub fn membership_probe(edges: &[(usize, usize)]) -> u64 {
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut fresh = 0;
+    for &e in edges {
+        if seen.insert(e) {
+            fresh += 1;
+        }
+    }
+    fresh
+}
+
+/// GOOD: uses a `HashMap` freely — no deterministic root ever reaches it.
+pub fn offline_histogram(edges: &[(usize, usize)]) -> usize {
+    let mut degree: HashMap<usize, u64> = HashMap::new();
+    for &(src, _) in edges {
+        *degree.entry(src).or_insert(0) += 1;
+    }
+    degree.len()
+}
+
+/// The accounting entry point joining the root to the figure pipeline
+/// (keeps R6 `opstats-flow` satisfied so this fixture stays single-rule).
+// lint: opstats-sink
+pub fn record(stats: OpStats) -> u64 {
+    stats.0
+}
+
+/// The join point feeding the sink.
+pub fn drive(edges: &[(usize, usize)]) -> u64 {
+    record(kernel_stats(edges))
+}

@@ -34,6 +34,10 @@ fn each_seeded_fixture_fails_with_its_rule() {
         ("opstats_literal.rs", "opstats-literal"),
         ("resource_flow.rs", "resource-flow"),
         ("opstats_flow.rs", "opstats-flow"),
+        ("determinism_unordered.rs", "unordered-iteration"),
+        ("determinism_float.rs", "float-reduction-order"),
+        ("determinism_ambient.rs", "ambient-nondeterminism"),
+        ("determinism_merge.rs", "block-merge-order"),
     ];
     for (file, slug) in cases {
         let path = fixtures_dir().join(file);
@@ -105,6 +109,10 @@ fn explain_subcommand_documents_every_rule() {
         "resource-flow",
         "opstats-flow",
         "hw-budget",
+        "unordered-iteration",
+        "float-reduction-order",
+        "ambient-nondeterminism",
+        "block-merge-order",
         "malformed-marker",
     ] {
         let out = run_lint(&["--explain", slug], &workspace_root());
@@ -112,12 +120,109 @@ fn explain_subcommand_documents_every_rule() {
         assert_eq!(out.status.code(), Some(0), "--explain {slug} should succeed");
         assert!(stdout.contains(slug) && stdout.len() > 100, "thin rationale for {slug}:\n{stdout}");
     }
+    // The `determinism` family alias prints all four sub-rule rationales.
+    let out = run_lint(&["--explain", "determinism"], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "--explain determinism should succeed");
+    for slug in [
+        "unordered-iteration",
+        "float-reduction-order",
+        "ambient-nondeterminism",
+        "block-merge-order",
+    ] {
+        assert!(stdout.contains(&format!("[{slug}]")), "family missing {slug}:\n{stdout}");
+    }
+
     let out = run_lint(&["--explain", "no-such-rule"], &workspace_root());
     assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
 
     let out = run_lint(&["--help"], &workspace_root());
     assert_eq!(out.status.code(), Some(0), "--help exits 0");
     assert!(String::from_utf8_lossy(&out.stdout).contains("--explain RULE"));
+}
+
+#[test]
+fn determinism_fixtures_flag_only_the_seeded_violations() {
+    // Unordered iteration: the HashMap build + iteration in `hash_walk`
+    // fire; the BTreeMap twin, the marked membership probe, and the
+    // function off every deterministic path stay clean.
+    let path = fixtures_dir().join("determinism_unordered.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[unordered-iteration]").count(), 2, "{stdout}");
+    assert!(stdout.contains("hash_walk"), "{stdout}");
+    for clean in ["tree_walk", "membership_probe", "offline_histogram"] {
+        assert!(!stdout.contains(clean), "`{clean}` must not be flagged:\n{stdout}");
+    }
+
+    // Float reduction: the hash-order sum fires (with its unordered-iteration
+    // co-finding); the sorted twin and the exact integer fold stay clean.
+    let path = fixtures_dir().join("determinism_float.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[float-reduction-order]").count(), 1, "{stdout}");
+    assert!(stdout.contains("hash_mean"), "{stdout}");
+    for clean in ["sorted_mean", "integer_total"] {
+        assert!(!stdout.contains(clean), "`{clean}` must not be flagged:\n{stdout}");
+    }
+
+    // Ambient reads: the clock fold and the env knob fire; the marked timing
+    // sidecar and the off-path probe stay clean.
+    let path = fixtures_dir().join("determinism_ambient.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[ambient-nondeterminism]").count(), 2, "{stdout}");
+    assert!(stdout.contains("timed_section"), "{stdout}");
+    assert!(stdout.contains("env_tuned_width"), "{stdout}");
+    for clean in ["timing_sidecar", "offline_probe"] {
+        assert!(!stdout.contains(clean), "`{clean}` must not be flagged:\n{stdout}");
+    }
+
+    // Block merge: the completion-order channel merge fires; the audited
+    // join-in-declared-order fan-out and the serial fold stay clean.
+    let path = fixtures_dir().join("determinism_merge.rs");
+    let out = run_lint(&[&path.to_string_lossy()], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("[block-merge-order]").count(), 1, "{stdout}");
+    assert!(stdout.contains("racy_merge"), "{stdout}");
+    for clean in ["ordered_fan_out", "serial_fold"] {
+        assert!(!stdout.contains(clean), "`{clean}` must not be flagged:\n{stdout}");
+    }
+}
+
+#[test]
+fn timing_profile_reports_every_rule_and_passes_the_gate() {
+    let json_path = std::env::temp_dir().join("idgnn_lint_timing_test.json");
+    let out = run_lint(
+        &["--timing", "--json-out", &json_path.to_string_lossy()],
+        &workspace_root(),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = std::fs::read_to_string(&json_path).expect("JSON report written");
+    let _ = std::fs::remove_file(&json_path);
+    assert_eq!(out.status.code(), Some(0), "timing run should stay green:\n{stdout}");
+    // Every rule gets a wall-clock row in both renderings, and the gate
+    // block records the limit with no offenders.
+    for slug in [
+        "hot-path-alloc",
+        "panic-surface",
+        "unsafe-code",
+        "opstats-literal",
+        "resource-flow",
+        "opstats-flow",
+        "hw-budget",
+        "unordered-iteration",
+        "float-reduction-order",
+        "ambient-nondeterminism",
+        "block-merge-order",
+        "malformed-marker",
+    ] {
+        assert!(stdout.contains(&format!("timing: {slug}:")), "no timing row for {slug}:\n{stdout}");
+        assert!(json.contains(&format!("\"{slug}\": ")), "no timings_ms entry for {slug}:\n{json}");
+    }
+    assert!(json.contains("\"timing_gate\""), "{json}");
+    assert!(json.contains("\"offenders\": []"), "gate should have no offenders:\n{json}");
+    assert!(stdout.contains("timing: (infra) lex-parse"), "{stdout}");
 }
 
 #[test]

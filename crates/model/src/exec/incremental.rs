@@ -14,6 +14,7 @@ use crate::exec::{ExecutionResult, SnapshotOutput};
 use crate::lstm::LstmState;
 use crate::DgnnModel;
 
+// lint: order-insensitive -- affected/frontier sets are membership probes; row results land via keyed `set(r, c, ..)` writes and op counts are commutative integer adds
 pub(crate) fn run(
     model: &DgnnModel,
     dg: &DynamicGraph,

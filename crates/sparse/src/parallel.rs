@@ -61,6 +61,7 @@ impl Parallelism {
     /// Reads [`PARALLELISM_ENV`]; unset, `0` or unparsable values resolve to
     /// [`Parallelism::available`].
     pub fn from_env() -> Self {
+        // lint: allow(ambient-nondeterminism) -- explicit worker-count config; results are bit-identical at any parallelism (equivalence suites)
         match std::env::var(PARALLELISM_ENV) {
             Ok(v) => Self::new(v.trim().parse().unwrap_or(0)),
             Err(_) => Self::available(),
@@ -242,17 +243,34 @@ where
 /// # Panics
 ///
 /// Re-raises a worker panic on the calling thread.
+// lint: ordered-merge -- joins handles in declared block order, so results assemble independent of completion order
 fn fork_join<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
+    #[cfg(any(test, feature = "schedule-perturbation"))]
+    let gate = perturb::gate(ranges.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(block, range)| {
                 let f = &f;
-                scope.spawn(move || f(range))
+                #[cfg(any(test, feature = "schedule-perturbation"))]
+                let gate = gate.as_ref();
+                scope.spawn(move || {
+                    #[cfg(not(any(test, feature = "schedule-perturbation")))]
+                    let _ = block;
+                    let result = f(range);
+                    // Adversarial schedule: hold this block's completion until
+                    // every block the seeded permutation ranks earlier is done.
+                    #[cfg(any(test, feature = "schedule-perturbation"))]
+                    if let Some(g) = gate {
+                        g.wait_turn(block);
+                    }
+                    result
+                })
             })
             // lint: allow(hot-path-alloc) -- one join-handle vec per fork, O(workers) not O(rows)
             .collect();
@@ -322,6 +340,7 @@ where
 /// # Panics
 ///
 /// Re-raises a worker panic on the calling thread.
+// lint: ordered-merge -- results land in a slot buffer indexed by item id and are drained in declared item order
 pub fn map_items<T, R, F>(items: &[T], par: Parallelism, f: F) -> Vec<R>
 where
     T: Sync,
@@ -334,12 +353,25 @@ where
         return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let next = AtomicUsize::new(0);
+    // Adversarial schedule: when a perturbation scope is installed, the queue
+    // hands out item indices in a seeded permuted order instead of 0..n; the
+    // keyed slot buffer must still assemble the identical in-order result.
+    #[cfg(any(test, feature = "schedule-perturbation"))]
+    let order = perturb::permutation(items.len());
     // lint: allow(hot-path-alloc) -- one result slot per item, the queue's only shared state
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
+                #[cfg(any(test, feature = "schedule-perturbation"))]
+                let i = match order.as_deref() {
+                    Some(p) => match p.get(i) {
+                        Some(&j) => j,
+                        None => break,
+                    },
+                    None => i,
+                };
                 let Some(item) = items.get(i) else { break };
                 let result = f(i, item);
                 // lint: allow(panic-surface) -- invariant documented at the call site; grandfathered by the PR5 ratchet-to-zero
@@ -355,6 +387,120 @@ where
         })
         // lint: allow(hot-path-alloc) -- item results in order, returned to the caller
         .collect()
+}
+
+/// Schedule-perturbation harness: forces the parallel helpers through
+/// adversarial worker schedules so completion-order bugs cannot hide behind a
+/// cooperative OS scheduler.
+///
+/// While a [`scoped`] guard is alive, every [`fork_join`] fork derives a
+/// seeded permutation of its blocks and holds each block's completion at a
+/// turnstile until all blocks ranked earlier have finished, and [`map_items`]
+/// hands out item indices in a seeded permuted order. The declared-order
+/// merge contract (DESIGN.md §15) means results must stay **bit-identical**
+/// under every such schedule; the proptests in
+/// `crates/sparse/tests/perturbation.rs` assert exactly that against the
+/// serial path.
+///
+/// Compiled only under `cfg(test)` or the `schedule-perturbation` feature;
+/// release builds carry no trace of the turnstile.
+#[cfg(any(test, feature = "schedule-perturbation"))]
+pub mod perturb {
+    use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// The installed perturbation seed (`None` = harness inert).
+    static SEED: Mutex<Option<u64>> = Mutex::new(None);
+    /// Serializes perturbation scopes across test threads: the seed is
+    /// process-wide state, so two concurrent scopes would race.
+    static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// RAII guard for an active perturbation scope; dropping it clears the
+    /// seed and releases the scope lock.
+    #[must_use = "the perturbation is active only while the guard is alive"]
+    pub struct PerturbScope {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for PerturbScope {
+        fn drop(&mut self) {
+            *SEED.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+    }
+
+    /// Installs `seed` as the process-wide perturbation seed for the lifetime
+    /// of the returned guard. Scopes are mutually exclusive: a second caller
+    /// blocks until the first guard drops.
+    pub fn scoped(seed: u64) -> PerturbScope {
+        let lock = SCOPE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *SEED.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(seed);
+        PerturbScope { _lock: lock }
+    }
+
+    /// Thin LCG (Knuth MMIX constants); good enough to derange a test
+    /// schedule, deliberately not a statistical RNG.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// A seeded Fisher–Yates permutation of `0..n`, or `None` when no
+    /// perturbation scope is installed.
+    // lint: allow(hot-path-alloc) -- test-harness only; O(workers) once per fork, never in release builds
+    pub fn permutation(n: usize) -> Option<Vec<usize>> {
+        let seed = (*SEED.lock().unwrap_or_else(std::sync::PoisonError::into_inner))?;
+        let mut state = seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (lcg(&mut state) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        Some(perm)
+    }
+
+    /// A completion-order turnstile over `blocks` forked workers: worker `b`
+    /// calls [`Gate::wait_turn`]`(b)` after computing its result and is held
+    /// until every block with an earlier seeded rank has passed through.
+    /// Deadlock-free because [`super::fork_join`] keeps all blocks' threads
+    /// alive concurrently under [`std::thread::scope`].
+    pub struct Gate {
+        /// `ranks[block]` = position of `block` in the adversarial order.
+        ranks: Vec<usize>,
+        /// The rank currently allowed to complete.
+        turn: Mutex<usize>,
+        /// Signals `turn` advancing.
+        cv: Condvar,
+    }
+
+    /// Builds the turnstile for a fork of `blocks` workers, or `None` when no
+    /// perturbation scope is installed.
+    // lint: allow(hot-path-alloc) -- test-harness only; O(workers) once per fork, never in release builds
+    pub fn gate(blocks: usize) -> Option<Gate> {
+        let perm = permutation(blocks)?;
+        let mut ranks = vec![0usize; blocks];
+        for (rank, &block) in perm.iter().enumerate() {
+            if let Some(r) = ranks.get_mut(block) {
+                *r = rank;
+            }
+        }
+        Some(Gate { ranks, turn: Mutex::new(0), cv: Condvar::new() })
+    }
+
+    impl Gate {
+        /// Blocks until `block` is the next allowed completion, then passes
+        /// the turn to the next rank.
+        pub fn wait_turn(&self, block: usize) {
+            let rank = self.ranks.get(block).copied().unwrap_or(0);
+            let mut turn = self.turn.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            while *turn != rank {
+                turn = self
+                    .cv
+                    .wait(turn)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            *turn += 1;
+            self.cv.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +608,75 @@ mod tests {
     fn map_items_handles_empty_input() {
         let empty: Vec<u32> = Vec::new();
         assert!(map_items(&empty, Parallelism::new(4), |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn perturb_permutation_is_seeded_and_bijective() {
+        let _scope = perturb::scoped(7);
+        let p = perturb::permutation(16).expect("scope installed");
+        assert_eq!(p, perturb::permutation(16).expect("scope installed"));
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        // Different seeds give a different derangement for nontrivial sizes
+        // (this pair is fixed, so the assertion is deterministic).
+        drop(_scope);
+        let _scope = perturb::scoped(8);
+        assert_ne!(p, perturb::permutation(16).expect("scope installed"));
+    }
+
+    #[test]
+    fn perturb_inert_without_scope() {
+        assert!(perturb::permutation(8).is_none());
+        assert!(perturb::gate(8).is_none());
+    }
+
+    #[test]
+    fn gate_ranks_blocks_by_the_seeded_permutation() {
+        for seed in 0..8u64 {
+            let _scope = perturb::scoped(seed);
+            let perm = perturb::permutation(6).expect("scope installed");
+            // Visiting blocks in permutation order never blocks: each call is
+            // exactly the rank the turnstile expects next. Any rank mismatch
+            // would deadlock this single-threaded walk immediately.
+            let gate = perturb::gate(6).expect("scope installed");
+            for &block in &perm {
+                gate.wait_turn(block);
+            }
+            // And under real concurrency the turnstile stays deadlock-free
+            // because every block has a live thread.
+            let gate = perturb::gate(6).expect("scope installed");
+            std::thread::scope(|scope| {
+                for block in 0..6 {
+                    let gate = &gate;
+                    scope.spawn(move || gate.wait_turn(block));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn perturbed_fork_join_keeps_results_in_declared_block_order() {
+        for seed in 0..8u64 {
+            let _scope = perturb::scoped(seed);
+            let got = map_blocks(64, Parallelism::new(4), |r| (r.clone(), r.sum::<usize>()));
+            let blocks: Vec<Range<usize>> = got.iter().map(|(r, _)| r.clone()).collect();
+            assert_eq!(blocks, partition(64, 4), "seed {seed}");
+            for (r, sum) in &got {
+                assert_eq!(*sum, r.clone().sum::<usize>(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_map_items_still_assembles_in_item_order() {
+        let items: Vec<usize> = (0..57).collect();
+        let baseline = map_items(&items, Parallelism::serial(), |i, &x| (i, x * 3));
+        for seed in 0..8u64 {
+            let _scope = perturb::scoped(seed);
+            let got = map_items(&items, Parallelism::new(4), |i, &x| (i, x * 3));
+            assert_eq!(got, baseline, "seed {seed}");
+        }
     }
 
     #[test]

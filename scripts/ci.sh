@@ -6,10 +6,15 @@
 # 2. full test suite (unit, integration, proptests, equivalence suites);
 # 3. sparse suite again with strict-invariants (runtime CsrMatrix::validate
 #    re-asserted at every construction/splice/assemble site);
-# 4. idgnn-lint workspace scan against the checked-in lint.baseline ratchet;
-# 5. kernel-benchmark smoke run + structural JSON validation;
-# 6. DSE smoke sweep regenerating results/dse.json + structural validation;
-# 7. clippy over every target with warnings denied.
+# 4. sparse suite under schedule-perturbation: the parallel helpers run
+#    through seeded adversarial worker schedules and must stay bit-identical
+#    to the serial path (the runtime half of the determinism contract,
+#    DESIGN.md §15);
+# 5. idgnn-lint workspace scan (with --timing) against the checked-in
+#    lint.baseline ratchet — zero entries with the determinism family on;
+# 6. kernel-benchmark smoke run + structural JSON validation;
+# 7. DSE smoke sweep regenerating results/dse.json + structural validation;
+# 8. clippy over every target with warnings denied.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,14 +27,23 @@ cargo test -q --workspace
 echo "==> cargo test -p idgnn-sparse --features strict-invariants"
 cargo test -q -p idgnn-sparse --features strict-invariants
 
-echo "==> idgnn-lint (baseline ratchet + results/lint.json)"
-cargo run --release -q -p idgnn-lint -- --json
+echo "==> cargo test -p idgnn-sparse --features schedule-perturbation"
+# Adversarial schedule proptests: a small fixed budget (8 seeds per kernel
+# invocation at parallelism 4, 16 proptest cases) keeps this a few seconds.
+cargo test -q -p idgnn-sparse --features schedule-perturbation --test perturbation
+
+echo "==> idgnn-lint (baseline ratchet + per-rule timing + results/lint.json)"
+# --timing profiles each rule in isolation and fails the run when any rule
+# exceeds 5x the median rule time (floored), so a pathological rule cannot
+# silently dominate the lint stage.
+cargo run --release -q -p idgnn-lint -- --timing --json
 # Structural validation of the JSON report from the outside: rule set,
-# typed findings, zero regressions, zero new findings.
+# typed findings, zero regressions, zero new findings, timing gate clean.
 cargo run --release -q -p idgnn-bench --bin lintv -- results/lint.json
 # The --explain subcommand must document every rule (smoke: one of each
-# family — a token rule, a flow rule, and the static config verifier).
-for rule in hot-path-alloc resource-flow hw-budget; do
+# family — a token rule, a flow rule, a determinism dataflow rule, and the
+# static config verifier — plus the `determinism` family alias).
+for rule in hot-path-alloc resource-flow unordered-iteration hw-budget determinism; do
   cargo run --release -q -p idgnn-lint -- --explain "$rule" >/dev/null
 done
 
