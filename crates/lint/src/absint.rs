@@ -1,0 +1,2498 @@
+//! Interval-domain abstract interpreter for bounds certificates.
+//!
+//! Symbolically executes every non-test fn that calls a contract-carrying
+//! function or contains `get_unchecked`, tracking symbolic *strict upper
+//! bounds* (`v < base + off` where `base` is a constant, `len(path)`, a
+//! column count, or another variable) plus length inequalities, product
+//! facts (`len(v) >= a*b` from `resize(a*b, ..)`), and append joins for
+//! pooled `Vec`s. Widening at loop heads is havoc-based: any binding the
+//! loop body assigns loses its bounds before the single-pass body walk, so
+//! every surviving bound is iteration-independent and the analysis
+//! terminates in one pass per body.
+//!
+//! Facts enter through the `// lint:` contract markers parsed by
+//! [`crate::rules`]:
+//!
+//! * `invariant(<names>)` — the following fn's `CsrMatrix` params satisfy
+//!   the named structural invariants. The names must be drawn from
+//!   [`ASSUMED_INVARIANTS`], which a contract test pins to the exact list
+//!   the runtime `strict-invariants` `debug_validate` enforces
+//!   (`idgnn_sparse::CHECKED_INVARIANTS`). `col-in-bounds` is the one that
+//!   feeds the domain directly: `row_indices`/`row_iter` elements of a
+//!   declared matrix are `< cols(m)`.
+//! * `requires(<facts>)` — preconditions: assumed inside the body, proven
+//!   at every (non-test) call site. Supported facts: `in-len(i, s)`
+//!   (`i < len(s)`), `scaled-in-len(i, k, s)` (`(i+1)*k <= len(s)`),
+//!   `spa-width(w, c)` (`len(w.acc) >= c` and `len(w.stamp) >= c`, where
+//!   `c` is a width expression or a matrix param meaning `cols(c)`).
+//! * `ensures(<facts>)` — postconditions: assumed at call sites.
+//!   `spa-width` is the one trusted axiom (the `Workspace::ensure_width`
+//!   resize is arithmetic the interval domain cannot see through);
+//!   `appends-in-len(v, s)` ("this fn appends only values `< len(s)` to
+//!   `v`") is *re-verified* in the declaring body — every append to `v`
+//!   must carry a provable bound.
+//! * `certified(<id>) -- <reason>` — the following fn may use
+//!   `unsafe`/`get_unchecked`. Every obligation attributed to the
+//!   certificate (its `requires` at every call site, plus the intrinsic
+//!   `get_unchecked` indices inside the body) must be proven, or the
+//!   certificate is invalid and `unchecked-access` fires.
+//!
+//! Every proven obligation becomes a [`CertRecord`] in `results/lint.json`
+//! with its claim and the basis chain (which assumptions discharged it).
+//! Calls into contract fns are assumed not to shrink any slice or `Vec`
+//! reachable from their arguments (the frame rule all certificates chain
+//! through); unknown methods on a tracked path havoc its facts instead.
+//! Test fns (`#[cfg(test)]`) are not analyzed: their unchecked paths stay
+//! covered by the accessors' `debug_assert!` cross-checks. See DESIGN.md
+//! §16 for the worked SpGEMM scatter/gather proof chains.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{FnItem, ParsedFile};
+use crate::rules::{FileMarkers, Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The structural invariants the interpreter may assume via
+/// `// lint: invariant(..)`. A root-package contract test asserts this list
+/// is exactly `idgnn_sparse::CHECKED_INVARIANTS` — what the runtime
+/// `strict-invariants` `debug_validate` actually enforces.
+pub const ASSUMED_INVARIANTS: [&str; 5] =
+    ["indptr-len", "row-ptr-monotone", "len-consistent", "col-sorted-unique", "col-in-bounds"];
+
+/// One machine-checkable proven obligation, emitted into `results/lint.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertRecord {
+    /// Certificate id (`certified(<id>)` of the protected fn), or
+    /// `contract:<fn>` for proven obligations of uncertified contract fns.
+    pub id: String,
+    /// Workspace-relative file of the proven site.
+    pub file: String,
+    /// 1-based line of the proven site.
+    pub line: usize,
+    /// The fn containing the site (the caller, for call-site obligations).
+    pub fn_name: String,
+    /// The proven claim, e.g. `c < len(ws.acc)`.
+    pub claim: String,
+    /// Provenance chain of the assumptions that discharged the claim.
+    pub basis: Vec<String>,
+}
+
+/// Interpreter output: findings (`bounds-proof` / `unchecked-access`) plus
+/// the proven certificates.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unproven obligations and invalid certificates.
+    pub findings: Vec<Finding>,
+    /// Proven obligations, sorted by (file, line, id, claim).
+    pub certificates: Vec<CertRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic expressions and facts
+// ---------------------------------------------------------------------------
+
+/// A symbolic quantity the domain can compare: a constant, the length of a
+/// path (`len(ws.acc)`), a matrix column count (`cols(b)`), or a scalar
+/// variable/path in the current fn.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Sx {
+    Konst(i64),
+    Len(String),
+    Cols(String),
+    Var(String),
+}
+
+impl Sx {
+    fn render(&self) -> String {
+        match self {
+            Sx::Konst(k) => k.to_string(),
+            Sx::Len(p) => format!("len({p})"),
+            Sx::Cols(p) => format!("cols({p})"),
+            Sx::Var(p) => p.clone(),
+        }
+    }
+}
+
+/// A strict upper bound: the tracked value is `< base + off`.
+#[derive(Debug, Clone)]
+struct Ub {
+    base: Sx,
+    off: i64,
+    why: String,
+}
+
+/// A parsed contract fact (see module docs for semantics).
+#[derive(Debug, Clone)]
+enum Fact {
+    InLen(String, String),
+    ScaledInLen(String, String, String),
+    SpaWidth(String, String),
+    AppendsInLen(String, String),
+}
+
+impl Fact {
+    fn render(&self) -> String {
+        match self {
+            Fact::InLen(i, s) => format!("in-len({i}, {s})"),
+            Fact::ScaledInLen(i, k, s) => format!("scaled-in-len({i}, {k}, {s})"),
+            Fact::SpaWidth(w, c) => format!("spa-width({w}, {c})"),
+            Fact::AppendsInLen(v, s) => format!("appends-in-len({v}, {s})"),
+        }
+    }
+}
+
+/// Splits at top-level commas (commas inside parens stay put).
+fn split_top(text: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            c if c == sep && depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Parses a `requires(..)`/`ensures(..)` fact list, e.g.
+/// `in-len(c, ws.acc), spa-width(ws, b)`.
+fn parse_facts(text: &str) -> Result<Vec<Fact>, String> {
+    let mut facts = Vec::new();
+    for part in split_top(text, ',') {
+        let (head, rest) = match part.split_once('(') {
+            Some(p) => p,
+            None => return Err(format!("fact `{part}` is missing its argument list")),
+        };
+        let args_text = match rest.strip_suffix(')') {
+            Some(a) => a,
+            None => return Err(format!("fact `{part}` has an unclosed argument list")),
+        };
+        let args = split_top(args_text, ',');
+        let arg = |i: usize| args.get(i).cloned().unwrap_or_default();
+        let fact = match (head.trim(), args.len()) {
+            ("in-len", 2) => Fact::InLen(arg(0), arg(1)),
+            ("scaled-in-len", 3) => Fact::ScaledInLen(arg(0), arg(1), arg(2)),
+            ("spa-width", 2) => Fact::SpaWidth(arg(0), arg(1)),
+            ("appends-in-len", 2) => Fact::AppendsInLen(arg(0), arg(1)),
+            (h, n) => return Err(format!("unknown fact `{h}` with {n} argument(s)")),
+        };
+        facts.push(fact);
+    }
+    if facts.is_empty() {
+        return Err("empty fact list".to_string());
+    }
+    Ok(facts)
+}
+
+// ---------------------------------------------------------------------------
+// Contracts
+// ---------------------------------------------------------------------------
+
+/// A fn with attached contract markers (collected per bare fn name).
+#[derive(Debug, Clone)]
+struct Contract {
+    file: String,
+    fn_name: String,
+    line: usize,
+    params: Vec<(String, Vec<String>)>,
+    invariants: Vec<String>,
+    requires: Vec<Fact>,
+    ensures: Vec<Fact>,
+    cert: Option<String>,
+}
+
+impl Contract {
+    /// True if `name` is a param whose declared type mentions `CsrMatrix`.
+    fn is_matrix_param(&self, name: &str) -> bool {
+        self.params
+            .iter()
+            .any(|(p, ty)| p == name && ty.iter().any(|t| t == "CsrMatrix"))
+    }
+
+    fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|(p, _)| p == name)
+    }
+
+    /// The certificate id obligations against this fn count toward.
+    fn cert_id(&self) -> String {
+        self.cert.clone().unwrap_or_else(|| format!("contract:{}", self.fn_name))
+    }
+}
+
+/// Finds the fn a marker at `line` attaches to (nearest following fn).
+fn fn_after(fns: &[FnItem], line: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.line > line)
+        .min_by_key(|(_, f)| f.line)
+        .map(|(i, _)| i)
+}
+
+/// Collects contracts from every file's markers, reporting malformed facts,
+/// unknown invariant names, and duplicate certificate ids as
+/// `bounds-proof` findings.
+fn collect_contracts(
+    parsed: &[ParsedFile],
+    markers: &BTreeMap<String, FileMarkers>,
+    findings: &mut Vec<Finding>,
+) -> BTreeMap<String, Contract> {
+    let mut contracts: BTreeMap<String, Contract> = BTreeMap::new();
+    let mut cert_ids: BTreeMap<String, String> = BTreeMap::new(); // id -> fn
+    for pf in parsed {
+        let m = match markers.get(&pf.rel) {
+            Some(m) => m,
+            None => continue,
+        };
+        let mut bad = |line: usize, msg: String| {
+            findings.push(Finding {
+                rule: Rule::BoundsProof,
+                file: pf.rel.clone(),
+                line,
+                message: msg,
+            });
+        };
+        // lint: allow(panic-surface) -- `fn_after` returns an index into the same `pf.fns`
+        let attach = |line: usize| fn_after(&pf.fns, line).map(|i| (pf.fns[i].clone(), i));
+        // Build (fn index -> contract) incrementally.
+        let mut by_fn: BTreeMap<usize, Contract> = BTreeMap::new();
+        fn entry<'m>(
+            by_fn: &'m mut BTreeMap<usize, Contract>,
+            rel: &str,
+            f: &FnItem,
+            i: usize,
+        ) -> &'m mut Contract {
+            by_fn.entry(i).or_insert_with(|| Contract {
+                file: rel.to_string(),
+                fn_name: f.name.clone(),
+                line: f.line,
+                params: f.params.clone(),
+                invariants: Vec::new(),
+                requires: Vec::new(),
+                ensures: Vec::new(),
+                cert: None,
+            })
+        }
+        for (line, names) in &m.invariants {
+            let (f, i) = match attach(*line) {
+                Some(x) => x,
+                None => continue, // placement already a malformed-marker
+            };
+            for name in split_top(names, ',') {
+                if !ASSUMED_INVARIANTS.contains(&name.as_str()) {
+                    bad(
+                        *line,
+                        format!(
+                            "unknown invariant `{name}`; the strict-invariants contract checks: {}",
+                            ASSUMED_INVARIANTS.join(", ")
+                        ),
+                    );
+                    continue;
+                }
+                entry(&mut by_fn, &pf.rel, &f, i).invariants.push(name);
+            }
+        }
+        for (line, text) in &m.requires {
+            let (f, i) = match attach(*line) {
+                Some(x) => x,
+                None => continue,
+            };
+            match parse_facts(text) {
+                Ok(facts) => {
+                    for fact in facts {
+                        if matches!(fact, Fact::AppendsInLen(..)) {
+                            bad(*line, format!("`{}` is an ensures-only fact", fact.render()));
+                            continue;
+                        }
+                        entry(&mut by_fn, &pf.rel, &f, i).requires.push(fact);
+                    }
+                }
+                Err(e) => bad(*line, format!("malformed requires(..): {e}")),
+            }
+        }
+        for (line, text) in &m.ensures {
+            let (f, i) = match attach(*line) {
+                Some(x) => x,
+                None => continue,
+            };
+            match parse_facts(text) {
+                Ok(facts) => {
+                    for fact in facts {
+                        if matches!(fact, Fact::InLen(..) | Fact::ScaledInLen(..)) {
+                            bad(
+                                *line,
+                                format!("`{}` is not supported in ensures position", fact.render()),
+                            );
+                            continue;
+                        }
+                        entry(&mut by_fn, &pf.rel, &f, i).ensures.push(fact);
+                    }
+                }
+                Err(e) => bad(*line, format!("malformed ensures(..): {e}")),
+            }
+        }
+        for (line, id) in &m.certified {
+            let (f, i) = match attach(*line) {
+                Some(x) => x,
+                None => continue,
+            };
+            if let Some(prev) = cert_ids.get(id) {
+                bad(*line, format!("certificate id `{id}` is already claimed by `{prev}`"));
+                continue;
+            }
+            cert_ids.insert(id.clone(), f.name.clone());
+            entry(&mut by_fn, &pf.rel, &f, i).cert = Some(id.clone());
+        }
+        for (_, c) in by_fn {
+            if let Some(prev) = contracts.get(&c.fn_name) {
+                findings.push(Finding {
+                    rule: Rule::BoundsProof,
+                    file: c.file.clone(),
+                    line: c.line,
+                    message: format!(
+                        "contract fn name `{}` collides with {}:{}; contract fns resolve by bare name and must be unique",
+                        c.fn_name, prev.file, prev.line
+                    ),
+                });
+                continue;
+            }
+            contracts.insert(c.fn_name.clone(), c);
+        }
+    }
+    contracts
+}
+
+// ---------------------------------------------------------------------------
+// Abstract environment + entailment
+// ---------------------------------------------------------------------------
+
+/// The per-fn abstract state.
+#[derive(Debug, Default, Clone)]
+struct Env {
+    /// Scalar strict upper bounds.
+    ub: BTreeMap<String, Vec<Ub>>,
+    /// Element bounds for slice/vec bindings: every element is `< bound`.
+    elem: BTreeMap<String, Vec<Ub>>,
+    /// Inequalities `lhs >= rhs` with provenance.
+    ge: Vec<(Sx, Sx, String)>,
+    /// Equalities `lhs == rhs` (bidirectional rewriting).
+    eqs: Vec<(Sx, Sx)>,
+    /// Product facts: `len(path) >= a * b` with provenance.
+    prod: Vec<(String, Sx, Sx, String)>,
+    /// Assumed `scaled-in-len(i, k, s)` facts: `(i+1)*k <= len(s)`.
+    scaled: Vec<(String, Sx, String, String)>,
+    /// Append joins for tracked vecs: one bound *group* per append event
+    /// (the appended value satisfies every bound in its group), plus a dirty
+    /// flag once an unbounded append happened. Grouping keeps the join
+    /// sound: a claim holds for the vec iff every group entails it.
+    appends: BTreeMap<String, (Vec<Vec<Ub>>, bool)>,
+    /// `let start = v.len()` snapshots: var -> vec.
+    snapshots: BTreeMap<String, String>,
+    /// `chunks_exact` iterator bindings -> element bounds of the source.
+    chunk_src: BTreeMap<String, Vec<Ub>>,
+    /// Matrix params declared `col-in-bounds`.
+    col_bounded: BTreeSet<String>,
+}
+
+impl Env {
+    /// Syntactic equality modulo one equality-rewrite hop.
+    fn sx_eq(&self, a: &Sx, b: &Sx) -> bool {
+        if a == b {
+            return true;
+        }
+        self.eqs.iter().any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Proves `lhs >= rhs` through the `ge` facts (bounded depth).
+    fn prove_ge(&self, lhs: &Sx, rhs: &Sx, depth: usize) -> Option<Vec<String>> {
+        if self.sx_eq(lhs, rhs) {
+            return Some(Vec::new());
+        }
+        if let (Sx::Konst(a), Sx::Konst(b)) = (lhs, rhs) {
+            if a >= b {
+                return Some(Vec::new());
+            }
+        }
+        if depth == 0 {
+            return None;
+        }
+        for (big, small, why) in &self.ge {
+            if self.sx_eq(big, lhs) {
+                if let Some(mut chain) = self.prove_ge(small, rhs, depth - 1) {
+                    chain.insert(0, why.clone());
+                    return Some(chain);
+                }
+            }
+        }
+        None
+    }
+
+    /// Proves `v < bound` given `v`'s upper bounds.
+    fn prove_lt(&self, ubs: &[Ub], bound: &Sx) -> Option<Vec<String>> {
+        for ub in ubs {
+            if ub.off <= 0 {
+                if let Some(mut chain) = self.prove_ge(bound, &ub.base, 3) {
+                    chain.insert(0, ub.why.clone());
+                    return Some(chain);
+                }
+            }
+        }
+        None
+    }
+
+    /// Proves `(i+1)*k <= len(s)`: either a direct `scaled` assumption, or a
+    /// product fact `len(s) >= n*k` combined with `i < n`.
+    fn prove_scaled(&self, i: &str, k: &Sx, s: &str) -> Option<Vec<String>> {
+        for (i2, k2, s2, why) in &self.scaled {
+            if i2 == i && self.sx_eq(k2, k) && s2 == s {
+                return Some(vec![why.clone()]);
+            }
+        }
+        let i_ubs = self.ub.get(i)?;
+        for (p, n, kk, why) in &self.prod {
+            if p == s && self.sx_eq(kk, k) {
+                if let Some(mut chain) = self.prove_lt(i_ubs, n) {
+                    chain.insert(0, why.clone());
+                    return Some(chain);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops every fact mentioning `path` or one of its fields.
+    fn havoc_path(&mut self, path: &str) {
+        let hits = |s: &str| s == path || s.starts_with(&format!("{path}."));
+        let sx_hits = |x: &Sx| match x {
+            Sx::Len(p) | Sx::Cols(p) | Sx::Var(p) => hits(p),
+            Sx::Konst(_) => false,
+        };
+        self.ub.remove(path);
+        self.elem.remove(path);
+        self.appends.remove(path);
+        self.chunk_src.remove(path);
+        self.snapshots.retain(|v, src| !hits(v) && !hits(src));
+        self.ge.retain(|(a, b, _)| !sx_hits(a) && !sx_hits(b));
+        self.eqs.retain(|(a, b)| !sx_hits(a) && !sx_hits(b));
+        self.prod.retain(|(p, a, b, _)| !hits(p) && !sx_hits(a) && !sx_hits(b));
+        self.scaled.retain(|(i, k, s, _)| !hits(i) && !sx_hits(k) && !hits(s));
+    }
+
+    /// Records an append of values bounded by `bounds` (empty = unbounded).
+    fn record_append(&mut self, vec: &str, bounds: Vec<Ub>) {
+        let entry = self.appends.entry(vec.to_string()).or_insert_with(|| (Vec::new(), false));
+        if bounds.is_empty() {
+            entry.1 = true;
+        } else {
+            entry.0.push(bounds);
+        }
+        // An append with unknown bound also kills any element bounds.
+        if self.appends.get(vec).map(|(_, dirty)| *dirty).unwrap_or(false) {
+            self.elem.remove(vec);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Obligations
+// ---------------------------------------------------------------------------
+
+/// One proof obligation: either discharged (with its basis chain) or failed
+/// (with the reason).
+#[derive(Debug)]
+struct Obligation {
+    file: String,
+    line: usize,
+    caller: String,
+    cert: String,
+    cert_is_real: bool,
+    claim: String,
+    outcome: Result<Vec<String>, String>,
+}
+
+// ---------------------------------------------------------------------------
+// The walker
+// ---------------------------------------------------------------------------
+
+/// Methods that never invalidate tracked facts (read-only accessors, the
+/// modeled iterator adapters, and the mutators handled explicitly by the
+/// walker). Anything else called on a tracked path havocs its facts.
+const BENIGN_METHODS: &[&str] = &[
+    "all", "any", "as_slice", "chunks", "chunks_exact", "clone", "cols", "contains", "copied",
+    "end", "enumerate", "first", "get", "is_empty", "iter", "iter_mut", "last", "len", "map",
+    "max", "min", "next_generation", "next_power_of_two", "nnz", "remainder", "reserve",
+    "reserve_exact", "rev", "row", "row_indices", "row_iter", "row_nnz", "row_values", "rows",
+    "saturating_sub", "sort", "sort_unstable", "start", "sum", "to_bits", "unwrap_or", "values",
+    "windows", "zip",
+];
+
+/// What a `for`-pattern position binds to.
+#[derive(Debug, Clone)]
+enum BindInfo {
+    /// A scalar with the given upper bounds.
+    Scalar(Vec<Ub>),
+    /// A subslice whose elements carry the given bounds.
+    Slice(Vec<Ub>),
+    /// Nothing known.
+    Top,
+}
+
+struct Walker<'a> {
+    file: &'a str,
+    sig: &'a [&'a Token],
+    fname: String,
+    cert: Option<String>,
+    contracts: &'a BTreeMap<String, Contract>,
+    env: Env,
+    obls: Vec<Obligation>,
+}
+
+impl<'a> Walker<'a> {
+    fn tok(&self, i: usize) -> Option<&'a Token> {
+        self.sig.get(i).copied()
+    }
+
+    /// The token at `i`. Every span the walker manipulates comes from an
+    /// in-range scan of `sig`, so the one indexing site lives here.
+    fn at(&self, i: usize) -> &'a Token {
+        // lint: allow(panic-surface) -- walker spans come from in-range scans of `sig`
+        self.sig[i]
+    }
+
+    fn is_p(&self, i: usize, c: char) -> bool {
+        self.tok(i).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn is_i(&self, i: usize, s: &str) -> bool {
+        self.tok(i).map(|t| t.is_ident(s)).unwrap_or(false)
+    }
+
+    /// Index of the matching close bracket for the open bracket at `i`.
+    fn match_close(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0usize;
+        for k in i..self.sig.len() {
+            let t = self.at(k);
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        self.sig.len().saturating_sub(1)
+    }
+
+    /// First index in `[i, end)` holding punct `c` at zero bracket depth.
+    fn find_at_depth0(&self, i: usize, end: usize, c: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in i..end {
+            let t = self.at(k);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                if t.is_punct(c) && depth == 0 {
+                    return Some(k);
+                }
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if t.is_punct(c) && depth == 0 {
+                    return Some(k);
+                }
+            } else if depth == 0 && t.is_punct(c) {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// First index in `[i, end)` of the ident `w` at zero bracket depth.
+    fn find_ident_depth0(&self, i: usize, end: usize, w: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in i..end {
+            let t = self.at(k);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_ident(w) {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Renders `sig[lo..hi]` as a compact string (for claims/messages).
+    fn render(&self, lo: usize, hi: usize) -> String {
+        let mut s = String::new();
+        for k in lo..hi.min(self.sig.len()) {
+            let t = self.at(k);
+            if !s.is_empty()
+                && t.kind == TokenKind::Ident
+                && self
+                    .tok(k.wrapping_sub(1))
+                    .map(|p| p.kind == TokenKind::Ident)
+                    .unwrap_or(false)
+            {
+                s.push(' ');
+            }
+            s.push_str(&t.text);
+        }
+        s
+    }
+
+    /// Parses `sig[lo..hi]` as a dotted path (`&`/`mut` stripped); `None`
+    /// when the span is anything more complex.
+    fn parse_path(&self, mut lo: usize, hi: usize) -> Option<String> {
+        while lo < hi && (self.is_p(lo, '&') || self.is_i(lo, "mut")) {
+            lo += 1;
+        }
+        if lo >= hi {
+            return None;
+        }
+        let mut parts = Vec::new();
+        let mut expect_ident = true;
+        for k in lo..hi {
+            let t = self.at(k);
+            if expect_ident {
+                if t.kind != TokenKind::Ident {
+                    return None;
+                }
+                parts.push(t.text.clone());
+            } else if !t.is_punct('.') {
+                return None;
+            }
+            expect_ident = !expect_ident;
+        }
+        if expect_ident {
+            return None; // trailing dot
+        }
+        Some(parts.join("."))
+    }
+
+    /// Parses `sig[lo..hi]` as a symbolic expression: an integer, a path
+    /// (`Var`), or `P.len()` / `P.cols()` / `P.rows()`-style calls.
+    fn parse_sx(&self, mut lo: usize, mut hi: usize) -> Option<Sx> {
+        while lo < hi && (self.is_p(lo, '&') || self.is_i(lo, "mut")) {
+            lo += 1;
+        }
+        if lo >= hi {
+            return None;
+        }
+        if hi - lo == 1 {
+            let t = self.at(lo);
+            if t.kind == TokenKind::Ident {
+                if let Ok(v) = t.text.parse::<i64>() {
+                    return Some(Sx::Konst(v));
+                }
+                return Some(Sx::Var(t.text.clone()));
+            }
+            if let Ok(v) = t.text.parse::<i64>() {
+                return Some(Sx::Konst(v));
+            }
+            return None;
+        }
+        // `P.method()` forms.
+        if hi - lo >= 4 && self.is_p(hi - 1, ')') && self.is_p(hi - 2, '(') {
+            let m = self.tok(hi - 3)?;
+            if self.is_p(hi - 4, '.') {
+                let recv = self.parse_path(lo, hi - 4)?;
+                return match m.text.as_str() {
+                    "len" => Some(Sx::Len(recv)),
+                    "cols" => Some(Sx::Cols(recv)),
+                    _ => None,
+                };
+            }
+        }
+        hi = hi.min(self.sig.len());
+        self.parse_path(lo, hi).map(Sx::Var)
+    }
+
+    /// Upper bounds for an index expression: `v`, `v + K`, `v - K`, or a
+    /// literal. `None` when the expression is out of the domain.
+    fn idx_ubs(&self, lo: usize, hi: usize) -> Option<Vec<Ub>> {
+        if hi <= lo {
+            return None;
+        }
+        if hi - lo == 1 {
+            let t = self.at(lo);
+            if let Ok(v) = t.text.parse::<i64>() {
+                return Some(vec![Ub {
+                    base: Sx::Konst(v + 1),
+                    off: 0,
+                    why: format!("literal {v}"),
+                }]);
+            }
+            return self.env.ub.get(&t.text).cloned();
+        }
+        if hi - lo == 3 && (self.is_p(lo + 1, '+') || self.is_p(lo + 1, '-')) {
+            let var = self.tok(lo)?;
+            let k: i64 = self.tok(lo + 2)?.text.parse().ok()?;
+            let delta = if self.is_p(lo + 1, '+') { k } else { -k };
+            return self.env.ub.get(&var.text).map(|ubs| {
+                ubs.iter()
+                    .map(|u| Ub { base: u.base.clone(), off: u.off + delta, why: u.why.clone() })
+                    .collect()
+            });
+        }
+        None
+    }
+
+    /// Normalizes a span by stripping leading `&`/`mut` borrows and
+    /// redundant outer parens — `(&mut col_chunks).zip(..)` receivers
+    /// reduce to the underlying `col_chunks` path.
+    fn strip_wrappers(&self, mut lo: usize, mut hi: usize) -> (usize, usize) {
+        loop {
+            while lo < hi && (self.is_p(lo, '&') || self.is_i(lo, "mut")) {
+                lo += 1;
+            }
+            if lo < hi && self.is_p(lo, '(') && self.match_close(lo, '(', ')') == hi - 1 {
+                lo += 1;
+                hi -= 1;
+            } else {
+                return (lo, hi);
+            }
+        }
+    }
+
+    /// Element bounds of a sequence expression (`cols`, `b.row_indices(k)`,
+    /// `v[start..]` suffixes, `chunks.remainder()`).
+    fn elem_of_seq(&self, lo: usize, hi: usize) -> Option<Vec<Ub>> {
+        let (lo, hi) = self.strip_wrappers(lo, hi);
+        if lo >= hi {
+            return None;
+        }
+        if let Some(p) = self.parse_path(lo, hi) {
+            return self.env.elem.get(&p).cloned();
+        }
+        // `P[start..]` suffix with a len snapshot.
+        if self.is_p(hi - 1, ']') {
+            let open = (lo..hi).find(|&k| self.is_p(k, '['))?;
+            if self.match_close(open, '[', ']') == hi - 1 {
+                let vec = self.parse_path(lo, open)?;
+                let dots = self.find_at_depth0(open + 1, hi - 1, '.')?;
+                if !self.is_p(dots + 1, '.') {
+                    return None;
+                }
+                let start = self.parse_path(open + 1, dots)?;
+                if self.env.snapshots.get(&start) == Some(&vec) {
+                    let (groups, dirty) = self.env.appends.get(&vec)?;
+                    if !dirty && !groups.is_empty() {
+                        // A bound holds for every element iff every append
+                        // group entails it (same base, no larger offset).
+                        let mut common: Vec<Ub> = groups.first()?.clone();
+                        common.retain(|u| {
+                            groups.iter().all(|g| {
+                                g.iter().any(|v| v.base == u.base && v.off <= u.off)
+                            })
+                        });
+                        if !common.is_empty() {
+                            return Some(common);
+                        }
+                    }
+                }
+                return None;
+            }
+        }
+        // `M.row_indices(k)` / `chunks.remainder()`.
+        if self.is_p(hi - 1, ')') {
+            let open = self.call_open(lo, hi)?;
+            let m = self.tok(open.checked_sub(1)?)?;
+            if open >= 2 && self.is_p(open - 2, '.') {
+                if m.is_ident("row_indices") {
+                    let recv = self.parse_path(lo, open - 2)?;
+                    if self.env.col_bounded.contains(&recv) {
+                        return Some(vec![Ub {
+                            base: Sx::Cols(recv.clone()),
+                            off: 0,
+                            why: format!("invariant(col-in-bounds) on `{recv}`"),
+                        }]);
+                    }
+                }
+                if m.is_ident("remainder") {
+                    let recv = self.parse_path(lo, open - 2)?;
+                    return self.env.chunk_src.get(&recv).cloned();
+                }
+                if matches!(m.text.as_str(), "iter" | "iter_mut" | "copied" | "cloned") {
+                    return self.elem_of_seq(lo, open - 2);
+                }
+            }
+        }
+        None
+    }
+
+    /// For a span ending in `(...)` at `hi-1`, the index of that `(`.
+    fn call_open(&self, lo: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in (lo..hi).rev() {
+            let t = self.at(k);
+            if t.is_punct(')') || t.is_punct(']') {
+                depth += 1;
+            } else if t.is_punct('(') || t.is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k).filter(|_| t.is_punct('('));
+                }
+            }
+        }
+        None
+    }
+
+    /// Splits the args of a call whose `(` is at `open`: spans at top-level
+    /// commas. Returns (arg spans, index after `)`).
+    fn split_args(&self, open: usize) -> (Vec<(usize, usize)>, usize) {
+        let close = self.match_close(open, '(', ')');
+        let mut spans = Vec::new();
+        let mut depth = 0usize;
+        let mut start = open + 1;
+        for k in open + 1..close {
+            let t = self.at(k);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(',') {
+                spans.push((start, k));
+                start = k + 1;
+            }
+        }
+        if start < close {
+            spans.push((start, close));
+        }
+        (spans, close + 1)
+    }
+
+    /// Walks back from the `.` at `dot` to find the receiver path start.
+    /// Only simple dotted-ident chains resolve; anything else is `None`.
+    fn recv_path(&self, dot: usize) -> Option<String> {
+        let mut k = dot;
+        // Expect ... ident (. ident)* just before `dot`.
+        let mut parts: Vec<String> = Vec::new();
+        loop {
+            let id = self.tok(k.checked_sub(1)?)?;
+            if id.kind != TokenKind::Ident {
+                return None;
+            }
+            parts.push(id.text.clone());
+            if k >= 2 && self.is_p(k - 2, '.') {
+                k -= 2;
+            } else {
+                break;
+            }
+        }
+        parts.reverse();
+        Some(parts.join("."))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement walking
+// ---------------------------------------------------------------------------
+
+impl<'a> Walker<'a> {
+    /// Seeds the env from the fn's own contract at entry.
+    fn seed(&mut self, c: &Contract) {
+        if c.invariants.iter().any(|i| i == "col-in-bounds") {
+            for (p, ty) in &c.params {
+                if ty.iter().any(|t| t == "CsrMatrix") {
+                    self.env.col_bounded.insert(p.clone());
+                }
+            }
+        }
+        for fact in &c.requires {
+            let why = format!("requires({}) of `{}`", fact.render(), c.fn_name);
+            match fact {
+                Fact::InLen(i, s) => {
+                    self.env.ub.entry(i.clone()).or_default().push(Ub {
+                        base: Sx::Len(s.clone()),
+                        off: 0,
+                        why: why.clone(),
+                    });
+                }
+                Fact::ScaledInLen(i, k, s) => {
+                    self.env.scaled.push((i.clone(), sx_text(k), s.clone(), why.clone()));
+                }
+                Fact::SpaWidth(w, cw) => {
+                    let width = if c.is_matrix_param(cw) {
+                        Sx::Cols(cw.clone())
+                    } else {
+                        sx_text(cw)
+                    };
+                    self.env.ge.push((Sx::Len(format!("{w}.acc")), width.clone(), why.clone()));
+                    self.env.ge.push((Sx::Len(format!("{w}.stamp")), width, why.clone()));
+                }
+                Fact::AppendsInLen(..) => {}
+            }
+        }
+        for fact in &c.ensures {
+            // Declaring `appends-in-len(v, s)` starts clean tracking for `v`
+            // so the post-walk verification sees every append.
+            if let Fact::AppendsInLen(v, _) = fact {
+                self.env.appends.insert(v.clone(), (Vec::new(), false));
+            }
+        }
+    }
+
+    /// Verifies the fn's own `ensures(appends-in-len(..))` after the body
+    /// walk (the one ensures fact that is re-verified, not trusted).
+    fn verify_ensures(&mut self, c: &Contract) {
+        for fact in &c.ensures {
+            let Fact::AppendsInLen(v, s) = fact else { continue };
+            let claim = fact.render();
+            let outcome = match self.env.appends.get(v) {
+                None => Ok(vec![format!("no appends to `{v}` on any path")]),
+                Some((_, true)) => {
+                    Err(format!("`{v}` received an append with no provable bound"))
+                }
+                Some((groups, false)) if groups.is_empty() => {
+                    Ok(vec![format!("no appends to `{v}` on any path")])
+                }
+                Some((groups, false)) => {
+                    let target = Sx::Len(s.clone());
+                    let mut basis = Vec::new();
+                    let mut fail = None;
+                    for group in groups.clone() {
+                        match self.env.prove_lt(&group, &target) {
+                            Some(chain) => basis.extend(chain),
+                            None => {
+                                let bounds = group
+                                    .iter()
+                                    .map(|u| format!("`{} + {}`", u.base.render(), u.off))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                fail = Some(format!(
+                                    "append bounded by {bounds} does not entail `< len({s})`"
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    match fail {
+                        Some(e) => Err(e),
+                        None => Ok(basis),
+                    }
+                }
+            };
+            self.obls.push(Obligation {
+                file: self.file.to_string(),
+                line: c.line,
+                caller: c.fn_name.clone(),
+                cert: c.cert_id(),
+                cert_is_real: c.cert.is_some(),
+                claim,
+                outcome,
+            });
+        }
+    }
+
+    /// Walks the block whose `{` is at sig position `open`; returns the
+    /// position just past the matching `}`.
+    fn walk_block(&mut self, open: usize) -> usize {
+        let close = self.match_close(open, '{', '}');
+        let mut k = open + 1;
+        while k < close {
+            let next = self.walk_stmt(k, close);
+            k = next.max(k + 1); // guarantee progress on weird input
+        }
+        close + 1
+    }
+
+    /// Walks one statement starting at `k`; returns the position after it.
+    fn walk_stmt(&mut self, k: usize, close: usize) -> usize {
+        // Attributes.
+        if self.is_p(k, '#') && self.is_p(k + 1, '[') {
+            return self.match_close(k + 1, '[', ']') + 1;
+        }
+        // `let PAT = RHS;`
+        if self.is_i(k, "let") {
+            let semi = self.find_at_depth0(k + 1, close, ';').unwrap_or(close);
+            if let Some(eq) = self.find_eq_depth0(k + 1, semi) {
+                self.scan_expr(eq + 1, semi);
+                // Single-ident pattern (optionally `mut`).
+                let mut p = k + 1;
+                if self.is_i(p, "mut") {
+                    p += 1;
+                }
+                let single = p + 1 == eq
+                    || (p + 2 == eq && self.is_p(p + 1, ':')) // `let x: = ` never; keep simple
+                    || (self.tok(p).map(|t| t.kind == TokenKind::Ident).unwrap_or(false)
+                        && self.is_p(p + 1, ':')
+                        && self.find_at_depth0(p + 1, eq, '=').is_none());
+                if single && self.tok(p).map(|t| t.kind == TokenKind::Ident).unwrap_or(false) {
+                    let name = self.tok(p).map(|t| t.text.clone()).unwrap_or_default();
+                    self.interpret_let(&name, eq + 1, semi);
+                }
+            } else {
+                self.scan_expr(k + 1, semi);
+            }
+            return semi + 1;
+        }
+        // `for PAT in ITER { .. }`
+        if self.is_i(k, "for") {
+            let Some(in_pos) = self.find_ident_depth0(k + 1, close, "in") else {
+                return close;
+            };
+            let Some(body_open) = self.find_at_depth0(in_pos + 1, close, '{') else {
+                return close;
+            };
+            self.scan_expr(in_pos + 1, body_open);
+            let binds = self.analyze_iterable(in_pos + 1, body_open);
+            self.bind_pattern(k + 1, in_pos, &binds);
+            let body_close = self.match_close(body_open, '{', '}');
+            for v in self.assigned_vars(body_open + 1, body_close) {
+                self.env.havoc_path(&v);
+            }
+            return self.walk_block(body_open);
+        }
+        // `while COND { .. }` / `loop { .. }`
+        if self.is_i(k, "while") || self.is_i(k, "loop") {
+            let Some(body_open) = self.find_at_depth0(k + 1, close, '{') else {
+                return close;
+            };
+            self.scan_expr(k + 1, body_open);
+            let body_close = self.match_close(body_open, '{', '}');
+            for v in self.assigned_vars(body_open + 1, body_close) {
+                self.env.havoc_path(&v);
+            }
+            return self.walk_block(body_open);
+        }
+        // `if COND { .. } else if .. { .. } else { .. }` — flat-env walk of
+        // every branch, then havoc anything either branch assigned.
+        if self.is_i(k, "if") {
+            let Some(body_open) = self.find_at_depth0(k + 1, close, '{') else {
+                return close;
+            };
+            self.scan_expr(k + 1, body_open);
+            let first_close = self.match_close(body_open, '{', '}');
+            let mut assigned = self.assigned_vars(body_open + 1, first_close);
+            let mut after = self.walk_block(body_open);
+            while self.is_i(after, "else") {
+                if self.is_i(after + 1, "if") {
+                    let Some(open2) = self.find_at_depth0(after + 2, close, '{') else { break };
+                    self.scan_expr(after + 2, open2);
+                    let close2 = self.match_close(open2, '{', '}');
+                    assigned.extend(self.assigned_vars(open2 + 1, close2));
+                    after = self.walk_block(open2);
+                } else if self.is_p(after + 1, '{') {
+                    let close2 = self.match_close(after + 1, '{', '}');
+                    assigned.extend(self.assigned_vars(after + 2, close2));
+                    after = self.walk_block(after + 1);
+                } else {
+                    break;
+                }
+            }
+            for v in assigned {
+                self.env.havoc_path(&v);
+            }
+            return after;
+        }
+        // `match SCRUT { arms }` — scanned (not walked); arms are exprs.
+        if self.is_i(k, "match") {
+            let Some(body_open) = self.find_at_depth0(k + 1, close, '{') else {
+                return close;
+            };
+            self.scan_expr(k + 1, body_open);
+            let body_close = self.match_close(body_open, '{', '}');
+            for v in self.assigned_vars(body_open + 1, body_close) {
+                self.env.havoc_path(&v);
+            }
+            self.scan_expr(body_open + 1, body_close);
+            return body_close + 1;
+        }
+        // `unsafe { .. }` / bare block.
+        if self.is_i(k, "unsafe") && self.is_p(k + 1, '{') {
+            return self.walk_block(k + 1);
+        }
+        if self.is_p(k, '{') {
+            return self.walk_block(k);
+        }
+        // Expression statement: assignment or plain expression.
+        let semi = self.find_at_depth0(k, close, ';').unwrap_or(close);
+        if let Some(eq) = self.find_eq_depth0(k, semi) {
+            // Havoc the assignment target's root path, then scan both sides.
+            if let Some(root) = self.tok(k).filter(|t| t.kind == TokenKind::Ident) {
+                let root = root.text.clone();
+                self.env.havoc_path(&root);
+            }
+            self.scan_expr(k, eq);
+            self.scan_expr(eq + 1, semi);
+        } else {
+            self.scan_expr(k, semi);
+        }
+        semi + 1
+    }
+
+    /// Position of a top-level plain `=` (not `==`, `<=`, `>=`, `!=`, `=>`,
+    /// compound-assign `+=` counts — returns the `=` itself) in `[lo, hi)`.
+    fn find_eq_depth0(&self, lo: usize, hi: usize) -> Option<usize> {
+        let eq = self.find_at_depth0(lo, hi, '=')?;
+        if self.is_p(eq + 1, '=') || self.is_p(eq + 1, '>') {
+            return None;
+        }
+        if eq > lo {
+            let prev = self.tok(eq - 1)?;
+            if prev.is_punct('=') || prev.is_punct('<') || prev.is_punct('>') || prev.is_punct('!')
+            {
+                return None;
+            }
+        }
+        Some(eq)
+    }
+
+    /// Variables assigned (plain or compound) anywhere in `[lo, hi)`; dotted
+    /// targets havoc their root ident. `let`-introduced names are skipped.
+    fn assigned_vars(&self, lo: usize, hi: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for k in lo..hi {
+            let t = self.at(k);
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            if k > 0 {
+                let p = self.at(k - 1);
+                if p.is_ident("let") || p.is_ident("mut") {
+                    continue;
+                }
+            }
+            let Some(n1) = self.tok(k + 1) else { continue };
+            let is_assign = if n1.is_punct('=') {
+                !self.is_p(k + 2, '=')
+                    && !self.is_p(k + 2, '>')
+                    && !(k > 0
+                        && (self.is_p(k - 1, '=')
+                            || self.is_p(k - 1, '<')
+                            || self.is_p(k - 1, '>')
+                            || self.is_p(k - 1, '!')))
+            } else if n1.kind == TokenKind::Punct
+                && matches!(n1.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+            {
+                self.is_p(k + 2, '=') && !self.is_p(k + 3, '=')
+            } else {
+                false
+            };
+            if !is_assign {
+                continue;
+            }
+            // Walk a dotted chain back to its root ident.
+            let mut j = k;
+            while j >= 2 && self.is_p(j - 1, '.') && self.at(j - 2).kind == TokenKind::Ident {
+                j -= 2;
+            }
+            out.insert(self.at(j).text.clone());
+        }
+        out
+    }
+
+    /// Binds a `for` pattern (`c`, `&c`, `(i, r)`, `&(c, v)`) to the
+    /// iterable's per-position [`BindInfo`]s.
+    fn bind_pattern(&mut self, mut lo: usize, hi: usize, binds: &[BindInfo]) {
+        while lo < hi && (self.is_p(lo, '&') || self.is_i(lo, "mut")) {
+            lo += 1;
+        }
+        let mut names: Vec<Option<String>> = Vec::new();
+        if self.is_p(lo, '(') {
+            let close = self.match_close(lo, '(', ')');
+            let mut start = lo + 1;
+            loop {
+                let comma = self.find_at_depth0(start, close, ',').unwrap_or(close);
+                let mut p = start;
+                while p < comma && (self.is_p(p, '&') || self.is_i(p, "mut")) {
+                    p += 1;
+                }
+                names.push(
+                    self.tok(p)
+                        .filter(|t| t.kind == TokenKind::Ident && t.text != "_")
+                        .filter(|_| p + 1 == comma)
+                        .map(|t| t.text.clone()),
+                );
+                if comma >= close {
+                    break;
+                }
+                start = comma + 1;
+            }
+        } else {
+            names.push(
+                self.tok(lo)
+                    .filter(|t| t.kind == TokenKind::Ident && t.text != "_")
+                    .filter(|_| lo + 1 == hi)
+                    .map(|t| t.text.clone()),
+            );
+        }
+        for (pos, name) in names.iter().enumerate() {
+            let Some(name) = name else { continue };
+            self.env.havoc_path(name);
+            let info = if names.len() == 1 && binds.len() > 1 {
+                &BindInfo::Top
+            } else {
+                binds.get(pos).unwrap_or(&BindInfo::Top)
+            };
+            match info {
+                BindInfo::Scalar(ubs) if !ubs.is_empty() => {
+                    self.env.ub.insert(name.clone(), ubs.clone());
+                }
+                BindInfo::Slice(ubs) if !ubs.is_empty() => {
+                    self.env.elem.insert(name.clone(), ubs.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// What iterating `sig[lo..hi]` binds per pattern position.
+    fn analyze_iterable(&self, lo: usize, hi: usize) -> Vec<BindInfo> {
+        let (lo, hi) = self.strip_wrappers(lo, hi);
+        if lo >= hi {
+            return vec![BindInfo::Top];
+        }
+        // Range `A..B` / `A..=B`.
+        if let Some(d) = self.find_dotdot_depth0(lo, hi) {
+            let inclusive = self.is_p(d + 2, '=');
+            let ub_lo = d + 2 + usize::from(inclusive);
+            if let Some(bound) = self.parse_sx(ub_lo, hi) {
+                return vec![BindInfo::Scalar(vec![Ub {
+                    base: bound.clone(),
+                    off: i64::from(inclusive),
+                    why: format!("loop range `..{}`", bound.render()),
+                }])];
+            }
+            return vec![BindInfo::Top];
+        }
+        // Trailing method adapters.
+        if self.is_p(hi - 1, ')') {
+            if let Some(open) = self.call_open(lo, hi) {
+                if open >= 2 && self.is_p(open - 2, '.') {
+                    let m = self.tok(open - 1).map(|t| t.text.clone()).unwrap_or_default();
+                    let rl = lo;
+                    let rh = open - 2;
+                    match m.as_str() {
+                        "enumerate" => {
+                            let mut out = vec![self.count_bound(rl, rh)];
+                            let inner = self.analyze_iterable(rl, rh);
+                            out.extend(inner.into_iter().take(1));
+                            return out;
+                        }
+                        "zip" => {
+                            let (args, _) = self.split_args(open);
+                            let mut out = Vec::new();
+                            out.extend(self.analyze_iterable(rl, rh).into_iter().take(1));
+                            if let Some(&(alo, ahi)) = args.first() {
+                                out.extend(self.analyze_iterable(alo, ahi).into_iter().take(1));
+                            } else {
+                                out.push(BindInfo::Top);
+                            }
+                            return out;
+                        }
+                        "iter" | "iter_mut" | "copied" | "cloned" | "rev" => {
+                            return self.analyze_iterable(rl, rh);
+                        }
+                        "chunks_exact" | "chunks" | "windows" => {
+                            let elems = self.elem_of_seq(rl, rh).unwrap_or_default();
+                            return vec![BindInfo::Slice(elems)];
+                        }
+                        "row_iter" => {
+                            if let Some(recv) = self.parse_path(rl, rh) {
+                                if self.env.col_bounded.contains(&recv) {
+                                    return vec![
+                                        BindInfo::Scalar(vec![Ub {
+                                            base: Sx::Cols(recv.clone()),
+                                            off: 0,
+                                            why: format!(
+                                                "invariant(col-in-bounds) on `{recv}`"
+                                            ),
+                                        }]),
+                                        BindInfo::Top,
+                                    ];
+                                }
+                            }
+                            return vec![BindInfo::Top, BindInfo::Top];
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Bare path: a chunks iterator binding or a tracked slice.
+        if let Some(p) = self.parse_path(lo, hi) {
+            if let Some(elems) = self.env.chunk_src.get(&p) {
+                return vec![BindInfo::Slice(elems.clone())];
+            }
+            if let Some(elems) = self.env.elem.get(&p) {
+                return vec![BindInfo::Scalar(elems.clone())];
+            }
+        }
+        if let Some(elems) = self.elem_of_seq(lo, hi) {
+            return vec![BindInfo::Scalar(elems)];
+        }
+        vec![BindInfo::Top]
+    }
+
+    /// The `.enumerate()` index bound for the receiver `sig[lo..hi]`:
+    /// `i < len(seq)` when the receiver resolves to a tracked sequence path
+    /// (through `.iter()`-style adapters).
+    fn count_bound(&self, lo: usize, hi: usize) -> BindInfo {
+        if let Some(p) = self.seq_path(lo, hi) {
+            return BindInfo::Scalar(vec![Ub {
+                base: Sx::Len(p.clone()),
+                off: 0,
+                why: format!("enumerate() over `{p}`"),
+            }]);
+        }
+        BindInfo::Top
+    }
+
+    /// Resolves a sequence expression to a path for `len()` purposes,
+    /// stripping `.iter()`/`.iter_mut()`/`.copied()`/`.cloned()` adapters.
+    fn seq_path(&self, lo: usize, hi: usize) -> Option<String> {
+        let (lo, hi) = self.strip_wrappers(lo, hi);
+        if let Some(p) = self.parse_path(lo, hi) {
+            return Some(p);
+        }
+        if self.is_p(hi - 1, ')') {
+            let open = self.call_open(lo, hi)?;
+            if open >= 2 && self.is_p(open - 2, '.') {
+                let m = self.tok(open - 1)?;
+                if matches!(m.text.as_str(), "iter" | "iter_mut" | "copied" | "cloned") {
+                    return self.seq_path(lo, open - 2);
+                }
+            }
+        }
+        None
+    }
+
+    /// `..`/`..=` at zero depth in `[lo, hi)` (returns the first `.`).
+    fn find_dotdot_depth0(&self, lo: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in lo..hi.saturating_sub(1) {
+            let t = self.at(k);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct('.') && self.is_p(k + 1, '.') {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Interprets `let name = sig[lo..hi];` after the RHS has been scanned.
+    fn interpret_let(&mut self, name: &str, lo: usize, hi: usize) {
+        self.env.havoc_path(name);
+        if hi <= lo {
+            return;
+        }
+        // `v.len()` snapshot.
+        if let Some(Sx::Len(v)) = self.parse_sx(lo, hi) {
+            self.env.snapshots.insert(name.to_string(), v.clone());
+            self.env.eqs.push((Sx::Var(name.to_string()), Sx::Len(v.clone())));
+            self.env.ub.insert(
+                name.to_string(),
+                vec![Ub {
+                    base: Sx::Len(v.clone()),
+                    off: 1,
+                    why: format!("`{name} = {}.len()`", v),
+                }],
+            );
+            return;
+        }
+        // `X.cols()` alias.
+        if let Some(Sx::Cols(x)) = self.parse_sx(lo, hi) {
+            self.env.eqs.push((Sx::Var(name.to_string()), Sx::Cols(x.clone())));
+            self.env.ub.insert(
+                name.to_string(),
+                vec![Ub {
+                    base: Sx::Cols(x.clone()),
+                    off: 1,
+                    why: format!("`{name} = {x}.cols()`"),
+                }],
+            );
+            return;
+        }
+        // Integer literal.
+        if hi - lo == 1 {
+            if let Ok(v) = self.at(lo).text.parse::<i64>() {
+                self.env.eqs.push((Sx::Var(name.to_string()), Sx::Konst(v)));
+                self.env.ub.insert(
+                    name.to_string(),
+                    vec![Ub { base: Sx::Konst(v + 1), off: 0, why: format!("literal {v}") }],
+                );
+                return;
+            }
+        }
+        // `X.chunks_exact(n)` binding.
+        if self.is_p(hi - 1, ')') {
+            if let Some(open) = self.call_open(lo, hi) {
+                if open >= 2 && self.is_p(open - 2, '.') {
+                    let m = self.tok(open - 1).map(|t| t.text.clone()).unwrap_or_default();
+                    if m == "chunks_exact" || m == "chunks" {
+                        let elems = self.elem_of_seq(lo, open - 2).unwrap_or_default();
+                        self.env.chunk_src.insert(name.to_string(), elems);
+                        return;
+                    }
+                    if m == "take_index_buffer" || m == "take_value_buffer" {
+                        // Pooled buffer: starts empty, appends tracked clean.
+                        self.env.appends.insert(name.to_string(), (Vec::new(), false));
+                        return;
+                    }
+                }
+            }
+        }
+        // Sequence expressions with known element bounds.
+        if let Some(elems) = self.elem_of_seq(lo, hi) {
+            self.env.elem.insert(name.to_string(), elems);
+            return;
+        }
+        // Single-ident alias: copy what we know.
+        if hi - lo == 1 && self.at(lo).kind == TokenKind::Ident {
+            let src = self.at(lo).text.clone();
+            if let Some(u) = self.env.ub.get(&src).cloned() {
+                self.env.ub.insert(name.to_string(), u);
+            }
+            if let Some(e) = self.env.elem.get(&src).cloned() {
+                self.env.elem.insert(name.to_string(), e);
+            }
+            if let Some(cs) = self.env.chunk_src.get(&src).cloned() {
+                self.env.chunk_src.insert(name.to_string(), cs);
+            }
+        }
+    }
+}
+/// Parses a fact-text operand: an integer, or a variable/path name.
+fn sx_text(t: &str) -> Sx {
+    match t.parse::<i64>() {
+        Ok(v) => Sx::Konst(v),
+        Err(_) => Sx::Var(t.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression scanning: calls, effects, intrinsic obligations
+// ---------------------------------------------------------------------------
+
+impl<'a> Walker<'a> {
+    /// Linear scan of an expression span: contract calls generate and apply
+    /// obligations, `Vec` mutators record effects, `get_unchecked` sites
+    /// generate intrinsic obligations, `.map(|p| ..)` closures bind their
+    /// param to the receiver's element bounds, and unknown methods on
+    /// tracked receivers havoc them.
+    fn scan_expr(&mut self, lo: usize, hi: usize) {
+        let mut k = lo;
+        while k < hi {
+            let t = self.at(k);
+            if t.is_punct('#') && self.is_p(k + 1, '[') {
+                k = self.match_close(k + 1, '[', ']') + 1;
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                k += 1;
+                continue;
+            }
+            // Locate the call parens, skipping a `::<..>` turbofish.
+            let mut open = None;
+            if self.is_p(k + 1, '(') {
+                open = Some(k + 1);
+            } else if self.is_p(k + 1, ':') && self.is_p(k + 2, ':') && self.is_p(k + 3, '<') {
+                let mut depth = 0usize;
+                let mut j = k + 3;
+                while j < self.sig.len() {
+                    if self.is_p(j, '<') {
+                        depth += 1;
+                    } else if self.is_p(j, '>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if self.is_p(j + 1, '(') {
+                    open = Some(j + 1);
+                }
+            }
+            let Some(open) = open else {
+                k += 1;
+                continue;
+            };
+            let method = k > 0 && self.is_p(k - 1, '.');
+            let name = t.text.clone();
+            let (args, after) = self.split_args(open);
+            // `.map(|p| BODY)` closure: bind the param to the receiver's
+            // element bounds, scan the body, jump past.
+            if method && name == "map" && self.is_p(open + 1, '|') {
+                let recv_lo = self.expr_start(k - 1);
+                let elems = self.elem_of_seq(recv_lo, k - 1).unwrap_or_default();
+                let close_bar = self.find_at_depth0(open + 2, after - 1, '|');
+                if let Some(cb) = close_bar {
+                    let mut p = open + 2;
+                    while p < cb && (self.is_p(p, '&') || self.is_i(p, "mut")) {
+                        p += 1;
+                    }
+                    let param = self
+                        .tok(p)
+                        .filter(|t| t.kind == TokenKind::Ident && p + 1 == cb)
+                        .map(|t| t.text.clone());
+                    if let Some(param) = &param {
+                        self.env.havoc_path(param);
+                        if !elems.is_empty() {
+                            self.env.ub.insert(param.clone(), elems);
+                        }
+                    }
+                    self.scan_expr(cb + 1, after - 1);
+                    if let Some(param) = &param {
+                        self.env.havoc_path(param);
+                    }
+                    k = after;
+                    continue;
+                }
+            }
+            // Intrinsic unchecked access.
+            if name == "get_unchecked" || name == "get_unchecked_mut" {
+                if method {
+                    let recv = self.recv_path(k - 1);
+                    self.unchecked_obligation(recv, &args, t.line);
+                }
+                k = open + 1;
+                continue;
+            }
+            // Contract call.
+            if let Some(c) = self.contracts.get(&name) {
+                let c = c.clone();
+                let recv = if method { self.recv_path(k - 1) } else { None };
+                self.contract_call(&c, &recv, &args, t.line);
+                k = open + 1;
+                continue;
+            }
+            // Vec effects and the havoc frame for unknown methods.
+            if method {
+                let recv = self.recv_path(k - 1);
+                match name.as_str() {
+                    "push" => {
+                        if let Some(recv) = recv {
+                            let bounds = args
+                                .first()
+                                .and_then(|&(alo, ahi)| self.idx_ubs(alo, ahi))
+                                .unwrap_or_default();
+                            self.env.record_append(&recv, bounds);
+                        }
+                    }
+                    "extend" | "extend_from_slice" | "append" | "insert" => {
+                        if let Some(recv) = recv {
+                            self.env.record_append(&recv, Vec::new());
+                        }
+                    }
+                    "resize" => {
+                        if let Some(recv) = recv {
+                            self.env.havoc_path(&recv);
+                            if let Some(&(alo, ahi)) = args.first() {
+                                let why = format!(
+                                    "`{recv}.resize({}, ..)`",
+                                    self.render(alo, ahi)
+                                );
+                                if let Some(star) = self.find_at_depth0(alo, ahi, '*') {
+                                    if let (Some(a), Some(b)) = (
+                                        self.parse_sx(alo, star),
+                                        self.parse_sx(star + 1, ahi),
+                                    ) {
+                                        self.env.prod.push((
+                                            recv.clone(),
+                                            a,
+                                            b,
+                                            why.clone(),
+                                        ));
+                                    }
+                                } else if let Some(n) = self.parse_sx(alo, ahi) {
+                                    self.env.ge.push((Sx::Len(recv.clone()), n, why));
+                                }
+                            }
+                        }
+                    }
+                    "clear" => {
+                        if let Some(recv) = recv {
+                            self.env.havoc_path(&recv);
+                            self.env.appends.insert(recv, (Vec::new(), false));
+                        }
+                    }
+                    _ => {
+                        if !BENIGN_METHODS.contains(&name.as_str()) {
+                            if let Some(recv) = recv {
+                                self.env.havoc_path(&recv);
+                            }
+                        }
+                    }
+                }
+                k = open + 1;
+                continue;
+            }
+            // Free non-contract call: havoc `&mut` args (may grow/shrink).
+            for &(alo, ahi) in &args {
+                if self.is_p(alo, '&') && self.is_i(alo + 1, "mut") {
+                    if let Some(p) = self.parse_path(alo + 2, ahi) {
+                        self.env.havoc_path(&p);
+                    }
+                }
+            }
+            k = open + 1;
+        }
+    }
+
+    /// Start (inclusive) of the primary expression ending just before
+    /// `end` (exclusive): walks dotted chains, call parens, and index
+    /// brackets backwards.
+    fn expr_start(&self, end: usize) -> usize {
+        let mut k = end;
+        loop {
+            if k == 0 {
+                return 0;
+            }
+            let t = self.at(k - 1);
+            if t.is_punct(')') || t.is_punct(']') {
+                let (open_c, close_c) = if t.is_punct(')') { ('(', ')') } else { ('[', ']') };
+                let mut depth = 0usize;
+                let mut j = k - 1;
+                loop {
+                    let u = self.at(j);
+                    if u.is_punct(close_c) {
+                        depth += 1;
+                    } else if u.is_punct(open_c) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                k = j;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                k -= 1;
+                if k >= 1 && self.at(k - 1).is_punct('.') {
+                    k -= 1;
+                    continue;
+                }
+                return k;
+            }
+            return k;
+        }
+    }
+
+    /// Generates the obligation for a `get_unchecked`/`get_unchecked_mut`
+    /// site. Only certified fns generate intrinsic obligations; anywhere
+    /// else the token-level `unchecked-access` rule already fires.
+    fn unchecked_obligation(&mut self, recv: Option<String>, args: &[(usize, usize)], line: usize) {
+        let Some(cert) = self.cert.clone() else { return };
+        let Some(recv) = recv else {
+            self.push_obl(
+                cert,
+                line,
+                "get_unchecked receiver".to_string(),
+                Err("receiver is not a resolvable path".to_string()),
+            );
+            return;
+        };
+        let Some(&(alo, ahi)) = args.first() else {
+            self.push_obl(
+                cert,
+                line,
+                format!("get_unchecked on `{recv}`"),
+                Err("missing index argument".to_string()),
+            );
+            return;
+        };
+        // Range shape `I*K..(I+1)*K`?
+        if let Some(d) = self.find_dotdot_depth0(alo, ahi) {
+            let claim = format!("{} <= len({recv})", self.render(alo, ahi));
+            let outcome = self.prove_range(alo, d, ahi, &recv);
+            self.push_obl(cert, line, claim, outcome);
+            return;
+        }
+        let claim = format!("{} < len({recv})", self.render(alo, ahi));
+        let outcome = match self.idx_ubs(alo, ahi) {
+            Some(ubs) => match self.env.prove_lt(&ubs, &Sx::Len(recv.clone())) {
+                Some(chain) => Ok(chain),
+                None => Err(format!(
+                    "no upper bound on `{}` entails `< len({recv})`",
+                    self.render(alo, ahi)
+                )),
+            },
+            None => Err(format!(
+                "index `{}` is outside the interval domain",
+                self.render(alo, ahi)
+            )),
+        };
+        self.push_obl(cert, line, claim, outcome);
+    }
+
+    /// Proves the `I*K..(I+1)*K` slice-range shape against `len(recv)`:
+    /// lower end is fine by monotonicity, upper end needs
+    /// `scaled-in-len(I, K, recv)`.
+    fn prove_range(
+        &self,
+        alo: usize,
+        dots: usize,
+        ahi: usize,
+        recv: &str,
+    ) -> Result<Vec<String>, String> {
+        let star = self
+            .find_at_depth0(alo, dots, '*')
+            .ok_or_else(|| "range start is not `i*k`".to_string())?;
+        let i = self
+            .parse_path(alo, star)
+            .ok_or_else(|| "range start index is not a simple path".to_string())?;
+        let k_sx = self
+            .parse_sx(star + 1, dots)
+            .ok_or_else(|| "range start stride is not a simple expression".to_string())?;
+        // Upper end: `(I+1)*K` with matching I and K.
+        let up_lo = dots + 2;
+        let ok_shape = self.is_p(up_lo, '(')
+            && {
+                let close = self.match_close(up_lo, '(', ')');
+                let plus = self.find_at_depth0(up_lo + 1, close, '+');
+                match plus {
+                    Some(p) => {
+                        self.parse_path(up_lo + 1, p).as_deref() == Some(i.as_str())
+                            && self.tok(p + 1).map(|t| t.text == "1").unwrap_or(false)
+                            && p + 2 == close
+                            && self.is_p(close + 1, '*')
+                            && self
+                                .parse_sx(close + 2, ahi)
+                                .map(|k2| self.env.sx_eq(&k2, &k_sx))
+                                .unwrap_or(false)
+                    }
+                    None => false,
+                }
+            };
+        if !ok_shape {
+            return Err("range is not the `i*k..(i+1)*k` shape".to_string());
+        }
+        match self.env.prove_scaled(&i, &k_sx, recv) {
+            Some(chain) => Ok(chain),
+            None => Err(format!(
+                "no `scaled-in-len({i}, {}, {recv})` fact or product bound applies",
+                k_sx.render()
+            )),
+        }
+    }
+
+    /// Generates obligations for every `requires` fact of a contract call
+    /// and applies its `ensures` facts to the caller env.
+    fn contract_call(
+        &mut self,
+        c: &Contract,
+        recv: &Option<String>,
+        args: &[(usize, usize)],
+        line: usize,
+    ) {
+        for fact in &c.requires {
+            let cert = c.cert_id();
+            match fact {
+                Fact::InLen(i, s) => {
+                    let s_actual = self.resolve_path(c, recv, args, s);
+                    let i_span = c.param_index(i).and_then(|ix| args.get(ix).copied());
+                    let (claim, outcome) = match (&s_actual, i_span) {
+                        (Some(sa), Some((ilo, ihi))) => {
+                            let claim = format!("{} < len({sa})", self.render(ilo, ihi));
+                            let outcome = match self.idx_ubs(ilo, ihi) {
+                                Some(ubs) => {
+                                    match self.env.prove_lt(&ubs, &Sx::Len(sa.clone())) {
+                                        Some(chain) => Ok(chain),
+                                        None => Err(format!(
+                                            "no upper bound on `{}` entails `< len({sa})`",
+                                            self.render(ilo, ihi)
+                                        )),
+                                    }
+                                }
+                                None => Err(format!(
+                                    "index `{}` is outside the interval domain",
+                                    self.render(ilo, ihi)
+                                )),
+                            };
+                            (claim, outcome)
+                        }
+                        _ => (
+                            fact.render(),
+                            Err(format!(
+                                "cannot resolve `{}` at this call site",
+                                fact.render()
+                            )),
+                        ),
+                    };
+                    self.push_call_obl(c, cert, line, claim, outcome);
+                }
+                Fact::ScaledInLen(i, kx, s) => {
+                    let s_actual = self.resolve_path(c, recv, args, s);
+                    let i_actual = c
+                        .param_index(i)
+                        .and_then(|ix| args.get(ix).copied())
+                        .and_then(|(ilo, ihi)| self.parse_path(ilo, ihi));
+                    let k_actual = self.resolve_width(c, recv, args, kx);
+                    let (claim, outcome) = match (&s_actual, &i_actual, &k_actual) {
+                        (Some(sa), Some(ia), Some(ka)) => {
+                            let claim =
+                                format!("({ia}+1)*{} <= len({sa})", ka.render());
+                            let outcome = match self.env.prove_scaled(ia, ka, sa) {
+                                Some(chain) => Ok(chain),
+                                None => Err(format!(
+                                    "no scaled-in-len fact or product bound proves `({ia}+1)*{} <= len({sa})`",
+                                    ka.render()
+                                )),
+                            };
+                            (claim, outcome)
+                        }
+                        _ => (
+                            fact.render(),
+                            Err(format!(
+                                "cannot resolve `{}` at this call site",
+                                fact.render()
+                            )),
+                        ),
+                    };
+                    self.push_call_obl(c, cert, line, claim, outcome);
+                }
+                Fact::SpaWidth(w, cw) => {
+                    let w_actual = self.resolve_path(c, recv, args, w);
+                    let width = self.resolve_width(c, recv, args, cw);
+                    let (claim, outcome) = match (&w_actual, &width) {
+                        (Some(wa), Some(wd)) => {
+                            let claim = format!("spa-width({wa}, {})", wd.render());
+                            let acc = Sx::Len(format!("{wa}.acc"));
+                            let stamp = Sx::Len(format!("{wa}.stamp"));
+                            let outcome = match (
+                                self.env.prove_ge(&acc, wd, 3),
+                                self.env.prove_ge(&stamp, wd, 3),
+                            ) {
+                                (Some(mut a), Some(b)) => {
+                                    a.extend(b);
+                                    Ok(a)
+                                }
+                                _ => Err(format!(
+                                    "no fact proves `len({wa}.acc)`/`len({wa}.stamp)` >= {}",
+                                    wd.render()
+                                )),
+                            };
+                            (claim, outcome)
+                        }
+                        _ => (
+                            fact.render(),
+                            Err(format!(
+                                "cannot resolve `{}` at this call site",
+                                fact.render()
+                            )),
+                        ),
+                    };
+                    self.push_call_obl(c, cert, line, claim, outcome);
+                }
+                Fact::AppendsInLen(..) => {} // rejected at parse time
+            }
+        }
+        for fact in &c.ensures {
+            match fact {
+                Fact::SpaWidth(w, cw) => {
+                    let w_actual = self.resolve_path(c, recv, args, w);
+                    let width = self.resolve_width(c, recv, args, cw);
+                    if let (Some(wa), Some(wd)) = (w_actual, width) {
+                        let why = format!("ensures(spa-width) of `{}`", c.fn_name);
+                        self.env.ge.push((Sx::Len(format!("{wa}.acc")), wd.clone(), why.clone()));
+                        self.env.ge.push((Sx::Len(format!("{wa}.stamp")), wd, why));
+                    }
+                }
+                Fact::AppendsInLen(v, s) => {
+                    let v_actual = self.resolve_path(c, recv, args, v);
+                    let s_actual = self.resolve_path(c, recv, args, s);
+                    if let (Some(va), Some(sa)) = (v_actual, s_actual) {
+                        self.env.record_append(
+                            &va,
+                            vec![Ub {
+                                base: Sx::Len(sa.clone()),
+                                off: 0,
+                                why: format!(
+                                    "ensures(appends-in-len({v}, {s})) of `{}`",
+                                    c.fn_name
+                                ),
+                            }],
+                        );
+                    }
+                }
+                Fact::InLen(..) | Fact::ScaledInLen(..) => {} // rejected at parse time
+            }
+        }
+    }
+
+    /// Resolves a contract fact path (`self.acc`, `ws.stamp`, a param name)
+    /// to a caller-side path at a call site.
+    fn resolve_path(
+        &self,
+        c: &Contract,
+        recv: &Option<String>,
+        args: &[(usize, usize)],
+        p: &str,
+    ) -> Option<String> {
+        let (head, rest) = match p.split_once('.') {
+            Some((h, r)) => (h, format!(".{r}")),
+            None => (p, String::new()),
+        };
+        if head == "self" {
+            return recv.clone().map(|r| format!("{r}{rest}"));
+        }
+        let ix = c.param_index(head)?;
+        let &(alo, ahi) = args.get(ix)?;
+        let base = self.parse_path(alo, ahi)?;
+        Some(format!("{base}{rest}"))
+    }
+
+    /// Resolves a width/stride operand of a fact: a matrix param becomes
+    /// `cols(arg)`, any other param becomes the symbolic value of its
+    /// argument, and a literal stays a constant.
+    fn resolve_width(
+        &self,
+        c: &Contract,
+        recv: &Option<String>,
+        args: &[(usize, usize)],
+        w: &str,
+    ) -> Option<Sx> {
+        if let Ok(v) = w.parse::<i64>() {
+            return Some(Sx::Konst(v));
+        }
+        if w == "self" {
+            return recv.clone().map(Sx::Var);
+        }
+        let ix = c.param_index(w)?;
+        let &(alo, ahi) = args.get(ix)?;
+        if c.is_matrix_param(w) {
+            return self.parse_path(alo, ahi).map(Sx::Cols);
+        }
+        self.parse_sx(alo, ahi)
+    }
+
+    fn push_obl(&mut self, cert: String, line: usize, claim: String, outcome: Result<Vec<String>, String>) {
+        self.obls.push(Obligation {
+            file: self.file.to_string(),
+            line,
+            caller: self.fname.clone(),
+            cert,
+            cert_is_real: true,
+            claim,
+            outcome,
+        });
+    }
+
+    fn push_call_obl(
+        &mut self,
+        c: &Contract,
+        cert: String,
+        line: usize,
+        claim: String,
+        outcome: Result<Vec<String>, String>,
+    ) {
+        self.obls.push(Obligation {
+            file: self.file.to_string(),
+            line,
+            caller: self.fname.clone(),
+            cert,
+            cert_is_real: c.cert.is_some(),
+            claim,
+            outcome,
+        });
+    }
+}
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Runs the interpreter over the parsed workspace: collects contracts,
+/// symbolically executes every non-test fn that carries a contract, calls a
+/// contract fn, or contains `get_unchecked`, and converts the proof
+/// obligations into `bounds-proof`/`unchecked-access` findings plus
+/// [`CertRecord`]s for everything proven.
+pub fn analyze(
+    parsed: &[ParsedFile],
+    tokens: &BTreeMap<String, Vec<Token>>,
+    markers: &BTreeMap<String, FileMarkers>,
+) -> Analysis {
+    let mut findings = Vec::new();
+    let contracts = collect_contracts(parsed, markers, &mut findings);
+    let mut obls: Vec<Obligation> = Vec::new();
+    for pf in parsed {
+        let Some(toks) = tokens.get(&pf.rel) else { continue };
+        let sig_idx: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        // lint: allow(panic-surface) -- `sig_idx` enumerates indices of `toks` itself
+        let sig: Vec<&Token> = sig_idx.iter().map(|&i| &toks[i]).collect();
+        for f in &pf.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            // lint: allow(panic-surface) -- parser body spans index the same token stream, clamped to its end
+            let span = &toks[open..=close.min(toks.len().saturating_sub(1))];
+            let has_unchecked = span
+                .iter()
+                .any(|t| t.is_ident("get_unchecked") || t.is_ident("get_unchecked_mut"));
+            let contract = contracts
+                .get(&f.name)
+                .filter(|c| c.file == pf.rel && c.line == f.line);
+            let calls_contract = f.calls.iter().any(|c| contracts.contains_key(&c.name));
+            if contract.is_none() && !calls_contract && !has_unchecked {
+                continue;
+            }
+            let open_pos = sig_idx.partition_point(|&j| j < open);
+            if !sig.get(open_pos).map(|t| t.is_punct('{')).unwrap_or(false) {
+                continue;
+            }
+            let mut w = Walker {
+                file: &pf.rel,
+                sig: &sig,
+                fname: f.name.clone(),
+                cert: contract.and_then(|c| c.cert.clone()),
+                contracts: &contracts,
+                env: Env::default(),
+                obls: Vec::new(),
+            };
+            if let Some(c) = contract {
+                w.seed(c);
+            }
+            w.walk_block(open_pos);
+            if let Some(c) = contract {
+                w.verify_ensures(c);
+            }
+            obls.extend(w.obls);
+        }
+    }
+    // Convert obligations: proven -> certificates, failed -> findings plus
+    // an invalid-certificate rollup per real certificate id.
+    let mut failed_by_cert: BTreeMap<String, usize> = BTreeMap::new();
+    let mut certs: Vec<CertRecord> = Vec::new();
+    for o in obls {
+        match o.outcome {
+            Ok(basis) => {
+                let basis = if basis.is_empty() {
+                    vec!["arithmetic".to_string()]
+                } else {
+                    basis
+                };
+                certs.push(CertRecord {
+                    id: o.cert,
+                    file: o.file,
+                    line: o.line,
+                    fn_name: o.caller,
+                    claim: o.claim,
+                    basis,
+                });
+            }
+            Err(reason) => {
+                if o.cert_is_real {
+                    *failed_by_cert.entry(o.cert.clone()).or_default() += 1;
+                }
+                findings.push(Finding {
+                    rule: Rule::BoundsProof,
+                    file: o.file,
+                    line: o.line,
+                    message: format!(
+                        "unproven obligation `{}` (certificate `{}`): {reason}",
+                        o.claim, o.cert
+                    ),
+                });
+            }
+        }
+    }
+    for c in contracts.values() {
+        if let Some(id) = &c.cert {
+            if let Some(&n) = failed_by_cert.get(id) {
+                findings.push(Finding {
+                    rule: Rule::UncheckedAccess,
+                    file: c.file.clone(),
+                    line: c.line,
+                    message: format!(
+                        "fn `{}` claims certificate `{id}` but {n} proof obligation(s) failed; see the bounds-proof findings",
+                        c.fn_name
+                    ),
+                });
+            }
+        }
+    }
+    certs.sort_by(|a, b| {
+        (&a.file, a.line, &a.id, &a.claim).cmp(&(&b.file, b.line, &b.id, &b.claim))
+    });
+    certs.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.id == b.id && a.claim == b.claim);
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    Analysis { findings, certificates: certs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser, rules};
+
+    fn run(src: &str) -> Analysis {
+        let name = "test.rs".to_string();
+        let toks = lexer::lex(src);
+        let markers = BTreeMap::from([(name.clone(), rules::file_markers(&toks))]);
+        let parsed = vec![parser::parse(&name, &toks)];
+        let tokens = BTreeMap::from([(name, toks)]);
+        analyze(&parsed, &tokens, &markers)
+    }
+
+    #[test]
+    fn proves_requires_backed_unchecked_access() {
+        let a = run(r#"
+// lint: certified(t-read) -- test fixture
+// lint: requires(in-len(i, xs))
+fn read_at(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i) }
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert_eq!(a.certificates.len(), 1, "certs: {:?}", a.certificates);
+        assert_eq!(a.certificates[0].id, "t-read");
+        assert!(a.certificates[0].claim.contains("< len(xs)"));
+    }
+
+    #[test]
+    fn call_site_obligation_proven_from_loop_range() {
+        let a = run(r#"
+// lint: certified(t-read) -- test fixture
+// lint: requires(in-len(i, xs))
+fn read_at(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i) }
+}
+
+fn total(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += read_at(xs, i);
+    }
+    acc
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        // One intrinsic cert in read_at + one call-site cert in total.
+        assert_eq!(a.certificates.len(), 2, "certs: {:?}", a.certificates);
+        assert!(a.certificates.iter().any(|c| c.fn_name == "total"));
+    }
+
+    #[test]
+    fn unproven_index_fails_the_certificate() {
+        let a = run(r#"
+// lint: certified(t-bad) -- test fixture
+// lint: requires(in-len(i, xs))
+fn read_past(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i + 1) }
+}
+"#);
+        assert!(
+            a.findings.iter().any(|f| f.rule == Rule::BoundsProof),
+            "findings: {:?}",
+            a.findings
+        );
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == Rule::UncheckedAccess && f.message.contains("t-bad")),
+            "findings: {:?}",
+            a.findings
+        );
+        assert!(a.certificates.is_empty());
+    }
+
+    #[test]
+    fn unproven_call_site_is_reported_at_the_caller() {
+        let a = run(r#"
+// lint: certified(t-read) -- test fixture
+// lint: requires(in-len(i, xs))
+fn read_at(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i) }
+}
+
+fn total(xs: &[f32], n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += read_at(xs, i);
+    }
+    acc
+}
+"#);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == Rule::BoundsProof && f.message.contains("t-read")),
+            "findings: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn unknown_invariant_is_a_finding() {
+        let a = run(r#"
+// lint: invariant(rows-sorted)
+fn touch(m: &CsrMatrix) -> usize {
+    m.rows()
+}
+"#);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.message.contains("unknown invariant `rows-sorted`")),
+            "findings: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn duplicate_certificate_id_is_a_finding() {
+        let a = run(r#"
+// lint: certified(dup) -- one
+fn a_fn() {}
+
+// lint: certified(dup) -- two
+fn b_fn() {}
+"#);
+        assert!(
+            a.findings.iter().any(|f| f.message.contains("already claimed")),
+            "findings: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn appends_in_len_is_reverified_in_the_body() {
+        let ok = run(r#"
+// lint: invariant(col-in-bounds)
+// lint: ensures(appends-in-len(out, m.indptr))
+fn collect_cols(m: &CsrMatrix, r: usize, out: &mut Vec<usize>) {
+    for c in m.row_indices(r) {
+        out.push(c);
+    }
+}
+"#);
+        // `row_indices` elements are < cols(m), but the ensures names
+        // `m.indptr` — nothing relates cols(m) to len(m.indptr), so this
+        // must FAIL; swap in a provable target below.
+        assert!(
+            ok.findings.iter().any(|f| f.rule == Rule::BoundsProof),
+            "findings: {:?}",
+            ok.findings
+        );
+
+        let bad = run(r#"
+// lint: ensures(appends-in-len(out, xs))
+fn collect_all(xs: &[usize], out: &mut Vec<usize>, n: usize) {
+    for i in 0..n {
+        out.push(i);
+    }
+}
+"#);
+        assert!(
+            bad.findings.iter().any(|f| f.rule == Rule::BoundsProof),
+            "findings: {:?}",
+            bad.findings
+        );
+    }
+
+    #[test]
+    fn loop_assignment_havocs_the_bound() {
+        let a = run(r#"
+// lint: certified(t-havoc) -- test fixture
+// lint: requires(in-len(i, xs))
+fn shifty(xs: &[f32], i: usize) -> f32 {
+    let mut j = i;
+    let mut acc = 0.0;
+    for _ in 0..4 {
+        acc += unsafe { *xs.get_unchecked(j) };
+        j = j + 1;
+    }
+    acc
+}
+"#);
+        assert!(
+            a.findings.iter().any(|f| f.rule == Rule::BoundsProof),
+            "findings: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn spa_width_flows_from_ensure_to_requires() {
+        let a = run(r#"
+struct Workspace { acc: Vec<f32>, stamp: Vec<usize> }
+
+impl Workspace {
+    // lint: ensures(spa-width(self, cols))
+    fn ensure_width(&mut self, cols: usize) {
+        if self.stamp.len() < cols {
+            let target = cols.next_power_of_two();
+            self.acc.resize(target, 0.0);
+            self.stamp.resize(target, usize::MAX);
+        }
+    }
+}
+
+// lint: certified(t-spa) -- test fixture
+// lint: invariant(col-in-bounds)
+// lint: requires(spa-width(ws, b))
+fn kernel(ws: &mut Workspace, b: &CsrMatrix, r: usize) -> f32 {
+    let mut acc = 0.0;
+    for c in b.row_indices(r) {
+        acc += unsafe { *ws.acc.get_unchecked(c) };
+    }
+    acc
+}
+
+fn driver(ws: &mut Workspace, b: &CsrMatrix) -> f32 {
+    ws.ensure_width(b.cols());
+    kernel(ws, b, 0)
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert!(
+            a.certificates.iter().any(|c| c.fn_name == "driver" && c.claim.contains("spa-width")),
+            "certs: {:?}",
+            a.certificates
+        );
+    }
+
+    #[test]
+    fn scaled_range_access_uses_product_facts() {
+        let a = run(r#"
+// lint: certified(t-row) -- test fixture
+// lint: requires(scaled-in-len(i, k, v))
+fn row_mut(v: &mut [f32], i: usize, k: usize) -> &mut [f32] {
+    unsafe { v.get_unchecked_mut(i * k..(i + 1) * k) }
+}
+
+fn fill(out: &mut Vec<f32>, rows: &[usize], k: usize) {
+    out.resize(rows.len() * k, 0.0);
+    for (i, _r) in rows.iter().enumerate() {
+        let dst = row_mut(out, i, k);
+        let _ = dst;
+    }
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert!(
+            a.certificates.iter().any(|c| c.fn_name == "fill"),
+            "certs: {:?}",
+            a.certificates
+        );
+        assert!(
+            a.certificates.iter().any(|c| c.fn_name == "row_mut"),
+            "certs: {:?}",
+            a.certificates
+        );
+    }
+
+    #[test]
+    fn spmm_shaped_qualified_turbofish_call_is_proven() {
+        // Mirrors `ops::spmm_block`: pooled buffer resized to `rows.len() * k`,
+        // a `Range` enumerated without `.iter()`, and the contract fn invoked
+        // through a qualified path with a const-generic turbofish.
+        let a = run(r#"
+// lint: certified(t-row) -- test fixture
+// lint: requires(scaled-in-len(i, k, v))
+fn srow_mut(v: &mut [f32], i: usize, k: usize) -> &mut [f32] {
+    unsafe { v.get_unchecked_mut(i * k..(i + 1) * k) }
+}
+
+fn spmm_like(a: &CsrMatrix, x: &DenseMatrix, rows: std::ops::Range<usize>) -> Vec<f32> {
+    let k = x.cols();
+    let mut out = workspace::take_value_buffer(rows.len() * k);
+    out.resize(rows.len() * k, 0.0);
+    for (i, r) in rows.enumerate() {
+        let orow = crate::access::srow_mut::<UNCH>(&mut out, i, k);
+        let _ = (orow, r);
+    }
+    out
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert!(
+            a.certificates.iter().any(|c| c.fn_name == "spmm_like"),
+            "no call-site certificate in spmm_like: {:?}",
+            a.certificates
+        );
+    }
+
+    #[test]
+    fn suffix_gather_joins_appends() {
+        let a = run(r#"
+// lint: certified(t-scatter) -- test fixture
+// lint: requires(spa-width(ws, b))
+// lint: invariant(col-in-bounds)
+// lint: ensures(appends-in-len(indices, ws.acc))
+fn segment(ws: &mut Workspace, b: &CsrMatrix, r: usize, indices: &mut Vec<usize>) {
+    for c in b.row_indices(r) {
+        indices.push(c);
+    }
+}
+
+// lint: certified(t-gather) -- test fixture
+// lint: requires(spa-width(ws, b))
+// lint: invariant(col-in-bounds)
+fn gather(ws: &mut Workspace, b: &CsrMatrix, indices: &mut Vec<usize>, values: &mut Vec<f32>) {
+    let start = indices.len();
+    segment(ws, b, 0, indices);
+    values.extend(indices[start..].iter().map(|&c| unsafe { *ws.acc.get_unchecked(c) }));
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        assert!(
+            a.certificates.iter().any(|c| c.fn_name == "gather" && c.claim.contains("len(ws.acc)")),
+            "certs: {:?}",
+            a.certificates
+        );
+    }
+
+    #[test]
+    fn parenthesized_chunk_receivers_are_stripped() {
+        // Mirrors the `(&mut col_chunks).zip(&mut val_chunks)` shape in
+        // `simd.rs`: the outer parens must not defeat the chunk tracking.
+        let a = run(r#"
+// lint: certified(t-chunk) -- test fixture
+// lint: invariant(col-in-bounds)
+// lint: requires(spa-width(ws, b))
+fn chunked(ws: &mut Workspace, b: &CsrMatrix, k: usize) -> f32 {
+    let cols = b.row_indices(k);
+    let vals = b.row_values(k);
+    let mut col_chunks = cols.chunks_exact(4);
+    let mut val_chunks = vals.chunks_exact(4);
+    let mut acc = 0.0;
+    for (cc, vv) in (&mut col_chunks).zip(&mut val_chunks) {
+        for (&c, &_p) in cc.iter().zip(vv) {
+            acc += unsafe { *ws.acc.get_unchecked(c) };
+        }
+    }
+    for &c in col_chunks.remainder().iter() {
+        acc += unsafe { *ws.acc.get_unchecked(c) };
+    }
+    acc
+}
+"#);
+        assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+        // Two unchecked sites, both certified under t-chunk.
+        assert_eq!(
+            a.certificates.iter().filter(|c| c.id == "t-chunk").count(),
+            2,
+            "certs: {:?}",
+            a.certificates
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! manifest-level half of the `unsafe-code` rule.
 
 use crate::rules::{self, FileMarkers, Finding, Rule, Scope};
-use crate::{flows, hwbudget, lexer, parser};
+use crate::{absint, flows, hwbudget, lexer, parser};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -28,6 +28,8 @@ pub struct WorkspaceRun {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files lexed and linted.
     pub files_scanned: usize,
+    /// Bounds certificates proven by the interval interpreter.
+    pub certificates: Vec<absint::CertRecord>,
     /// Per-rule wall-clock profile, when requested with `--timing`.
     pub timings: Option<RuleTimings>,
 }
@@ -137,6 +139,10 @@ const TOKEN_RULES: [Rule; 5] = [
     Rule::MalformedMarker,
 ];
 
+/// The bounds family runs as one fused interpreter pass; both slugs are
+/// timed against a single `absint::analyze` re-run.
+const ABSINT_RULES: [Rule; 2] = [Rule::BoundsProof, Rule::UncheckedAccess];
+
 /// Milliseconds elapsed since `t0`.
 // lint: timing-carrier -- the --timing profile measures the lint itself, never rule findings
 fn ms_since(t0: std::time::Instant) -> f64 {
@@ -179,6 +185,9 @@ pub fn lint_workspace_with(root: &Path, timing: bool) -> io::Result<WorkspaceRun
         flows::FlowAnalysis::new(&parsed, &tokens, &markers, flows::AnalysisMode::Workspace);
     let graph_ms = ms_since(t_graph);
     run.findings.extend(analysis.run());
+    let bounds = absint::analyze(&parsed, &tokens, &markers);
+    run.findings.extend(bounds.findings);
+    run.certificates = bounds.certificates;
     run.findings.extend(hwbudget::check_workspace());
     check_manifests(root, &mut run.findings)?;
     run.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -198,6 +207,8 @@ pub fn lint_workspace_with(root: &Path, timing: bool) -> io::Result<WorkspaceRun
                 }
             } else if rule == Rule::HwBudget {
                 hwbudget::check_workspace();
+            } else if ABSINT_RULES.contains(&rule) {
+                absint::analyze(&parsed, &tokens, &markers);
             } else {
                 analysis.run_rule(rule);
             }
@@ -235,16 +246,18 @@ pub fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::R
     Ok(())
 }
 
-/// Manifest half of R3: the workspace lint table must forbid `unsafe_code`
-/// and every first-party crate must opt into it.
+/// Manifest half of R3: the workspace lint table must deny `unsafe_code`
+/// (deny, not forbid, so the one certificate-gated accessor module can
+/// `#[allow(unsafe_code)]` under a `// lint: certified(..)` marker) and
+/// every first-party crate must opt into it.
 fn check_manifests(root: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
     let root_manifest = fs::read_to_string(root.join("Cargo.toml"))?;
-    if !toml_has_kv(&root_manifest, "[workspace.lints.rust]", "unsafe_code", "\"forbid\"") {
+    if !toml_has_kv(&root_manifest, "[workspace.lints.rust]", "unsafe_code", "\"deny\"") {
         findings.push(Finding {
             rule: Rule::UnsafeCode,
             file: "Cargo.toml".to_string(),
             line: 1,
-            message: "workspace manifest must set `unsafe_code = \"forbid\"` under [workspace.lints.rust]".to_string(),
+            message: "workspace manifest must set `unsafe_code = \"deny\"` under [workspace.lints.rust]".to_string(),
         });
     }
     // The root package shares Cargo.toml with the workspace table; the

@@ -617,15 +617,29 @@ fn collect_calls(tokens: &[Token], sig: &[usize], fns: &mut [FnItem]) {
                 }
             }
             if t.kind == TokenKind::Ident
-                && peek(tokens, sig, k + 1).is_some_and(|n| n.is_punct('('))
                 && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
                 && !peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_ident("fn"))
             {
-                let method =
-                    peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'));
-                let path = if method { Vec::new() } else { leading_path(tokens, sig, k) };
-                let recv = if method { receiver_ident(tokens, sig, k) } else { None };
-                calls.push(Call { name: t.text.clone(), path, method, recv, line: t.line });
+                // A call site is `name(..)` or `name::<..>(..)` — the
+                // turbofish (e.g. a const-generic dispatch flag) is skipped
+                // before looking for the argument parens.
+                let direct = peek(tokens, sig, k + 1).is_some_and(|n| n.is_punct('('));
+                let turbofish = !direct
+                    && peek(tokens, sig, k + 1).is_some_and(|n| n.is_punct(':'))
+                    && peek(tokens, sig, k + 2).is_some_and(|n| n.is_punct(':'))
+                    && peek(tokens, sig, k + 3).is_some_and(|n| n.is_punct('<'))
+                    && {
+                        let close = match_delim(tokens, sig, k + 3, '<', '>');
+                        close > k + 3
+                            && peek(tokens, sig, close + 1).is_some_and(|n| n.is_punct('('))
+                    };
+                if direct || turbofish {
+                    let method =
+                        peek(tokens, sig, k.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'));
+                    let path = if method { Vec::new() } else { leading_path(tokens, sig, k) };
+                    let recv = if method { receiver_ident(tokens, sig, k) } else { None };
+                    calls.push(Call { name: t.text.clone(), path, method, recv, line: t.line });
+                }
             }
             if t.is_punct('?')
                 && peek(tokens, sig, k.wrapping_sub(1))

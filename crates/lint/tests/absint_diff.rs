@@ -1,0 +1,199 @@
+//! Differential tests for the interval abstract interpreter (DESIGN.md §16):
+//! whatever the prover certifies must hold under concrete execution, and the
+//! structural facts it assumes must hold on every real matrix.
+//!
+//! Three angles:
+//!
+//! * Program templates, randomized: an index offset is woven into a
+//!   certified-contract program; the interpreter's verdict (proven vs
+//!   `bounds-proof` finding) must agree with a concrete mirror of the same
+//!   loop on real slices — the prover never certifies a program whose
+//!   concrete run would go out of bounds.
+//! * Random valid CSR matrices: the invariants the prover *assumes*
+//!   ([`idgnn_lint::absint::ASSUMED_INVARIANTS`]) are re-checked concretely,
+//!   entry by entry, independent of `CsrMatrix::validate`.
+//! * The one trusted axiom (`spa-width` after `Workspace::ensure_width`):
+//!   its geometric-growth arithmetic is mirrored concretely and every
+//!   column index of a random matrix must land inside the mirrored SPA.
+
+use std::collections::BTreeMap;
+
+use idgnn_lint::absint::{self, Analysis};
+use idgnn_lint::{lexer, parser, rules};
+use idgnn_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+fn analyze_src(src: &str) -> Analysis {
+    let name = "diff.rs".to_string();
+    let toks = lexer::lex(src);
+    let markers = BTreeMap::from([(name.clone(), rules::file_markers(&toks))]);
+    let parsed = vec![parser::parse(&name, &toks)];
+    let tokens = BTreeMap::from([(name, toks)]);
+    absint::analyze(&parsed, &tokens, &markers)
+}
+
+/// The offset-read template: a certified reader requiring `in-len(i, xs)`
+/// is driven with `i + off` from a `0..xs.len()` loop. Proven iff `off == 0`.
+fn offset_read_src(off: usize) -> String {
+    format!(
+        r#"
+// lint: certified(t-read) -- differential template
+// lint: requires(in-len(i, xs))
+fn read(xs: &[f32], i: usize) -> f32 {{
+    unsafe {{ *xs.get_unchecked(i) }}
+}}
+
+fn drive(xs: &[f32]) -> f32 {{
+    let mut acc = 0.0;
+    for i in 0..xs.len() {{
+        acc += read(xs, i + {off});
+    }}
+    acc
+}}
+"#
+    )
+}
+
+/// Concrete mirror of [`offset_read_src`]'s loop: returns whether every
+/// access of a length-`n` slice stays in bounds.
+fn offset_read_concretely_safe(n: usize, off: usize) -> bool {
+    (0..n).all(|i| i + off < n)
+}
+
+/// The scaled-row template: a certified row-slicer requiring
+/// `scaled-in-len(i, k, v)` on a buffer resized to `rows.len() * mul`.
+/// Proven iff the resize multiplier is the same `k` the slicer uses.
+fn scaled_row_src(mul: &str) -> String {
+    format!(
+        r#"
+// lint: certified(t-row) -- differential template
+// lint: requires(scaled-in-len(i, k, v))
+fn row(v: &[f32], i: usize, k: usize) -> &[f32] {{
+    unsafe {{ v.get_unchecked(i * k..(i + 1) * k) }}
+}}
+
+fn drive(out: &mut Vec<f32>, rows: &[usize], k: usize) {{
+    out.resize(rows.len() * {mul}, 0.0);
+    for (i, _r) in rows.iter().enumerate() {{
+        let _ = row(out, i, k);
+    }}
+}}
+"#
+    )
+}
+
+fn proven(a: &Analysis, fn_name: &str) -> bool {
+    let failed = a.findings.iter().any(|f| f.file == "diff.rs");
+    let cert = a.certificates.iter().any(|c| c.fn_name == fn_name);
+    cert && !failed
+}
+
+/// A random COO matrix with `rows x cols` shape and up to `max_nnz`
+/// duplicate-tolerant entries, converted to CSR (valid by construction).
+fn random_csr(rows: usize, cols: usize, entries: &[(usize, usize, f32)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    for &(r, c, v) in entries {
+        coo.push(r % rows, c % cols, v).expect("in-shape push");
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: the interpreter's verdict on the offset-read template
+    /// agrees with concrete execution for every slice length. In
+    /// particular it must never certify `off > 0`, which reads one past
+    /// the end on every non-empty slice.
+    #[test]
+    fn offset_read_verdict_matches_concrete_execution(
+        off in 0usize..3,
+        lens in proptest::collection::vec(0usize..40, 1..8),
+    ) {
+        let a = analyze_src(&offset_read_src(off));
+        let proven = proven(&a, "drive");
+        let safe_everywhere = lens.iter().all(|&n| offset_read_concretely_safe(n, off));
+        if proven {
+            prop_assert!(
+                safe_everywhere,
+                "prover certified off={off} but a concrete run indexes out of bounds"
+            );
+        }
+        // Completeness pin for the exact template the kernels use.
+        if off == 0 {
+            prop_assert!(proven, "off=0 template must be proven: {:?}", a.findings);
+        } else {
+            prop_assert!(
+                a.findings.iter().any(|f| f.message.contains("unproven obligation")),
+                "off={off} must yield a bounds-proof finding: {:?}",
+                a.findings
+            );
+        }
+    }
+
+    /// The structural invariants the prover assumes hold concretely on
+    /// every randomly built CSR matrix — checked entry by entry here,
+    /// not via the runtime's own validator.
+    #[test]
+    fn assumed_invariants_hold_on_random_matrices(
+        rows in 1usize..9,
+        cols in 1usize..13,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -4.0f32..4.0), 0..48),
+    ) {
+        let m = random_csr(rows, cols, &entries);
+        prop_assert!(m.validate().is_ok());
+        // col-in-bounds and col-sorted-unique, concretely.
+        for r in 0..m.rows() {
+            let idx = m.row_indices(r);
+            prop_assert!(idx.iter().all(|&c| c < m.cols()), "row {r} breaks col-in-bounds");
+            prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "row {r} breaks col-sorted-unique");
+        }
+        // len-consistent, concretely.
+        let total: usize = (0..m.rows()).map(|r| m.row_nnz(r)).sum();
+        prop_assert_eq!(total, m.nnz());
+    }
+
+    /// The trusted `spa-width` axiom, concretely: mirror `ensure_width`'s
+    /// geometric growth and verify every column index of a random B lands
+    /// inside the mirrored SPA — the fact `spgemm_segment_fused` leans on.
+    #[test]
+    fn spa_width_axiom_holds_concretely(
+        rows in 1usize..9,
+        cols in 1usize..40,
+        entries in proptest::collection::vec(
+            (0usize..64, 0usize..64, -4.0f32..4.0), 0..48),
+    ) {
+        let b = random_csr(rows, cols, &entries);
+        // ensure_width(b.cols()) grows both arrays to the next power of two.
+        let spa_len = b.cols().next_power_of_two();
+        prop_assert!(spa_len >= b.cols(), "growth must cover the requested width");
+        for r in 0..b.rows() {
+            for &c in b.row_indices(r) {
+                prop_assert!(c < spa_len, "column {c} escapes the SPA of width {spa_len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scaled_row_template_differential() {
+    // The honest multiplier is proven; a mismatched one must fail, because
+    // concretely `k = 3` overruns a `rows.len() * 2` buffer.
+    let honest = analyze_src(&scaled_row_src("k"));
+    assert!(proven(&honest, "drive"), "honest resize must be proven: {:?}", honest.findings);
+
+    let skewed = analyze_src(&scaled_row_src("2"));
+    assert!(
+        skewed.findings.iter().any(|f| f.message.contains("unproven obligation")),
+        "skewed resize must yield a bounds-proof finding: {:?}",
+        skewed.findings
+    );
+    // Concrete witness for the skew: 1 row, k = 3, buffer of 2 — the row
+    // slice `(i + 1) * k` overruns the buffer already at i = 0.
+    let rows = 1usize;
+    let k = 3usize;
+    let buf_len = rows * 2;
+    let i = 0usize;
+    assert!((i + 1) * k > buf_len, "the unproven program is concretely unsafe");
+}

@@ -1,0 +1,22 @@
+// Seeded violation fixture: R14 `bounds-proof`.
+//
+// The contract is off by one: the body assumes `i < len(xs)` from its
+// `requires`, but the unchecked access reads `i + 1`, and `i < len(xs)`
+// does not entail `i + 1 < len(xs)`. The unproven obligation must surface
+// as a `bounds-proof` finding (plus the invalid-certificate rollup on the
+// claimed id), never be silently grandfathered. The call site itself is
+// fine — `i` ranges over `0..xs.len()` — so the one finding is the body's.
+
+// lint: certified(fx-read-next) -- claims every access hits a valid slot (it does not: the last one is one past the end)
+// lint: requires(in-len(i, xs))
+pub fn read_next(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i + 1) }
+}
+
+pub fn sum_shifted(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += read_next(xs, i);
+    }
+    acc
+}

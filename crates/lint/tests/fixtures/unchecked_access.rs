@@ -1,0 +1,12 @@
+// Seeded violation fixture: R13 `unchecked-access`.
+//
+// A bare `get_unchecked` with no `certified(..)` contract anywhere in
+// sight: the interval interpreter still tries to discharge the bounds
+// obligation (and here it cannot — `i` is an arbitrary parameter), and
+// because the fn claims no certificate the site is a hard
+// `unchecked-access` finding. Proving would not help either: only
+// certificate-backed fns may keep unchecked accesses.
+
+pub fn read_anywhere(xs: &[f32], i: usize) -> f32 {
+    unsafe { *xs.get_unchecked(i) }
+}

@@ -38,6 +38,8 @@ fn each_seeded_fixture_fails_with_its_rule() {
         ("determinism_float.rs", "float-reduction-order"),
         ("determinism_ambient.rs", "ambient-nondeterminism"),
         ("determinism_merge.rs", "block-merge-order"),
+        ("unchecked_access.rs", "unchecked-access"),
+        ("bounds_proof.rs", "bounds-proof"),
     ];
     for (file, slug) in cases {
         let path = fixtures_dir().join(file);
@@ -114,6 +116,8 @@ fn explain_subcommand_documents_every_rule() {
         "ambient-nondeterminism",
         "block-merge-order",
         "malformed-marker",
+        "unchecked-access",
+        "bounds-proof",
     ] {
         let out = run_lint(&["--explain", slug], &workspace_root());
         let stdout = String::from_utf8_lossy(&out.stdout);
@@ -132,9 +136,21 @@ fn explain_subcommand_documents_every_rule() {
     ] {
         assert!(stdout.contains(&format!("[{slug}]")), "family missing {slug}:\n{stdout}");
     }
+    // The `bounds` family alias prints both interpreter-backed rules.
+    let out = run_lint(&["--explain", "bounds"], &workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "--explain bounds should succeed");
+    for slug in ["unchecked-access", "bounds-proof"] {
+        assert!(stdout.contains(&format!("[{slug}]")), "family missing {slug}:\n{stdout}");
+    }
 
     let out = run_lint(&["--explain", "no-such-rule"], &workspace_root());
     assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
+    let listing = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        listing.contains("unchecked-access") && listing.contains("determinism"),
+        "unknown-rule error should list known rules and families:\n{listing}"
+    );
 
     let out = run_lint(&["--help"], &workspace_root());
     assert_eq!(out.status.code(), Some(0), "--help exits 0");
@@ -216,6 +232,8 @@ fn timing_profile_reports_every_rule_and_passes_the_gate() {
         "ambient-nondeterminism",
         "block-merge-order",
         "malformed-marker",
+        "unchecked-access",
+        "bounds-proof",
     ] {
         assert!(stdout.contains(&format!("timing: {slug}:")), "no timing row for {slug}:\n{stdout}");
         assert!(json.contains(&format!("\"{slug}\": ")), "no timings_ms entry for {slug}:\n{json}");

@@ -1,0 +1,124 @@
+//! Certificate-backed element accessors for the proven-unchecked hot loops.
+//!
+//! This module is the **single sanctioned `unsafe` site** in the workspace
+//! (the workspace lint level is `unsafe_code = "deny"`, overridden only
+//! here). Every accessor is a const-generic twin: with `UNCH = false` it is
+//! the ordinary checked operation, with `UNCH = true` it lowers to
+//! `get_unchecked`. The two arms are *the same access* — same index, same
+//! slot, same float operation — so flipping `UNCH` cannot change results,
+//! only whether the bounds branch is emitted.
+//!
+//! Soundness is not taken on faith: each accessor carries a
+//! `// lint: certified(<id>)` + `// lint: requires(..)` contract, and the
+//! idgnn-lint interval interpreter (DESIGN.md §16) proves at every call
+//! site that the declared precondition holds, emitting machine-checkable
+//! bounds certificates into `results/lint.json`. The `unchecked-access`
+//! rule makes any `get_unchecked` *outside* a certified fn a hard finding,
+//! and `scripts/ci.sh` gates on zero such findings. Debug builds
+//! additionally cross-check every unchecked access with a `debug_assert!`.
+//!
+//! [`UNCHECKED_DEFAULT`] is what the public kernel entry points pass for
+//! `UNCH`: `true` iff the `proven-unchecked` feature is enabled. The
+//! `*_checked` entry points in `ops` pin `UNCH = false` so the identity
+//! tests can compare both paths inside one build.
+#![allow(unsafe_code)]
+
+/// What the default kernel entry points use for `UNCH`: unchecked accesses
+/// iff the `proven-unchecked` feature is on.
+pub(crate) const UNCHECKED_DEFAULT: bool = cfg!(feature = "proven-unchecked");
+
+/// Reads `s[i]`; with `UNCH = true` the bounds check is elided.
+#[inline(always)]
+// lint: certified(access-sread) -- read is in-bounds by the declared precondition, proven at every call site
+// lint: requires(in-len(i, s))
+pub(crate) fn sread<T: Copy, const UNCH: bool>(s: &[T], i: usize) -> T {
+    if UNCH {
+        debug_assert!(i < s.len(), "sread out of bounds: {i} >= {}", s.len());
+        unsafe { *s.get_unchecked(i) }
+    } else {
+        // lint: allow(panic-surface) -- checked twin of the certified unchecked read
+        s[i]
+    }
+}
+
+/// Writes `s[i] = v`; with `UNCH = true` the bounds check is elided.
+#[inline(always)]
+// lint: certified(access-swrite) -- write is in-bounds by the declared precondition, proven at every call site
+// lint: requires(in-len(i, s))
+pub(crate) fn swrite<T: Copy, const UNCH: bool>(s: &mut [T], i: usize, v: T) {
+    if UNCH {
+        debug_assert!(i < s.len(), "swrite out of bounds: {i} >= {}", s.len());
+        unsafe {
+            *s.get_unchecked_mut(i) = v;
+        }
+    } else {
+        // lint: allow(panic-surface) -- checked twin of the certified unchecked write
+        s[i] = v;
+    }
+}
+
+/// Accumulates `s[i] += v`; with `UNCH = true` the bounds check is elided.
+/// One dedicated accessor (instead of `swrite(sread + v)`) keeps the
+/// accumulate a single load-add-store, exactly like the checked `+=`.
+#[inline(always)]
+// lint: certified(access-saccum) -- accumulate is in-bounds by the declared precondition, proven at every call site
+// lint: requires(in-len(i, s))
+pub(crate) fn saccum<const UNCH: bool>(s: &mut [f32], i: usize, v: f32) {
+    if UNCH {
+        debug_assert!(i < s.len(), "saccum out of bounds: {i} >= {}", s.len());
+        unsafe {
+            *s.get_unchecked_mut(i) += v;
+        }
+    } else {
+        // lint: allow(panic-surface) -- checked twin of the certified unchecked accumulate
+        s[i] += v;
+    }
+}
+
+/// The `i`-th `k`-wide row of a row-major buffer: `&mut v[i*k..(i+1)*k]`;
+/// with `UNCH = true` the range check is elided.
+#[inline(always)]
+// lint: certified(access-srow) -- row slice is in-bounds by the declared scaled precondition, proven at every call site
+// lint: requires(scaled-in-len(i, k, v))
+pub(crate) fn srow_mut<const UNCH: bool>(v: &mut [f32], i: usize, k: usize) -> &mut [f32] {
+    if UNCH {
+        debug_assert!((i + 1) * k <= v.len(), "srow_mut out of bounds: row {i} x {k} > {}", v.len());
+        unsafe { v.get_unchecked_mut(i * k..(i + 1) * k) }
+    } else {
+        // lint: allow(panic-surface) -- checked twin of the certified unchecked row slice
+        &mut v[i * k..(i + 1) * k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_and_unchecked_twins_agree() {
+        let s = [1.0f32, 2.0, 4.0, 8.0];
+        for i in 0..s.len() {
+            assert_eq!(sread::<f32, false>(&s, i).to_bits(), sread::<f32, true>(&s, i).to_bits());
+        }
+
+        let mut a = s;
+        let mut b = s;
+        swrite::<f32, false>(&mut a, 2, -3.5);
+        swrite::<f32, true>(&mut b, 2, -3.5);
+        saccum::<false>(&mut a, 1, 0.25);
+        saccum::<true>(&mut b, 1, 0.25);
+        assert_eq!(a.map(f32::to_bits), b.map(f32::to_bits));
+
+        let mut x: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let mut y = x.clone();
+        srow_mut::<false>(&mut x, 1, 4).copy_from_slice(&[9.0; 4]);
+        srow_mut::<true>(&mut y, 1, 4).copy_from_slice(&[9.0; 4]);
+        assert_eq!(x, y);
+        assert_eq!(&x[4..8], &[9.0; 4]);
+    }
+
+    #[test]
+    fn default_tracks_the_feature() {
+        assert_eq!(UNCHECKED_DEFAULT, cfg!(feature = "proven-unchecked"));
+    }
+}

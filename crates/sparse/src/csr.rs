@@ -610,15 +610,28 @@ impl CsrMatrix {
     }
 }
 
-/// The CSR invariant check shared by [`CsrMatrix::from_raw_parts`] and
-/// [`CsrMatrix::validate`].
-fn check_csr_parts(
-    rows: usize,
-    cols: usize,
-    indptr: &[usize],
-    indices: &[usize],
-    values: &[f32],
-) -> Result<()> {
+/// The named CSR invariants enforced by [`CsrMatrix::from_raw_parts`] and
+/// [`CsrMatrix::validate`], in evaluation order.
+///
+/// These are the structural facts every `CsrMatrix` in the process is
+/// guaranteed to satisfy, which is why the idgnn-lint interval interpreter
+/// may *assume* them when proving bounds certificates: its
+/// `ASSUMED_INVARIANTS` list is pinned to this one by a contract test
+/// (`crates/lint/tests/invariant_contract.rs`), so neither side can grow or
+/// rename an invariant without the other noticing. Each slug names one
+/// `check_*` function below:
+///
+/// * `indptr-len` — `indptr` has `rows + 1` entries and is anchored at 0.
+/// * `row-ptr-monotone` — `indptr` is non-decreasing.
+/// * `len-consistent` — `indices`/`values` both hold `indptr[rows]` entries.
+/// * `col-sorted-unique` — each row's column indices strictly increase.
+/// * `col-in-bounds` — each row's column indices are `< cols` (the fact the
+///   bounds prover leans on: `row_indices(r)` elements index the SPA).
+pub const CHECKED_INVARIANTS: [&str; 5] =
+    ["indptr-len", "row-ptr-monotone", "len-consistent", "col-sorted-unique", "col-in-bounds"];
+
+/// `indptr-len`: the row-pointer array has `rows + 1` entries, anchored at 0.
+fn check_indptr_len(rows: usize, indptr: &[usize]) -> Result<()> {
     if indptr.len() != rows + 1 {
         return Err(SparseError::InvalidStructure {
             reason: format!("indptr length {} != rows + 1 = {}", indptr.len(), rows + 1),
@@ -628,12 +641,20 @@ fn check_csr_parts(
     if indptr[0] != 0 {
         return Err(SparseError::InvalidStructure { reason: "indptr[0] != 0".into() });
     }
+    Ok(())
+}
+
+/// `row-ptr-monotone`: row pointers never decrease.
+fn check_row_ptr_monotone(indptr: &[usize]) -> Result<()> {
     // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
     if indptr.windows(2).any(|w| w[0] > w[1]) {
         return Err(SparseError::InvalidStructure { reason: "indptr not monotone".into() });
     }
-    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-    let nnz = indptr[rows];
+    Ok(())
+}
+
+/// `len-consistent`: `indices` and `values` both hold exactly `nnz` entries.
+fn check_len_consistent(nnz: usize, indices: &[usize], values: &[f32]) -> Result<()> {
     if indices.len() != nnz || values.len() != nnz {
         return Err(SparseError::InvalidStructure {
             reason: format!(
@@ -643,24 +664,54 @@ fn check_csr_parts(
             ),
         });
     }
+    Ok(())
+}
+
+/// `col-sorted-unique`: one row's column indices strictly increase.
+fn check_row_sorted_unique(r: usize, row: &[usize]) -> Result<()> {
+    for w in row.windows(2) {
+        // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
+        if w[0] >= w[1] {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("row {r} column indices not strictly increasing"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `col-in-bounds`: one row's column indices are all `< cols`. Only the last
+/// entry needs checking once `col-sorted-unique` has passed.
+fn check_row_col_in_bounds(r: usize, row: &[usize], cols: usize) -> Result<()> {
+    if let Some(&last) = row.last() {
+        if last >= cols {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("row {r} has column index {last} >= cols {cols}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The CSR invariant check shared by [`CsrMatrix::from_raw_parts`] and
+/// [`CsrMatrix::validate`]: every invariant in [`CHECKED_INVARIANTS`], in
+/// that order (the two per-row checks share one pass over the rows).
+fn check_csr_parts(
+    rows: usize,
+    cols: usize,
+    indptr: &[usize],
+    indices: &[usize],
+    values: &[f32],
+) -> Result<()> {
+    check_indptr_len(rows, indptr)?;
+    check_row_ptr_monotone(indptr)?;
+    // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
+    check_len_consistent(indptr[rows], indices, values)?;
     for r in 0..rows {
         // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
         let row = &indices[indptr[r]..indptr[r + 1]];
-        for w in row.windows(2) {
-            // lint: allow(panic-surface) -- in-bounds by construction at this site; grandfathered by the PR5 ratchet-to-zero
-            if w[0] >= w[1] {
-                return Err(SparseError::InvalidStructure {
-                    reason: format!("row {r} column indices not strictly increasing"),
-                });
-            }
-        }
-        if let Some(&last) = row.last() {
-            if last >= cols {
-                return Err(SparseError::InvalidStructure {
-                    reason: format!("row {r} has column index {last} >= cols {cols}"),
-                });
-            }
-        }
+        check_row_sorted_unique(r, row)?;
+        check_row_col_in_bounds(r, row, cols)?;
     }
     Ok(())
 }

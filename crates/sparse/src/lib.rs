@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+mod access;
 mod coo;
 mod csr;
 mod dense;
@@ -50,7 +51,7 @@ pub mod stats;
 pub mod workspace;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrMatrix, CHECKED_INVARIANTS};
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use stats::OpStats;

@@ -44,8 +44,16 @@ pub const LANES: usize = 8;
 /// check: a first touch stamps the slot, stores the product, and records the
 /// column in `indices`; a repeat touch accumulates. Byte-for-byte the
 /// per-entry step of the scalar fused pass in `ops`.
+///
+/// With `UNCH = true` the slot accesses go through the certificate-backed
+/// unchecked accessors in `crate::access`; the declared preconditions are
+/// proven at every call site by the idgnn-lint interval interpreter.
 #[inline(always)]
-fn scatter_fused(
+// lint: certified(spgemm-scatter) -- SPA slot `c` is inside both arrays by the declared preconditions
+// lint: requires(in-len(c, ws.stamp))
+// lint: requires(in-len(c, ws.acc))
+// lint: ensures(appends-in-len(indices, ws.acc))
+fn scatter_fused<const UNCH: bool>(
     ws: &mut Workspace,
     generation: usize,
     c: usize,
@@ -53,16 +61,12 @@ fn scatter_fused(
     indices: &mut Vec<usize>,
     stats: &mut OpStats,
 ) {
-    // lint: allow(panic-surface) -- in-bounds: ensure_width(b.cols()) ran before the block
-    if ws.stamp[c] == generation {
+    if crate::access::sread::<usize, UNCH>(&ws.stamp, c) == generation {
         stats.adds += 1;
-        // lint: allow(panic-surface) -- in-bounds: ensure_width(b.cols()) ran before the block
-        ws.acc[c] += p;
+        crate::access::saccum::<UNCH>(&mut ws.acc, c, p);
     } else {
-        // lint: allow(panic-surface) -- in-bounds: ensure_width(b.cols()) ran before the block
-        ws.stamp[c] = generation;
-        // lint: allow(panic-surface) -- in-bounds: ensure_width(b.cols()) ran before the block
-        ws.acc[c] = p;
+        crate::access::swrite::<usize, UNCH>(&mut ws.stamp, c, generation);
+        crate::access::swrite::<f32, UNCH>(&mut ws.acc, c, p);
         indices.push(c);
     }
 }
@@ -77,7 +81,11 @@ fn scatter_fused(
 /// Bit-identical to the scalar fused pass (see the module docs); the row
 /// loop and the sort-then-gather emission live in `ops::spgemm_row_fused`.
 #[inline]
-pub(crate) fn spgemm_segment_fused(
+// lint: certified(spgemm-segment) -- every scattered column is a CSR column index of `b`, < b.cols() <= the SPA width
+// lint: invariant(col-in-bounds)
+// lint: requires(spa-width(ws, b))
+// lint: ensures(appends-in-len(indices, ws.acc))
+pub(crate) fn spgemm_segment_fused<const UNCH: bool>(
     b: &CsrMatrix,
     k: usize,
     va: f32,
@@ -97,11 +105,11 @@ pub(crate) fn spgemm_segment_fused(
             *p = va * vb;
         }
         for (&c, &p) in cc.iter().zip(&prod) {
-            scatter_fused(ws, generation, c, p, indices, stats);
+            scatter_fused::<UNCH>(ws, generation, c, p, indices, stats);
         }
     }
     for (&c, &vb) in col_chunks.remainder().iter().zip(val_chunks.remainder()) {
-        scatter_fused(ws, generation, c, va * vb, indices, stats);
+        scatter_fused::<UNCH>(ws, generation, c, va * vb, indices, stats);
     }
 }
 
@@ -169,8 +177,8 @@ mod tests {
         let generation = ws.next_generation();
         let mut indices = Vec::new();
         let mut stats = OpStats::default();
-        spgemm_segment_fused(&b, 0, 2.0, &mut ws, generation, &mut indices, &mut stats);
-        spgemm_segment_fused(&b, 1, 10.0, &mut ws, generation, &mut indices, &mut stats);
+        spgemm_segment_fused::<false>(&b, 0, 2.0, &mut ws, generation, &mut indices, &mut stats);
+        spgemm_segment_fused::<false>(&b, 1, 10.0, &mut ws, generation, &mut indices, &mut stats);
         // Row 0 discovers all twelve columns; row 1 only collides.
         assert_eq!(indices.len(), 12);
         assert_eq!(stats.mults, 15);

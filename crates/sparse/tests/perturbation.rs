@@ -121,6 +121,37 @@ proptest! {
     }
 
     #[test]
+    fn proven_unchecked_path_matches_checked_under_adversarial_schedules(
+        a in sparse_square(12, 60),
+        b in sparse_square(12, 60),
+        xs in prop::collection::vec(-2.0f32..2.0, 12 * 5),
+    ) {
+        // The certificate-backed fast path (unchecked accessors when the
+        // `proven-unchecked` feature is on) against the always-checked
+        // reference path, with the fast side run under every adversarial
+        // schedule: removing proven bounds checks must be invisible even
+        // when worker completion order is permuted. `scripts/ci.sh` runs
+        // this with both features enabled so the left side really is the
+        // unchecked arm.
+        let x = DenseMatrix::from_vec(12, 5, xs).unwrap();
+        let par = Parallelism::new(THREADS);
+        let serial = Parallelism::serial();
+        let (gc, gc_st) = ops::spgemm_checked_with_stats(&a, &b, serial).unwrap();
+        let (mc, mc_st) = ops::spmm_checked_with_stats(&a, &x, serial).unwrap();
+        for seed in 0..SEEDS {
+            let _scope = perturb::scoped(seed);
+            let (g, g_st) = ops::spgemm_par_with_stats(&a, &b, par).unwrap();
+            prop_assert_eq!(gc.indptr(), g.indptr(), "seed {}", seed);
+            prop_assert_eq!(gc.indices(), g.indices(), "seed {}", seed);
+            prop_assert_eq!(bits(gc.values()), bits(g.values()), "seed {}", seed);
+            prop_assert_eq!(gc_st, g_st, "seed {}", seed);
+            let (m, m_st) = ops::spmm_par_with_stats(&a, &x, par).unwrap();
+            prop_assert_eq!(bits(mc.as_slice()), bits(m.as_slice()), "seed {}", seed);
+            prop_assert_eq!(mc_st, m_st, "seed {}", seed);
+        }
+    }
+
+    #[test]
     fn churn_patched_power_chain_is_bit_identical_under_adversarial_schedules(
         a in symmetric_square(10, 24),
         d in symmetric_square(10, 8),

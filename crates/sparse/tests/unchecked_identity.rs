@@ -1,0 +1,131 @@
+//! Bit-identity of the `proven-unchecked` fast path against the
+//! bounds-checked reference path (DESIGN.md §16).
+//!
+//! The `*_checked_with_stats` entry points pin the inner-loop accessors to
+//! their checked arms regardless of features; the default entry points use
+//! the certificate-backed unchecked arms when `proven-unchecked` is on.
+//! The two builds must be indistinguishable at the bit level — the feature
+//! only removes bounds checks the lint's interval interpreter has proven
+//! dead, it never changes an access pattern. Under the default build both
+//! paths are checked, so this file keeps the comparison honest in every CI
+//! configuration; `scripts/ci.sh` runs it again with
+//! `--features proven-unchecked`, where the left side is the unchecked arm.
+
+use idgnn_sparse::{ops, CooMatrix, CsrMatrix, DenseMatrix, Parallelism, Workspace};
+use proptest::prelude::*;
+
+fn sparse_square(n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix> {
+    prop::collection::vec(
+        (0..n, 0..n, -4i8..=4i8).prop_map(|(r, c, v)| (r, c, v as f32 * 0.5)),
+        0..=max_nnz,
+    )
+    .prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    })
+}
+
+fn dense(n: usize, k: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(-4i8..=4i8, n * k).prop_map(move |cells| {
+        let data: Vec<f32> = cells.into_iter().map(|v| v as f32 * 0.25).collect();
+        DenseMatrix::from_vec(n, k, data).unwrap()
+    })
+}
+
+fn csr_bits(m: &CsrMatrix) -> (Vec<usize>, Vec<usize>, Vec<u32>) {
+    (
+        m.indptr().to_vec(),
+        m.indices().to_vec(),
+        m.values().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SpGEMM: default path (unchecked under `proven-unchecked`) vs the
+    /// always-checked reference, serial and parallel, bit for bit —
+    /// structure, values, and op counts.
+    #[test]
+    fn spgemm_default_matches_checked(
+        a in sparse_square(24, 96),
+        b in sparse_square(24, 96),
+        threads in 1usize..4,
+    ) {
+        for par in [Parallelism::serial(), Parallelism::new(threads)] {
+            let (fast, fstats) = ops::spgemm_par_with_stats(&a, &b, par).unwrap();
+            let (slow, sstats) = ops::spgemm_checked_with_stats(&a, &b, par).unwrap();
+            prop_assert_eq!(csr_bits(&fast), csr_bits(&slow));
+            prop_assert_eq!(fstats, sstats);
+        }
+    }
+
+    /// SpMM: default vs always-checked, serial and parallel.
+    #[test]
+    fn spmm_default_matches_checked(
+        a in sparse_square(24, 96),
+        x in dense(24, 9),
+        threads in 1usize..4,
+    ) {
+        for par in [Parallelism::serial(), Parallelism::new(threads)] {
+            let (fast, fstats) = ops::spmm_par_with_stats(&a, &x, par).unwrap();
+            let (slow, sstats) = ops::spmm_checked_with_stats(&a, &x, par).unwrap();
+            let fb: Vec<u32> = fast.as_slice().iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u32> = slow.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(fb, sb);
+            prop_assert_eq!(fstats, sstats);
+        }
+    }
+
+    /// Row-masked patch SpGEMM: default vs always-checked on a random row
+    /// subset, sharing one workspace across both calls (reuse must stay
+    /// bit-invisible on both paths).
+    #[test]
+    fn row_masked_default_matches_checked(
+        a in sparse_square(20, 80),
+        b in sparse_square(20, 80),
+        mask in prop::collection::vec(0usize..20, 0..12),
+    ) {
+        let mut rows: Vec<usize> = mask;
+        rows.sort_unstable();
+        rows.dedup();
+        let mut ws = Workspace::new();
+        let (fast, fstats) =
+            ops::row_masked_spgemm_with_workspace(&a, &b, &rows, &mut ws).unwrap();
+        let (slow, sstats) =
+            ops::row_masked_spgemm_with_workspace_checked(&a, &b, &rows, &mut ws).unwrap();
+        prop_assert_eq!(csr_bits(&fast), csr_bits(&slow));
+        prop_assert_eq!(fstats, sstats);
+    }
+}
+
+/// The six-product Eq. 13/15-style chain on the default path vs the checked
+/// reference: one deterministic end-to-end anchor that exercises workspace
+/// reuse, pooling, and both kernels in sequence.
+#[test]
+fn product_chain_default_matches_checked() {
+    let mut coo = CooMatrix::new(16, 16);
+    for i in 0..16usize {
+        coo.push(i, (i * 7 + 3) % 16, (i as f32 * 0.37).sin()).unwrap();
+        coo.push(i, (i * 5 + 1) % 16, 0.5 - (i as f32 * 0.11).cos()).unwrap();
+        coo.push((i * 3) % 16, i, 0.25 + i as f32 * 0.125).unwrap();
+    }
+    let a = coo.to_csr();
+    let x = DenseMatrix::from_vec(16, 4, (0..64).map(|i| (i as f32 * 0.21).cos()).collect()).unwrap();
+
+    let mut fast = a.clone();
+    let mut slow = a.clone();
+    for par in [Parallelism::serial(), Parallelism::new(3)] {
+        fast = ops::spgemm_par_with_stats(&fast, &a, par).unwrap().0;
+        slow = ops::spgemm_checked_with_stats(&slow, &a, par).unwrap().0;
+        assert_eq!(csr_bits(&fast), csr_bits(&slow));
+        let fy = ops::spmm_par_with_stats(&fast, &x, par).unwrap().0;
+        let sy = ops::spmm_checked_with_stats(&slow, &x, par).unwrap().0;
+        let fb: Vec<u32> = fy.as_slice().iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = sy.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, sb);
+    }
+}
